@@ -1,0 +1,321 @@
+(* dlinksim — command-line driver for the dynamic-linking architecture
+   simulator.
+
+   Subcommands:
+     run       run one workload under one mode and print counters
+     compare   base vs enhanced vs patched for one workload
+     sweep     Figure 5 ABTB-size sweep for one workload
+     profile   Table 2/3 + Figure 4 opportunity profile
+     memsave   §5.5 memory-overhead model
+     list      available workloads *)
+
+module C = Dlink_uarch.Counters
+module E = Dlink_core.Experiment
+module Sim = Dlink_core.Sim
+module Sweep = Dlink_core.Abtb_sweep
+module Memsave = Dlink_core.Memory_savings
+module Table = Dlink_util.Table
+open Cmdliner
+
+let fmt = Table.fmt_float
+
+let workload_conv =
+  let parse s =
+    match Dlink_workloads.Registry.find s with
+    | Some _ -> Ok s
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown workload %s (try: %s)" s
+               (String.concat ", " Dlink_workloads.Registry.names)))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let mode_conv =
+  let parse = function
+    | "base" -> Ok Sim.Base
+    | "enhanced" -> Ok Sim.Enhanced
+    | "eager" -> Ok Sim.Eager
+    | "static" -> Ok Sim.Static
+    | "patched" -> Ok Sim.Patched
+    | s -> Error (`Msg ("unknown mode " ^ s))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Sim.mode_to_string m))
+
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some workload_conv) None
+    & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,list)).")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Sim.Base
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:"Simulation mode: base, enhanced, eager, static or patched.")
+
+let requests_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "n"; "requests" ] ~docv:"N" ~doc:"Number of measured requests.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Workload generator seed.")
+
+let get_workload name seed =
+  let gen = Option.get (Dlink_workloads.Registry.find name) in
+  gen ?seed ()
+
+let print_counters (c : C.t) =
+  let t = Table.create ~headers:[ "Counter"; "total"; "PKI" ] in
+  let row lbl v = Table.add_row t [ lbl; string_of_int v; fmt (C.pki c v) ] in
+  Table.add_row t [ "instructions"; string_of_int c.C.instructions; "" ];
+  Table.add_row t [ "cycles"; string_of_int c.C.cycles; "" ];
+  Table.add_row t
+    [
+      "CPI";
+      fmt ~decimals:3 (float_of_int c.C.cycles /. float_of_int (max 1 c.C.instructions));
+      "";
+    ];
+  row "icache misses" c.C.icache_misses;
+  row "dcache misses" c.C.dcache_misses;
+  row "l2 misses" c.C.l2_misses;
+  row "itlb misses" c.C.itlb_misses;
+  row "dtlb misses" c.C.dtlb_misses;
+  row "branches" c.C.branches;
+  row "branch mispredictions" c.C.branch_mispredictions;
+  row "btb fill bubbles" c.C.btb_misses;
+  row "trampoline instructions" c.C.tramp_instructions;
+  row "trampoline calls" c.C.tramp_calls;
+  row "trampoline skips" c.C.tramp_skips;
+  row "abtb clears" c.C.abtb_clears;
+  row "got stores" c.C.got_stores;
+  row "resolver runs" c.C.resolver_runs;
+  Table.print t
+
+let run_cmd =
+  let action name mode requests seed =
+    let w = get_workload name seed in
+    let run = E.run ?requests ~mode w in
+    Printf.printf "workload=%s mode=%s requests=%d\n" name (Sim.mode_to_string mode)
+      run.E.requests;
+    print_counters run.E.counters;
+    let t = Table.create ~headers:[ "Request type"; "count"; "mean us"; "p95 us" ] in
+    Array.iter
+      (fun (rt, samples) ->
+        if Array.length samples > 0 then begin
+          let s = Dlink_stats.Summary.of_array samples in
+          Table.add_row t
+            [
+              rt;
+              string_of_int (Array.length samples);
+              fmt ~decimals:1 (Dlink_stats.Summary.mean s);
+              fmt ~decimals:1 (Dlink_stats.Summary.percentile s 95.0);
+            ]
+        end)
+      run.E.latencies_us;
+    Table.print ~title:"Latencies" t
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one workload under one mode")
+    Term.(const action $ workload_arg $ mode_arg $ requests_arg $ seed_arg)
+
+let compare_cmd =
+  let action name requests seed =
+    let w = get_workload name seed in
+    let runs =
+      List.map
+        (fun mode -> (mode, E.run ?requests ~mode w))
+        [ Sim.Base; Sim.Enhanced; Sim.Patched ]
+    in
+    let t =
+      Table.create
+        ~headers:
+          ("Counter (PKI)" :: List.map (fun (m, _) -> Sim.mode_to_string m) runs)
+    in
+    let row lbl f =
+      Table.add_row t (lbl :: List.map (fun (_, r) -> fmt (f r.E.counters)) runs)
+    in
+    row "trampoline instrs" (fun c -> C.pki c c.C.tramp_instructions);
+    row "icache misses" (fun c -> C.pki c c.C.icache_misses);
+    row "dcache misses" (fun c -> C.pki c c.C.dcache_misses);
+    row "itlb misses" (fun c -> C.pki c c.C.itlb_misses);
+    row "dtlb misses" (fun c -> C.pki c c.C.dtlb_misses);
+    row "branch mispredictions" (fun c -> C.pki c c.C.branch_mispredictions);
+    Table.print ~title:("Mode comparison: " ^ name) t;
+    let base = List.assoc Sim.Base runs in
+    List.iter
+      (fun (m, r) ->
+        if m <> Sim.Base then
+          Printf.printf "%s cycle improvement over base: %s\n"
+            (Sim.mode_to_string m)
+            (Table.fmt_pct
+               (float_of_int (base.E.counters.C.cycles - r.E.counters.C.cycles)
+               /. float_of_int base.E.counters.C.cycles)))
+      runs
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare base/enhanced/patched")
+    Term.(const action $ workload_arg $ requests_arg $ seed_arg)
+
+let sweep_cmd =
+  let action name requests seed =
+    let w = get_workload name seed in
+    let run = E.run ?requests ~record_stream:true ~mode:Sim.Base w in
+    let t = Table.create ~headers:[ "ABTB entries"; "% skipped" ] in
+    List.iter
+      (fun p ->
+        Table.add_row t [ string_of_int p.Sweep.entries; fmt p.Sweep.skipped_pct ])
+      (Sweep.sweep run.E.tramp_stream);
+    Table.print ~title:("Figure 5 sweep: " ^ name) t
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"ABTB size sweep (Figure 5)")
+    Term.(const action $ workload_arg $ requests_arg $ seed_arg)
+
+let profile_cmd =
+  let action name requests seed =
+    let w = get_workload name seed in
+    let run = E.run ?requests ~mode:Sim.Base w in
+    Printf.printf "workload=%s\n" name;
+    Printf.printf "trampoline instructions PKI (Table 2): %s\n"
+      (fmt (E.tramp_pki run));
+    Printf.printf "distinct trampolines (Table 3): %d\n" run.E.distinct_trampolines;
+    Printf.printf "trampoline calls: %d\n" run.E.tramp_calls;
+    let t = Table.create ~headers:[ "rank"; "calls" ] in
+    List.iteri
+      (fun i (rank, calls) ->
+        if i < 10 || i mod 100 = 0 then
+          Table.add_row t [ fmt ~decimals:0 rank; fmt ~decimals:0 calls ])
+      run.E.rank_frequency;
+    Table.print ~title:"Figure 4 rank-frequency (sampled)" t
+  in
+  Cmd.v (Cmd.info "profile" ~doc:"Opportunity profile (Tables 2-3, Figure 4)")
+    Term.(const action $ workload_arg $ requests_arg $ seed_arg)
+
+let memsave_cmd =
+  let action name seed processes =
+    let w = get_workload name seed in
+    let sim = Sim.create ~mode:Sim.Patched w.Dlink_core.Workload.objs in
+    let pages = Dlink_linker.Loader.patched_pages (Sim.linked sim) in
+    Printf.printf "patched call sites: %d on %d pages\n"
+      (List.length (Sim.linked sim).Dlink_linker.Loader.patch_sites)
+      pages;
+    let t =
+      Table.create ~headers:[ "Strategy"; "copied pages"; "wasted MB" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row t
+          [
+            Memsave.strategy_to_string r.Memsave.strategy;
+            string_of_int r.Memsave.copied_pages_total;
+            fmt (float_of_int r.Memsave.wasted_bytes /. 1048576.0);
+          ])
+      (Memsave.analyze_all ~patched_pages:pages ~processes);
+    Table.print ~title:"Section 5.5 memory overhead" t
+  in
+  let processes =
+    Arg.(value & opt int 450 & info [ "processes" ] ~doc:"Concurrent server processes.")
+  in
+  Cmd.v (Cmd.info "memsave" ~doc:"Memory-overhead model (Section 5.5)")
+    Term.(const action $ workload_arg $ seed_arg $ processes)
+
+let dump_cmd =
+  let action name seed module_opt =
+    let w = get_workload name seed in
+    let linked =
+      Dlink_linker.Loader.load_exn
+        ~opts:
+          {
+            Dlink_linker.Loader.default_options with
+            func_align = w.Dlink_core.Workload.func_align;
+          }
+        w.Dlink_core.Workload.objs
+    in
+    print_string (Dlink_linker.Dump.layout linked);
+    match module_opt with
+    | None -> ()
+    | Some mname -> (
+        match Dlink_linker.Space.image_by_name linked.Dlink_linker.Loader.space mname with
+        | None -> Printf.eprintf "no module %s\n" mname
+        | Some img ->
+            print_newline ();
+            print_string (Dlink_linker.Dump.disassemble_image ~max_insns:120 img);
+            print_newline ();
+            print_string (Dlink_linker.Dump.got_contents linked img))
+  in
+  let module_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "module" ] ~docv:"NAME" ~doc:"Also disassemble this module.")
+  in
+  Cmd.v (Cmd.info "dump" ~doc:"Memory map and disassembly of a loaded workload")
+    Term.(const action $ workload_arg $ seed_arg $ module_arg)
+
+let trace_cmd =
+  let action name seed limit =
+    let w = get_workload name seed in
+    let linked =
+      Dlink_linker.Loader.load_exn
+        ~opts:
+          {
+            Dlink_linker.Loader.default_options with
+            func_align = w.Dlink_core.Workload.func_align;
+          }
+        w.Dlink_core.Workload.objs
+    in
+    let printed = ref 0 in
+    let hooks =
+      {
+        Dlink_mach.Process.default_hooks with
+        on_retire =
+          (fun ev ->
+            if !printed < limit then begin
+              incr printed;
+              Format.printf "%a@." Dlink_mach.Event.pp ev
+            end);
+      }
+    in
+    let p = Dlink_mach.Process.create ~hooks linked in
+    let req = w.Dlink_core.Workload.gen_request 0 in
+    let addr =
+      Option.get
+        (Dlink_linker.Loader.func_addr linked ~mname:req.Dlink_core.Workload.mname
+           ~fname:req.Dlink_core.Workload.fname)
+    in
+    Dlink_mach.Process.call p addr;
+    Printf.printf "(request retired %d instructions; %d shown)\n"
+      (Dlink_mach.Process.retired p) !printed
+  in
+  let limit_arg =
+    Arg.(value & opt int 100 & info [ "limit" ] ~docv:"N" ~doc:"Events to print.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print the first retired instructions of a request")
+    Term.(const action $ workload_arg $ seed_arg $ limit_arg)
+
+let list_cmd =
+  let action () =
+    List.iter print_endline Dlink_workloads.Registry.names
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available workloads") Term.(const action $ const ())
+
+let () =
+  let doc = "Simulator for 'Architectural Support for Dynamic Linking' (ASPLOS'15)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "dlinksim" ~doc)
+          [
+            run_cmd;
+            compare_cmd;
+            sweep_cmd;
+            profile_cmd;
+            memsave_cmd;
+            dump_cmd;
+            trace_cmd;
+            list_cmd;
+          ]))

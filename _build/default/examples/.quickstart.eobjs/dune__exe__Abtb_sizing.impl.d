@@ -1,0 +1,1 @@
+examples/abtb_sizing.ml: Dlink_core Dlink_util Dlink_workloads List Printf String Sys

@@ -1,0 +1,1 @@
+examples/abtb_sizing.mli:

@@ -1,0 +1,1 @@
+examples/apache_latency.ml: Array Dlink_core Dlink_stats Dlink_util Dlink_workloads List Option Printf Sys

@@ -1,0 +1,1 @@
+examples/apache_latency.mli:

@@ -1,0 +1,1 @@
+examples/ifunc_dispatch.ml: Dlink_core Dlink_linker Dlink_obj Dlink_uarch List Option Printf

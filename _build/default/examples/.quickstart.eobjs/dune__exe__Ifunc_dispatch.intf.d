@@ -1,0 +1,1 @@
+examples/ifunc_dispatch.mli:

@@ -1,0 +1,1 @@
+examples/library_rebinding.ml: Dlink_core Dlink_linker Dlink_mach Dlink_obj Dlink_uarch Option Printf

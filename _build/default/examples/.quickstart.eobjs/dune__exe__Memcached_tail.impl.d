@@ -1,0 +1,1 @@
+examples/memcached_tail.ml: Array Dlink_core Dlink_stats Dlink_workloads List Option Printf String Sys

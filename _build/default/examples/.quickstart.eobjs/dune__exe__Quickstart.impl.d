@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dlink_core Dlink_obj Dlink_uarch Printf

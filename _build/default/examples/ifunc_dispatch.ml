@@ -1,0 +1,105 @@
+(* GNU ifunc and C++ virtual dispatch vs the trampoline-skip hardware
+   (paper Section 2.4).
+
+   Two lookup-table dispatch mechanisms look superficially like PLT calls:
+
+   - GNU ifuncs resolve one of several implementations at load time and are
+     called through the PLT exactly like ordinary imports — so the proposed
+     hardware accelerates them for free;
+   - C++ virtual functions dispatch through a function-pointer table in the
+     data segment with a memory-indirect *call* — a different instruction
+     sequence, which the hardware (correctly) leaves alone.
+
+   This example builds a string library whose `copy` is an ifunc with AVX /
+   SSE / generic implementations, plus a shapes library dispatched through a
+   vtable, and shows which calls get skipped. *)
+
+module Body = Dlink_obj.Body
+module Objfile = Dlink_obj.Objfile
+module Loader = Dlink_linker.Loader
+module C = Dlink_uarch.Counters
+module Sim = Dlink_core.Sim
+
+let libstring =
+  Objfile.create_exn ~name:"libstring"
+    ~ifuncs:
+      [ { Objfile.iname = "copy"; candidates = [ "copy_avx"; "copy_sse"; "copy_generic" ] } ]
+    [
+      { Objfile.fname = "copy_avx"; exported = true; body = [ Body.Compute 3 ] };
+      { Objfile.fname = "copy_sse"; exported = true; body = [ Body.Compute 7 ] };
+      { Objfile.fname = "copy_generic"; exported = true; body = [ Body.Compute 15 ] };
+    ]
+
+let libshapes =
+  Objfile.create_exn ~name:"libshapes"
+    [
+      { Objfile.fname = "circle_area"; exported = true; body = [ Body.Compute 5 ] };
+      { Objfile.fname = "square_area"; exported = true; body = [ Body.Compute 6 ] };
+    ]
+
+let app =
+  Objfile.create_exn ~name:"app"
+    ~vtables:[ { Objfile.vname = "shape_vt"; entries = [ "circle_area"; "square_area" ] } ]
+    [
+      {
+        Objfile.fname = "main";
+        exported = false;
+        body =
+          [
+            Body.Loop
+              {
+                mean_iters = 200.0;
+                body =
+                  [
+                    Body.Call_import "copy";
+                    Body.Call_virtual { vtable = "shape_vt"; slot = 0 };
+                    Body.Call_virtual { vtable = "shape_vt"; slot = 1 };
+                    Body.Compute 4;
+                  ];
+              };
+          ];
+      };
+    ]
+
+let run () =
+  let sim = Sim.create ~mode:Sim.Enhanced [ app; libstring; libshapes ] in
+  Sim.call sim ~mname:"app" ~fname:"main";
+  let abtb_entries =
+    match Sim.skip sim with
+    | Some skip -> Dlink_uarch.Abtb.valid_count (Dlink_core.Skip.abtb skip)
+    | None -> 0
+  in
+  (Sim.counters sim, abtb_entries)
+
+let () =
+  (* Which implementation does the loader pick at each capability level? *)
+  List.iter
+    (fun (label, hw_level) ->
+      let linked =
+        Loader.load_exn
+          ~opts:{ Loader.default_options with hw_level }
+          [ app; libstring; libshapes ]
+      in
+      let target =
+        Option.get (Dlink_linker.Linkmap.lookup_addr linked.Loader.linkmap "copy")
+      in
+      let name =
+        List.find
+          (fun f -> Loader.func_addr linked ~mname:"libstring" ~fname:f = Some target)
+          [ "copy_avx"; "copy_sse"; "copy_generic" ]
+      in
+      Printf.printf "hw_level=%-2d (%-12s) ifunc 'copy' resolves to %s\n" hw_level
+        label name)
+    [ ("modern AVX", 99); ("SSE only", 1); ("baseline", 0) ];
+
+  let c, abtb_entries = run () in
+  Printf.printf
+    "\nmixed dispatch loop (1 ifunc call + 2 virtual calls per iteration):\n";
+  Printf.printf "  PLT (ifunc) calls : %d, skipped by the hardware: %d (%.1f%%)\n"
+    c.C.tramp_calls c.C.tramp_skips
+    (100.0 *. float_of_int c.C.tramp_skips /. float_of_int (max 1 c.C.tramp_calls));
+  Printf.printf
+    "  virtual calls dispatch through the vtable, not the PLT: the ABTB holds\n\
+    \  %d entry(ies) — only the ifunc trampoline — exactly as Section 2.4.2\n\
+    \  predicts (different instruction sequence, no trampoline to skip).\n"
+    abtb_entries

@@ -1,0 +1,46 @@
+(* Memcached processing-time histogram (paper Figure 7).
+
+   Plots GET/SET request processing times in TSC kilocycle units for the
+   base system and the trampoline-skip emulation; the enhanced peak shifts
+   left (faster). *)
+
+module E = Dlink_core.Experiment
+module Sim = Dlink_core.Sim
+module Histogram = Dlink_stats.Histogram
+module Summary = Dlink_stats.Summary
+
+let tsc_units us = us *. 3.0 (* 3 GHz: 1 us = 3 kilocycles *)
+
+let () =
+  let requests =
+    match Sys.argv with [| _; n |] -> int_of_string n | _ -> 1500
+  in
+  let w = Dlink_workloads.Memcached.workload () in
+  Printf.printf "memcached model: %d requests per mode\n%!" requests;
+  let base = E.run ~requests ~mode:Sim.Base w in
+  let enh = E.run ~requests ~mode:Sim.Patched w in
+  List.iter
+    (fun rtype ->
+      let samples run =
+        let _, s =
+          Option.get (Array.find_opt (fun (n, _) -> n = rtype) run.E.latencies_us)
+        in
+        Array.map tsc_units s
+      in
+      let bs = samples base and es = samples enh in
+      let all = Summary.of_array (Array.append bs es) in
+      let lo = Summary.percentile all 2.0 and hi = Summary.percentile all 92.0 in
+      let hb = Histogram.of_samples ~lo ~hi ~bins:20 bs
+      and he = Histogram.of_samples ~lo ~hi ~bins:20 es in
+      Printf.printf "\n%s requests (TSC units x1000):\n" rtype;
+      List.iter2
+        (fun (center, fb) (_, fe) ->
+          Printf.printf "  %7.2f | %-30s | %-30s\n" center
+            (String.make (int_of_float (fb *. 250.0)) '#')
+            (String.make (int_of_float (fe *. 250.0)) '*'))
+        (Histogram.fractions hb) (Histogram.fractions he);
+      let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
+      Printf.printf "  ('#' base, '*' enhanced)  mean base=%.2f enhanced=%.2f (%+.2f%%)\n"
+        (mean bs) (mean es)
+        (100.0 *. (mean es -. mean bs) /. mean bs))
+    Dlink_workloads.Memcached.request_types

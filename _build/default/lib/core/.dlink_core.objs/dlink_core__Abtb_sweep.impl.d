@@ -1,0 +1,1 @@
+lib/core/abtb_sweep.ml: Abtb Array Dlink_uarch List

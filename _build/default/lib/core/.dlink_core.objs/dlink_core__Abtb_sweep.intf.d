@@ -1,0 +1,1 @@
+lib/core/abtb_sweep.mli:

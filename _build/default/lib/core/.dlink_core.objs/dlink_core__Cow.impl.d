@@ -1,0 +1,1 @@
+lib/core/cow.ml: Addr Dlink_isa Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/cow.mli: Addr Dlink_isa

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Counters Dlink_uarch List Option Profile Sim Workload

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Config Counters Dlink_uarch Sim Skip Workload

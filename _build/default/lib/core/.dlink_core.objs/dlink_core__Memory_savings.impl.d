@@ -1,0 +1,1 @@
+lib/core/memory_savings.ml: Dlink_isa List

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Addr Array Dlink_isa Dlink_mach Event Hashtbl List

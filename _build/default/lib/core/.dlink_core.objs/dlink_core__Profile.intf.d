@@ -1,0 +1,1 @@
+lib/core/profile.mli: Addr Dlink_isa Dlink_mach Event

@@ -1,0 +1,1 @@
+lib/core/sim.ml: Config Counters Dlink_linker Dlink_mach Dlink_uarch Engine Event Loader Memory Mode Option Printf Process Profile Skip

@@ -1,0 +1,1 @@
+lib/core/sim.mli: Addr Config Counters Dlink_isa Dlink_linker Dlink_mach Dlink_obj Dlink_uarch Engine Loader Mode Process Profile Skip

@@ -1,0 +1,1 @@
+lib/core/skip.ml: Abtb Addr Bloom Counters Dlink_isa Dlink_mach Dlink_uarch Event Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/core/skip.mli: Abtb Addr Bloom Counters Dlink_isa Dlink_mach Dlink_uarch Event

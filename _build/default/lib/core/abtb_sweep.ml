@@ -1,0 +1,20 @@
+open Dlink_uarch
+
+type point = { entries : int; skipped_pct : float }
+
+let default_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]
+
+let replay ~entries ?ways stream =
+  let abtb = Abtb.create ?ways ~entries () in
+  let hits = ref 0 in
+  Array.iter
+    (fun tramp ->
+      match Abtb.lookup abtb tramp with
+      | Some _ -> incr hits
+      | None -> Abtb.insert abtb tramp { Abtb.func = tramp; got_slot = tramp })
+    stream;
+  if Array.length stream = 0 then 0.0
+  else 100.0 *. float_of_int !hits /. float_of_int (Array.length stream)
+
+let sweep ?(sizes = default_sizes) ?ways stream =
+  List.map (fun entries -> { entries; skipped_pct = replay ~entries ?ways stream }) sizes

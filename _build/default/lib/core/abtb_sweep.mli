@@ -1,0 +1,16 @@
+(** Figure 5: percentage of trampolines skipped as a function of ABTB size.
+
+    Replays a recorded trampoline-call stream through standalone ABTBs of
+    varying capacity.  An invocation whose trampoline is present skips; a
+    miss executes the trampoline and (re)inserts the entry, exactly the
+    steady-state behaviour of the retire-time population logic. *)
+
+type point = { entries : int; skipped_pct : float }
+
+val replay : entries:int -> ?ways:int -> int array -> float
+(** Percentage (0–100) of stream elements that hit. *)
+
+val sweep : ?sizes:int list -> ?ways:int -> int array -> point list
+(** Default sizes: powers of two from 1 to 256 (the paper's x-axis). *)
+
+val default_sizes : int list

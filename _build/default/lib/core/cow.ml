@@ -1,0 +1,58 @@
+open Dlink_isa
+
+type t = {
+  n_processes : int;
+  dirty : (int * int, unit) Hashtbl.t; (* (pid, page) -> copied *)
+}
+
+let create ~processes =
+  if processes <= 0 then invalid_arg "Cow.create: processes must be positive";
+  { n_processes = processes; dirty = Hashtbl.create 1024 }
+
+let processes t = t.n_processes
+
+let write t ~pid ~page =
+  if pid < 0 || pid >= t.n_processes then invalid_arg "Cow.write: bad pid";
+  if not (Hashtbl.mem t.dirty (pid, page)) then
+    Hashtbl.replace t.dirty (pid, page) ()
+
+let private_copies t = Hashtbl.length t.dirty
+let wasted_bytes t = private_copies t * Addr.page_bytes
+
+type growth_point = {
+  calls_fraction : float;
+  pages_per_process : int;
+  wasted_mb : float;
+}
+
+let lazy_patching_growth ~site_order ~total_calls ~processes ~samples =
+  if samples <= 0 then invalid_arg "Cow.lazy_patching_growth: samples";
+  let total_calls = max 1 total_calls in
+  (* Distinct pages dirtied by the time each schedule entry executes. *)
+  let pages_seen = Hashtbl.create 256 in
+  let schedule =
+    List.filter_map
+      (fun (site, call_idx) ->
+        let page = Addr.page_of site in
+        if Hashtbl.mem pages_seen page then None
+        else begin
+          Hashtbl.replace pages_seen page ();
+          Some (call_idx, Hashtbl.length pages_seen)
+        end)
+      site_order
+  in
+  let pages_at idx =
+    List.fold_left
+      (fun acc (call_idx, n_pages) -> if call_idx <= idx then max acc n_pages else acc)
+      0 schedule
+  in
+  List.init samples (fun i ->
+      let frac = float_of_int (i + 1) /. float_of_int samples in
+      let idx = int_of_float (frac *. float_of_int total_calls) in
+      let per_process = pages_at idx in
+      {
+        calls_fraction = frac;
+        pages_per_process = per_process;
+        wasted_mb =
+          float_of_int (per_process * processes * Addr.page_bytes) /. 1048576.0;
+      })

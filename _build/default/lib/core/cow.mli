@@ -1,0 +1,45 @@
+(** Copy-on-write page accounting for the prefork server model (§5.5).
+
+    A prefork server maps one read-only copy of all code and shares it with
+    every worker via COW.  A software call-site patcher dirties a code page
+    the first time it patches a call site on it, forcing a private copy in
+    that worker.  This module tracks physical frames under that model and
+    derives the memory-growth curve from a measured first-touch schedule
+    (see {!Profile.site_first_touch}). *)
+
+open Dlink_isa
+
+type t
+
+val create : processes:int -> t
+(** Fresh prefork family: all code pages shared, zero private copies. *)
+
+val processes : t -> int
+
+val write : t -> pid:int -> page:int -> unit
+(** Process [pid] dirties [page]: a private copy is made on first write,
+    subsequent writes are free.  Raises [Invalid_argument] on a bad pid. *)
+
+val private_copies : t -> int
+(** Total privately copied pages across all processes. *)
+
+val wasted_bytes : t -> int
+(** [private_copies * page size]. *)
+
+type growth_point = {
+  calls_fraction : float;  (** fraction of the measured run elapsed *)
+  pages_per_process : int;  (** pages each worker has privately copied *)
+  wasted_mb : float;  (** across the whole prefork family *)
+}
+
+val lazy_patching_growth :
+  site_order:(Addr.t * int) list ->
+  total_calls:int ->
+  processes:int ->
+  samples:int ->
+  growth_point list
+(** Replays a lazy per-process patching schedule: every worker patches each
+    call site at its first execution, dirtying the site's code page.  All
+    workers follow the same measured schedule (they serve the same request
+    mix), so the family-wide waste is [processes ×] the per-process curve.
+    Returns [samples] points spanning the run. *)

@@ -1,0 +1,71 @@
+open Dlink_uarch
+
+type run = {
+  mode : Sim.mode;
+  workload_name : string;
+  counters : Counters.t;
+  latencies_us : (string * float array) array;
+  tramp_calls : int;
+  distinct_trampolines : int;
+  rank_frequency : (float * float) list;
+  tramp_stream : int array;
+  requests : int;
+}
+
+let run ?ucfg ?skip_cfg ?requests ?warmup ?(record_stream = false)
+    ?context_switch_every ?(retain_asid = false) ~mode (w : Workload.t) =
+  let sim =
+    Sim.create ?ucfg ?skip_cfg ~record_stream ~func_align:w.Workload.func_align
+      ~mode w.Workload.objs
+  in
+  let n = Option.value requests ~default:w.Workload.default_requests in
+  let run_one i =
+    let req = w.Workload.gen_request i in
+    let before = (Sim.counters sim).Counters.cycles in
+    Sim.call sim ~mname:req.Workload.mname ~fname:req.Workload.fname;
+    (req.Workload.rtype, Workload.cycles_to_us w ((Sim.counters sim).Counters.cycles - before))
+  in
+  let warmup = Option.value warmup ~default:w.Workload.warmup_requests in
+  for i = 0 to warmup - 1 do
+    ignore (run_one (-1 - i))
+  done;
+  Sim.mark_measurement_start sim;
+  let buckets = Array.map (fun _ -> ref []) w.Workload.request_type_names in
+  for i = 0 to n - 1 do
+    (match context_switch_every with
+    | Some k when k > 0 && i > 0 && i mod k = 0 -> Sim.context_switch ~retain_asid sim
+    | _ -> ());
+    let rtype, us = run_one i in
+    buckets.(rtype) := us :: !(buckets.(rtype))
+  done;
+  let profile = Sim.profile sim in
+  {
+    mode;
+    workload_name = w.Workload.wname;
+    counters = Sim.measured_counters sim;
+    latencies_us =
+      Array.mapi
+        (fun i name -> (name, Array.of_list (List.rev !(buckets.(i)))))
+        w.Workload.request_type_names;
+    tramp_calls = Profile.tramp_calls profile;
+    distinct_trampolines = Profile.distinct_trampolines profile;
+    rank_frequency = Profile.rank_frequency profile;
+    tramp_stream = Profile.stream profile;
+    requests = n;
+  }
+
+let tramp_pki r = Counters.pki r.counters r.counters.Counters.tramp_instructions
+
+let mean_latency_us r name =
+  let _, samples =
+    match Array.find_opt (fun (n, _) -> n = name) r.latencies_us with
+    | Some pair -> pair
+    | None -> raise Not_found
+  in
+  if Array.length samples = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 samples /. float_of_int (Array.length samples)
+
+let compare_modes ?ucfg ?skip_cfg ?requests w =
+  let base = run ?ucfg ?skip_cfg ?requests ~mode:Sim.Base w in
+  let enhanced = run ?ucfg ?skip_cfg ?requests ~mode:Sim.Enhanced w in
+  (base, enhanced)

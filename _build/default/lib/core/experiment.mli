@@ -1,0 +1,47 @@
+(** Experiment runner: executes a workload under a given mode and collects
+    everything the paper's tables and figures need. *)
+
+open Dlink_uarch
+
+type run = {
+  mode : Sim.mode;
+  workload_name : string;
+  counters : Counters.t;  (** measurement-window deltas *)
+  latencies_us : (string * float array) array;
+      (** per request type, in request order *)
+  tramp_calls : int;
+  distinct_trampolines : int;
+  rank_frequency : (float * float) list;
+  tramp_stream : int array;  (** only when [record_stream] *)
+  requests : int;
+}
+
+val run :
+  ?ucfg:Config.t ->
+  ?skip_cfg:Skip.config ->
+  ?requests:int ->
+  ?warmup:int ->
+  ?record_stream:bool ->
+  ?context_switch_every:int ->
+  ?retain_asid:bool ->
+  mode:Sim.mode ->
+  Workload.t ->
+  run
+(** Executes [warmup] requests (default: the workload's
+    [warmup_requests]) outside the measurement window, then [requests]
+    (default: the workload's default) inside it.
+    [context_switch_every] injects an OS context switch every N requests. *)
+
+val tramp_pki : run -> float
+(** Table 2: trampoline instructions per kilo-instruction. *)
+
+val mean_latency_us : run -> string -> float
+(** Mean latency of a request type.  Raises [Not_found] for unknown types. *)
+
+val compare_modes :
+  ?ucfg:Config.t ->
+  ?skip_cfg:Skip.config ->
+  ?requests:int ->
+  Workload.t ->
+  run * run
+(** Convenience: the (base, enhanced) pair used throughout §5. *)

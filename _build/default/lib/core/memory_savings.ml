@@ -1,0 +1,42 @@
+type strategy = Patch_after_fork | Patch_before_fork | Hardware
+
+type report = {
+  strategy : strategy;
+  processes : int;
+  patched_pages_per_process : int;
+  copied_pages_total : int;
+  wasted_bytes : int;
+}
+
+let strategy_to_string = function
+  | Patch_after_fork -> "software, patch after fork"
+  | Patch_before_fork -> "software, patch before fork"
+  | Hardware -> "proposed hardware"
+
+let analyze ~patched_pages ~processes strategy =
+  if patched_pages < 0 || processes < 0 then
+    invalid_arg "Memory_savings.analyze: negative input";
+  let copied_pages_total =
+    match strategy with
+    | Patch_after_fork -> patched_pages * processes
+    | Patch_before_fork ->
+        (* One patched copy exists, shared by every process; only the
+           original pristine mapping is "wasted" if also resident. *)
+        patched_pages
+    | Hardware -> 0
+  in
+  {
+    strategy;
+    processes;
+    patched_pages_per_process =
+      (match strategy with
+      | Patch_after_fork -> patched_pages
+      | Patch_before_fork | Hardware -> 0);
+    copied_pages_total;
+    wasted_bytes = copied_pages_total * Dlink_isa.Addr.page_bytes;
+  }
+
+let analyze_all ~patched_pages ~processes =
+  List.map
+    (analyze ~patched_pages ~processes)
+    [ Patch_after_fork; Patch_before_fork; Hardware ]

@@ -1,0 +1,31 @@
+(** §5.5 memory-overhead model: what a *software* call-site-patching
+    approach costs in copied copy-on-write pages, versus the proposed
+    hardware (which never touches code pages).
+
+    Under the prefork server model, code pages are shared between parent
+    and children via COW.  Patching a call site after fork dirties that
+    page in every process; patching before fork keeps sharing but requires
+    abandoning lazy resolution (§2.3). *)
+
+type strategy =
+  | Patch_after_fork  (** lazy per-process patching: every process copies *)
+  | Patch_before_fork  (** eager pre-fork patching: one shared copy *)
+  | Hardware  (** the paper's proposal: zero code-page copies *)
+
+type report = {
+  strategy : strategy;
+  processes : int;
+  patched_pages_per_process : int;
+  copied_pages_total : int;
+  wasted_bytes : int;
+}
+
+val strategy_to_string : strategy -> string
+
+val analyze :
+  patched_pages:int -> processes:int -> strategy -> report
+(** [patched_pages] is the number of distinct code pages containing at
+    least one patched call site (obtainable from a [Patched]-mode load via
+    {!Dlink_linker.Loader.patched_pages}). *)
+
+val analyze_all : patched_pages:int -> processes:int -> report list

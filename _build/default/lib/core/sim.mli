@@ -1,0 +1,65 @@
+(** Full-system simulator: loader + interpreter + microarchitecture +
+    (optionally) the proposed trampoline-skip hardware.
+
+    The five modes map to the paper's points of comparison:
+    - [Base]: conventional lazy dynamic linking, unmodified hardware.
+    - [Enhanced]: lazy dynamic linking plus the ABTB/Bloom mechanism.
+    - [Eager]: BIND_NOW dynamic linking, unmodified hardware (trampolines
+      still execute, resolver never runs).
+    - [Static]: static linking — the paper's performance upper bound.
+    - [Patched]: the paper's software emulation (§4): call sites rewritten
+      at load time to direct calls; PLT/GOT present but bypassed. *)
+
+open Dlink_isa
+open Dlink_mach
+open Dlink_uarch
+open Dlink_linker
+
+type mode = Base | Enhanced | Eager | Static | Patched
+
+val mode_to_string : mode -> string
+val link_mode : mode -> Mode.t
+
+type t
+
+val create :
+  ?ucfg:Config.t ->
+  ?skip_cfg:Skip.config ->
+  ?aslr_seed:int ->
+  ?record_stream:bool ->
+  ?func_align:int ->
+  mode:mode ->
+  Dlink_obj.Objfile.t list ->
+  t
+(** Loads the objects (first = executable), builds the machine, and wires
+    the retire stream into the engine, the skip controller (Enhanced only),
+    and the profiler.  Raises [Invalid_argument] on link errors. *)
+
+val mode : t -> mode
+val linked : t -> Loader.t
+val process : t -> Process.t
+val engine : t -> Engine.t
+val counters : t -> Counters.t
+val profile : t -> Profile.t
+val skip : t -> Skip.t option
+
+val call : t -> mname:string -> fname:string -> unit
+(** Run one entry-point invocation to completion.  Raises
+    [Invalid_argument] for unknown functions and {!Process.Fault} on
+    machine faults. *)
+
+val call_addr : t -> Addr.t -> unit
+
+val func_addr : t -> mname:string -> fname:string -> Addr.t
+(** Raises [Invalid_argument] if not found. *)
+
+val context_switch : ?retain_asid:bool -> t -> unit
+(** Simulate an OS context switch away and back: TLBs and RAS flush, and —
+    unless [retain_asid] — the ABTB flushes with them (§3.3, "Missing ABTB
+    entry after context switch"). *)
+
+val mark_measurement_start : t -> unit
+(** Reset the profiler and record a counter snapshot; subsequent
+    {!measured_counters} are relative to this point. *)
+
+val measured_counters : t -> Counters.t

@@ -1,0 +1,146 @@
+open Dlink_isa
+open Dlink_mach
+open Dlink_uarch
+
+type granularity = Slot | Page
+type coherence = Bloom_guard | Explicit_invalidate
+
+type config = {
+  abtb_entries : int;
+  abtb_ways : int option;
+  bloom_bits : int;
+  bloom_hashes : int;
+  bloom_granularity : granularity;
+  coherence : coherence;
+  filter_fallthrough : bool;
+  verify_targets : bool;
+}
+
+let default_config =
+  {
+    abtb_entries = 256;
+    abtb_ways = None;
+    bloom_bits = 4096;
+    bloom_hashes = 2;
+    bloom_granularity = Page;
+    coherence = Bloom_guard;
+    filter_fallthrough = true;
+    verify_targets = false;
+  }
+
+let bloom_key cfg a =
+  match cfg.bloom_granularity with Slot -> a | Page -> Addr.page_of a
+
+exception Misspeculation of string
+
+type t = {
+  cfg : config;
+  abtb : Abtb.t;
+  bloom : Bloom.t;
+  counters : Counters.t;
+  btb_update : Addr.t -> Addr.t -> unit;
+  btb_predict : Addr.t -> Addr.t option;
+  on_stale_prediction : unit -> unit;
+  read_got : Addr.t -> int;
+  (* Exact shadow of GOT slots backing live-or-evicted entries since the
+     last clear; used only to classify Bloom hits as true or false. *)
+  exact_slots : (Addr.t, unit) Hashtbl.t;
+  mutable pending_call : (Addr.t * Addr.t) option; (* (call pc, call target) *)
+}
+
+let create ?(config = default_config) ~counters ~btb_update ~btb_predict
+    ~on_stale_prediction ~read_got () =
+  {
+    cfg = config;
+    abtb = Abtb.create ?ways:config.abtb_ways ~entries:config.abtb_entries ();
+    bloom = Bloom.create ~bits:config.bloom_bits ~hashes:config.bloom_hashes;
+    counters;
+    btb_update;
+    btb_predict;
+    on_stale_prediction;
+    read_got;
+    exact_slots = Hashtbl.create 64;
+    pending_call = None;
+  }
+
+let abtb t = t.abtb
+let bloom t = t.bloom
+
+let flush t =
+  Abtb.clear t.abtb;
+  Bloom.clear t.bloom;
+  Hashtbl.reset t.exact_slots;
+  t.pending_call <- None
+
+let clear_on_store t addr =
+  if t.cfg.coherence = Bloom_guard && Bloom.mem t.bloom (bloom_key t.cfg addr)
+  then begin
+    t.counters.Counters.abtb_clears <- t.counters.Counters.abtb_clears + 1;
+    if not (Hashtbl.mem t.exact_slots addr) then
+      t.counters.Counters.abtb_false_clears <-
+        t.counters.Counters.abtb_false_clears + 1;
+    flush t
+  end
+
+(* The front end redirects through the BTB only (the hardware is an
+   unmodified fetch pipeline); the ABTB confirms or corrects at resolution:
+   - BTB holds the function address and the ABTB agrees: clean skip.
+   - BTB holds something else while the ABTB knows the function: resolution
+     corrects to the function address; the trampoline is still skipped but
+     at mispredict cost (charged by the engine, which sees a redirected
+     call whose BTB entry mismatches).
+   - BTB miss: decode supplies the architectural target; the trampoline
+     executes and pair-retire retrains the entry.  No extra mispredict.
+   - BTB stale (function address) with no ABTB entry: the fetch went to the
+     stale target and must be squashed — an enhanced-only mispredict,
+     reported through [on_stale_prediction]. *)
+let on_fetch_call t ~pc ~arch_target =
+  let predicted = t.btb_predict pc in
+  match Abtb.lookup t.abtb arch_target with
+  | None ->
+      (match predicted with
+      | Some p when p <> arch_target -> t.on_stale_prediction ()
+      | Some _ | None -> ());
+      arch_target
+  | Some { Abtb.func; got_slot } -> (
+      match predicted with
+      | None -> arch_target (* no redirection source: architectural path *)
+      | Some _ ->
+          if t.cfg.verify_targets then begin
+            let live = t.read_got got_slot in
+            if live <> func then
+              raise
+                (Misspeculation
+                   (Printf.sprintf "ABTB maps %s to %s but GOT slot %s holds %s"
+                      (Addr.to_hex arch_target) (Addr.to_hex func)
+                      (Addr.to_hex got_slot) (Addr.to_hex live)))
+          end;
+          t.counters.Counters.abtb_hits <- t.counters.Counters.abtb_hits + 1;
+          t.counters.Counters.tramp_skips <- t.counters.Counters.tramp_skips + 1;
+          func)
+
+let on_retire t (ev : Event.t) =
+  (* Coherence watch: any retired store that hits the filter clears all. *)
+  (match ev.store with Some a -> clear_on_store t a | None -> ());
+  (* Idiom detection: call retired, next retired instruction is a
+     memory-indirect jump. *)
+  (match (t.pending_call, ev.branch) with
+  | Some (call_pc, call_target), Some (Event.Jump_indirect { target; slot }) ->
+      let fallthrough = ev.pc + ev.size in
+      if not (t.cfg.filter_fallthrough && target = fallthrough) then begin
+        Abtb.insert t.abtb call_target { Abtb.func = target; got_slot = slot };
+        Bloom.add t.bloom (bloom_key t.cfg slot);
+        Hashtbl.replace t.exact_slots slot ();
+        t.counters.Counters.abtb_inserts <- t.counters.Counters.abtb_inserts + 1;
+        (* Retrain the call site so the very next fetch goes straight to
+           the function (§3.2, front-end update rule). *)
+        t.btb_update call_pc target
+      end
+  | _ -> ());
+  t.pending_call <-
+    (match ev.branch with
+    | Some (Event.Call_direct { target; arch_target }) when target = arch_target ->
+        (* Only unredirected calls can be followed by a trampoline. *)
+        Some (ev.pc, target)
+    | Some (Event.Call_indirect { target; _ }) -> Some (ev.pc, target)
+    | _ -> None)

@@ -1,0 +1,102 @@
+(** The trampoline-skip controller: ABTB + Bloom filter + retire-time
+    population logic (paper §3).
+
+    Front end: {!on_fetch_call} is consulted on every direct call.  If the
+    call's architectural target has a live ABTB entry, fetch is redirected
+    straight to the library function and the trampoline never executes.
+
+    Back end: {!on_retire} watches the retire stream for
+    - stores that hit the Bloom filter → clear the ABTB and filter;
+    - the call-followed-by-memory-indirect-branch idiom → insert an ABTB
+      entry mapping trampoline → function, add the GOT slot to the filter,
+      and retrain the call site's BTB entry with the function address.
+
+    The [filter_fallthrough] refinement suppresses population when the
+    indirect branch lands on its own fall-through address, which is exactly
+    the lazy-resolution first execution (the GOT still points at the PLT
+    stub's push).  Without it the mechanism still behaves correctly — the
+    resolver's GOT store hits the filter and clears the table, the paper's
+    "happens only once per library call" startup transient — at the cost of
+    one extra whole-table clear per first call.  Both variants are
+    measured by the ablation bench. *)
+
+open Dlink_isa
+open Dlink_mach
+open Dlink_uarch
+
+(** What the Bloom filter hashes.  The paper stores "the addresses of the
+    GOT entries" (slot granularity) but never sizes the filter; at slot
+    granularity every architectural store is a membership test, and with
+    realistic store rates even sub-percent false-positive rates cause
+    constant whole-ABTB clears.  Page granularity exploits the fact that
+    GOT slots live on dedicated pages: the filter holds a handful of page
+    numbers, so a few hundred bits suffice.  The ablation bench quantifies
+    both. *)
+type granularity = Slot | Page
+
+(** How ABTB coherence is maintained (§3.2 vs §3.4).
+
+    [Bloom_guard] is the paper's primary design: retired stores are tested
+    against a Bloom filter of guarded GOT locations and a hit clears the
+    table — fully transparent to software.
+
+    [Explicit_invalidate] is the paper's alternate implementation: no
+    filter hardware at all; software (the dynamic loader) must execute an
+    explicit ABTB-invalidate operation ({!flush}) whenever it rewrites a
+    GOT entry, analogous to instruction-cache flushes on non-coherent
+    architectures.  With [verify_targets] set, forgetting the flush after
+    a rebinding raises {!Misspeculation} — demonstrating exactly why the
+    transparent design needs the filter. *)
+type coherence = Bloom_guard | Explicit_invalidate
+
+type config = {
+  abtb_entries : int;
+  abtb_ways : int option;  (** [None] = fully associative *)
+  bloom_bits : int;
+  bloom_hashes : int;
+  bloom_granularity : granularity;
+  coherence : coherence;
+  filter_fallthrough : bool;
+  verify_targets : bool;
+      (** paranoia mode for tests: on every skip, check the redirect target
+          against the live GOT contents and raise on mismatch *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  counters:Counters.t ->
+  btb_update:(Addr.t -> Addr.t -> unit) ->
+  btb_predict:(Addr.t -> Addr.t option) ->
+  on_stale_prediction:(unit -> unit) ->
+  read_got:(Addr.t -> int) ->
+  unit ->
+  t
+(** [btb_predict] is the front end's only redirection source: a trampoline
+    is skipped when the call site's BTB entry holds the function address
+    (trained at pair-retire) {e and} the ABTB confirms it at resolution.
+    [on_stale_prediction] is invoked when the BTB still holds a function
+    address but the ABTB entry is gone (cleared/evicted) — in hardware the
+    front end fetched the stale target and resolution must squash, a
+    mispredict the base machine does not have.  Rare in steady state. *)
+
+val on_fetch_call : t -> pc:Addr.t -> arch_target:Addr.t -> Addr.t
+(** Front-end consultation on every direct call: returns the fetch target
+    (the library function when skipping, the architectural target
+    otherwise). *)
+
+val on_retire : t -> Event.t -> unit
+
+val flush : t -> unit
+(** Context switch / explicit software invalidation (§3.4). *)
+
+val abtb : t -> Abtb.t
+val bloom : t -> Bloom.t
+
+exception Misspeculation of string
+(** Raised only under [verify_targets] if a skip would diverge from the
+    architectural GOT state — this never fires when the Bloom-clear
+    invariant holds. *)

@@ -1,0 +1,16 @@
+type request = { rtype : int; mname : string; fname : string }
+
+type t = {
+  wname : string;
+  objs : Dlink_obj.Objfile.t list;
+  request_type_names : string array;
+  gen_request : int -> request;
+  default_requests : int;
+  warmup_requests : int;
+  us_scale : float;
+  ghz : float;
+  func_align : int;
+}
+
+let cycles_to_us t cycles =
+  float_of_int cycles /. (t.ghz *. 1000.0) *. t.us_scale

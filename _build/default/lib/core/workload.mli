@@ -1,0 +1,29 @@
+(** Workload abstraction consumed by the experiment runner.
+
+    A workload bundles the object files of an application plus its
+    libraries, a deterministic request generator (the "client"), and
+    reporting parameters.  Concrete workloads modeling the paper's four
+    applications live in the [dlink_workloads] library. *)
+
+type request = { rtype : int; mname : string; fname : string }
+(** One unit of work: invoke [mname.fname]; [rtype] indexes
+    [request_type_names] for per-type latency reporting. *)
+
+type t = {
+  wname : string;
+  objs : Dlink_obj.Objfile.t list;
+  request_type_names : string array;
+  gen_request : int -> request;
+      (** deterministic request for a given index (the request mix) *)
+  default_requests : int;
+  warmup_requests : int;
+      (** requests executed before the measurement window opens *)
+  us_scale : float;
+      (** multiplier applied to simulated microseconds so reported
+          latencies land in the paper's range (documented per workload) *)
+  ghz : float;  (** simulated clock, 3.0 as on the paper's Xeon E5450 *)
+  func_align : int;
+      (** function alignment used at load time (models code sparsity) *)
+}
+
+val cycles_to_us : t -> int -> float

@@ -1,0 +1,1 @@
+lib/isa/addr.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Addr Hashtbl Insn List

@@ -1,0 +1,13 @@
+type t = int
+
+let cache_line_bytes = 64
+let page_bytes = 4096
+let line_of a = a / cache_line_bytes
+let page_of a = a / page_bytes
+
+let align_up a n =
+  assert (n > 0 && n land (n - 1) = 0);
+  (a + n - 1) land lnot (n - 1)
+
+let to_hex a = Printf.sprintf "0x%x" a
+let pp ppf a = Format.pp_print_string ppf (to_hex a)

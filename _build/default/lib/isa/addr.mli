@@ -1,0 +1,26 @@
+(** Virtual addresses and memory-geometry helpers.
+
+    Addresses are plain non-negative OCaml ints (the simulator models a
+    48-bit virtual address space, which fits easily in 63-bit ints). *)
+
+type t = int
+
+val cache_line_bytes : int
+(** 64, as on x86-64. *)
+
+val page_bytes : int
+(** 4096. *)
+
+val line_of : t -> int
+(** Cache-line index of an address. *)
+
+val page_of : t -> int
+(** Page index of an address. *)
+
+val align_up : t -> int -> t
+(** [align_up a n] rounds [a] up to a multiple of [n] (a power of two). *)
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal rendering. *)
+
+val to_hex : t -> string

@@ -1,0 +1,87 @@
+type label = int
+
+type target = To_label of label | To_addr of Addr.t
+
+type proto =
+  | P_alu
+  | P_load of Insn.mem_ref
+  | P_store of Insn.mem_ref
+  | P_call of target
+  | P_call_mem of Addr.t
+  | P_jmp of target
+  | P_jmp_mem of Addr.t
+  | P_cond of { target : target; site : int; p_taken : float }
+  | P_push_info of int
+  | P_ret
+  | P_resolve
+  | P_halt
+
+type t = {
+  mutable items : (int * proto) list; (* (offset, proto), reversed *)
+  mutable cursor : int; (* next emission offset *)
+  mutable next_label : int;
+  offsets : (label, int) Hashtbl.t;
+}
+
+let create () = { items = []; cursor = 0; next_label = 0; offsets = Hashtbl.create 16 }
+
+let fresh_label t =
+  let l = t.next_label in
+  t.next_label <- l + 1;
+  l
+
+let place t l =
+  if Hashtbl.mem t.offsets l then invalid_arg "Asm.place: label already placed";
+  Hashtbl.replace t.offsets l t.cursor
+
+let proto_size = function
+  | P_alu -> Insn.byte_size Insn.Alu
+  | P_load m -> Insn.byte_size (Insn.Load m)
+  | P_store m -> Insn.byte_size (Insn.Store m)
+  | P_call _ -> Insn.byte_size (Insn.Call 0)
+  | P_call_mem _ -> Insn.byte_size (Insn.Call_mem 0)
+  | P_jmp _ -> Insn.byte_size (Insn.Jmp 0)
+  | P_jmp_mem _ -> Insn.byte_size (Insn.Jmp_mem 0)
+  | P_cond _ -> Insn.byte_size (Insn.Cond { target = 0; site = 0; p_taken = 0.0 })
+  | P_push_info i -> Insn.byte_size (Insn.Push_info i)
+  | P_ret -> Insn.byte_size Insn.Ret
+  | P_resolve -> Insn.byte_size Insn.Resolve
+  | P_halt -> Insn.byte_size Insn.Halt
+
+let emit t p =
+  t.items <- (t.cursor, p) :: t.items;
+  t.cursor <- t.cursor + proto_size p
+
+let pad_to t n =
+  assert (n > 0);
+  let rem = t.cursor mod n in
+  if rem <> 0 then t.cursor <- t.cursor + (n - rem)
+
+let size t = t.cursor
+
+let offset_of t l = Hashtbl.find t.offsets l
+
+let assemble t ~base =
+  let resolve = function
+    | To_addr a -> a
+    | To_label l -> (
+        match Hashtbl.find_opt t.offsets l with
+        | Some off -> base + off
+        | None -> invalid_arg "Asm.assemble: unplaced label")
+  in
+  let lower = function
+    | P_alu -> Insn.Alu
+    | P_load m -> Insn.Load m
+    | P_store m -> Insn.Store m
+    | P_call tg -> Insn.Call (resolve tg)
+    | P_call_mem slot -> Insn.Call_mem slot
+    | P_jmp tg -> Insn.Jmp (resolve tg)
+    | P_jmp_mem slot -> Insn.Jmp_mem slot
+    | P_cond { target; site; p_taken } ->
+        Insn.Cond { target = resolve target; site; p_taken }
+    | P_push_info i -> Insn.Push_info i
+    | P_ret -> Insn.Ret
+    | P_resolve -> Insn.Resolve
+    | P_halt -> Insn.Halt
+  in
+  List.rev_map (fun (off, p) -> (off, lower p)) t.items

@@ -1,0 +1,53 @@
+(** Tiny one-region assembler with forward-label resolution.
+
+    Code generation lowers a function body into a sequence of
+    proto-instructions whose branch targets may be labels defined later in
+    the same region.  [assemble] fixes the region's base address and
+    resolves every label to a concrete {!Addr.t}. *)
+
+type t
+type label
+
+val create : unit -> t
+
+val fresh_label : t -> label
+(** A new, not-yet-placed label. *)
+
+val place : t -> label -> unit
+(** Pin a label to the current emission offset.  Raises [Invalid_argument]
+    if the label was already placed. *)
+
+(** Branch targets in proto-instructions. *)
+type target = To_label of label | To_addr of Addr.t
+
+(** Proto-instructions: same shapes as {!Insn.t} with symbolic targets. *)
+type proto =
+  | P_alu
+  | P_load of Insn.mem_ref
+  | P_store of Insn.mem_ref
+  | P_call of target
+  | P_call_mem of Addr.t
+  | P_jmp of target
+  | P_jmp_mem of Addr.t
+  | P_cond of { target : target; site : int; p_taken : float }
+  | P_push_info of int
+  | P_ret
+  | P_resolve
+  | P_halt
+
+val emit : t -> proto -> unit
+
+val pad_to : t -> int -> unit
+(** Insert unreachable padding bytes so the next emission offset is a
+    multiple of the argument (used for 16-byte PLT entries). *)
+
+val size : t -> int
+(** Bytes emitted so far. *)
+
+val offset_of : t -> label -> int
+(** Offset of a placed label; raises [Not_found] before assembly if the
+    label was never placed. *)
+
+val assemble : t -> base:Addr.t -> (int * Insn.t) list
+(** [(offset, instruction)] pairs with all labels resolved against [base].
+    Raises [Invalid_argument] if any referenced label is unplaced. *)

@@ -1,0 +1,67 @@
+type mem_ref =
+  | Fixed of Addr.t
+  | Region of { site : int; base : Addr.t; size : int }
+
+type t =
+  | Alu
+  | Load of mem_ref
+  | Store of mem_ref
+  | Call of Addr.t
+  | Call_mem of Addr.t
+  | Jmp of Addr.t
+  | Jmp_mem of Addr.t
+  | Cond of { target : Addr.t; site : int; p_taken : float }
+  | Push_info of int
+  | Ret
+  | Resolve
+  | Halt
+
+(* Sizes mirror common x86-64 encodings: call/jmp rel32 = 5, jmp/call
+   *(rip+disp32) = 6, push imm32 = 5, jcc rel32 = 6, ret = 1.  Alu and
+   memory operations use a representative 4-byte encoding. *)
+let byte_size = function
+  | Alu -> 4
+  | Load _ | Store _ -> 4
+  | Call _ -> 5
+  | Call_mem _ -> 6
+  | Jmp _ -> 5
+  | Jmp_mem _ -> 6
+  | Cond _ -> 6
+  | Push_info _ -> 5
+  | Ret -> 1
+  | Resolve -> 8
+  | Halt -> 1
+
+let is_branch = function
+  | Call _ | Call_mem _ | Jmp _ | Jmp_mem _ | Cond _ | Ret | Resolve -> true
+  | Alu | Load _ | Store _ | Push_info _ | Halt -> false
+
+let is_indirect_branch = function
+  | Call_mem _ | Jmp_mem _ | Ret | Resolve -> true
+  | Alu | Load _ | Store _ | Call _ | Jmp _ | Cond _ | Push_info _ | Halt -> false
+
+let mem_slot = function
+  | Jmp_mem slot | Call_mem slot -> Some slot
+  | Alu | Load _ | Store _ | Call _ | Jmp _ | Cond _ | Push_info _ | Ret | Resolve | Halt ->
+      None
+
+let pp_mem_ref ppf = function
+  | Fixed a -> Addr.pp ppf a
+  | Region { site; base; size } ->
+      Format.fprintf ppf "region(%a+%d)@@site%d" Addr.pp base size site
+
+let pp ppf = function
+  | Alu -> Format.pp_print_string ppf "alu"
+  | Load m -> Format.fprintf ppf "load %a" pp_mem_ref m
+  | Store m -> Format.fprintf ppf "store %a" pp_mem_ref m
+  | Call a -> Format.fprintf ppf "call %a" Addr.pp a
+  | Call_mem a -> Format.fprintf ppf "call *(%a)" Addr.pp a
+  | Jmp a -> Format.fprintf ppf "jmp %a" Addr.pp a
+  | Jmp_mem a -> Format.fprintf ppf "jmp *(%a)" Addr.pp a
+  | Cond { target; p_taken; _ } -> Format.fprintf ppf "jcc %a (p=%.2f)" Addr.pp target p_taken
+  | Push_info i -> Format.fprintf ppf "push $%d" i
+  | Ret -> Format.pp_print_string ppf "ret"
+  | Resolve -> Format.pp_print_string ppf "resolve"
+  | Halt -> Format.pp_print_string ppf "halt"
+
+let to_string i = Format.asprintf "%a" pp i

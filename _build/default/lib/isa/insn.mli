@@ -1,0 +1,55 @@
+(** The simulator's instruction set.
+
+    A deliberately small, x86-64-flavoured ISA: what matters for the paper's
+    mechanism is the byte layout of code (cache lines, pages), the
+    call/branch structure, and memory traffic — not arithmetic semantics.
+    Hence [Alu] is a generic computation, and data-dependent behaviour
+    (branch directions, access addresses) is derived deterministically from
+    per-site hashes so that base and enhanced runs observe identical
+    architectural behaviour.
+
+    A PLT trampoline entry is exactly 16 bytes, as on x86-64 ELF:
+    [Jmp_mem got_slot] (6 B) + [Push_info reloc] (5 B) + [Jmp plt0] (5 B). *)
+
+(** Where a [Load]/[Store] points. *)
+type mem_ref =
+  | Fixed of Addr.t  (** always the same slot (e.g. a GOT entry, a global) *)
+  | Region of { site : int; base : Addr.t; size : int }
+      (** deterministic per-execution address inside [\[base, base+size)],
+          8-byte aligned; [site] seeds the address sequence *)
+
+type t =
+  | Alu  (** generic register computation, no memory traffic *)
+  | Load of mem_ref
+  | Store of mem_ref
+  | Call of Addr.t  (** direct near call; pushes the return address *)
+  | Call_mem of Addr.t  (** indirect call through a memory slot *)
+  | Jmp of Addr.t
+  | Jmp_mem of Addr.t  (** indirect jump through a memory slot — the PLT trampoline *)
+  | Cond of { target : Addr.t; site : int; p_taken : float }
+      (** conditional branch; direction is [Site_hash.bernoulli site count] *)
+  | Push_info of int  (** PLT stub: pushes a relocation index *)
+  | Ret
+  | Resolve
+      (** dynamic-linker primitive: pops the relocation index and module id
+          pushed by the PLT stub, binds the symbol, stores the target into
+          the GOT slot, and jumps to the target *)
+  | Halt
+
+val byte_size : t -> int
+(** Encoded size in bytes (fixed per constructor, x86-64-like). *)
+
+val is_branch : t -> bool
+(** Any instruction that can redirect control flow. *)
+
+val is_indirect_branch : t -> bool
+(** [Call_mem], [Jmp_mem], [Ret], [Resolve]. *)
+
+val mem_slot : t -> Addr.t option
+(** For memory-indirect control transfers, the slot the target is loaded
+    from ([Jmp_mem]/[Call_mem]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly-style rendering. *)
+
+val to_string : t -> string

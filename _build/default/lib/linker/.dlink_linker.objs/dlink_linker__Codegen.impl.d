@@ -1,0 +1,1 @@
+lib/linker/codegen.ml: Addr Asm Dlink_isa Dlink_obj Insn List

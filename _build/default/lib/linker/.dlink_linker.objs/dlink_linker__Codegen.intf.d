@@ -1,0 +1,1 @@
+lib/linker/codegen.mli: Addr Asm Dlink_isa Dlink_obj

@@ -1,0 +1,1 @@
+lib/linker/dump.ml: Addr Array Buffer Dlink_isa Hashtbl Image Insn List Loader Option Printf Space

@@ -1,0 +1,1 @@
+lib/linker/dump.mli: Image Loader

@@ -1,0 +1,1 @@
+lib/linker/image.ml: Addr Array Dlink_isa Hashtbl Insn

@@ -1,0 +1,1 @@
+lib/linker/image.mli: Addr Dlink_isa Hashtbl Insn

@@ -1,0 +1,1 @@
+lib/linker/linkmap.ml: Addr Dlink_isa Hashtbl List Option

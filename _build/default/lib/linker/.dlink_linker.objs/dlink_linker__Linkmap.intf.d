@@ -1,0 +1,1 @@
+lib/linker/linkmap.mli: Addr Dlink_isa

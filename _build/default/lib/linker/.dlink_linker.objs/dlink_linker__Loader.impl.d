@@ -1,0 +1,1 @@
+lib/linker/loader.ml: Addr Array Asm Codegen Dlink_isa Dlink_obj Dlink_util Hashtbl Image Insn Linkmap List Mode Option Printf Space

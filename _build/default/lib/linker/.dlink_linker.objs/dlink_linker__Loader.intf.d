@@ -1,0 +1,1 @@
+lib/linker/loader.mli: Addr Dlink_isa Dlink_obj Hashtbl Image Linkmap Mode Space

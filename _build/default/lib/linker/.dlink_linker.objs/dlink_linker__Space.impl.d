@@ -1,0 +1,1 @@
+lib/linker/space.ml: Array Hashtbl Image Printf

@@ -1,0 +1,1 @@
+lib/linker/space.mli: Addr Dlink_isa Image Insn

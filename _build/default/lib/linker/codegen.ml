@@ -1,0 +1,87 @@
+open Dlink_isa
+module Body = Dlink_obj.Body
+
+type ctx = {
+  resolve_import : string -> Addr.t;
+  resolve_local : string -> Addr.t;
+  local_data : Addr.t * int;
+  shared_data : Addr.t * int;
+  fresh_site : unit -> int;
+  resolve_vtable_slot : string -> int -> Addr.t;
+  note_import_call_site : offset:int -> string -> unit;
+}
+
+let sizing_ctx =
+  {
+    resolve_import = (fun _ -> 0);
+    resolve_local = (fun _ -> 0);
+    local_data = (0, 8);
+    shared_data = (0, 8);
+    fresh_site = (fun () -> 0);
+    resolve_vtable_slot = (fun _ _ -> 0);
+    note_import_call_site = (fun ~offset:_ _ -> ());
+  }
+
+let region_ref ctx (base, size) =
+  (* Data regions must hold at least one 8-byte word. *)
+  let size = max size 8 in
+  Insn.Region { site = ctx.fresh_site (); base; size }
+
+let lower_body asm ctx ops =
+  let rec go ops = List.iter op ops
+  and op = function
+    | Body.Compute n ->
+        for _ = 1 to n do
+          Asm.emit asm Asm.P_alu
+        done
+    | Body.Touch { loads; stores } ->
+        for _ = 1 to loads do
+          Asm.emit asm (Asm.P_load (region_ref ctx ctx.local_data))
+        done;
+        for _ = 1 to stores do
+          Asm.emit asm (Asm.P_store (region_ref ctx ctx.local_data))
+        done
+    | Body.Touch_shared { loads; stores } ->
+        for _ = 1 to loads do
+          Asm.emit asm (Asm.P_load (region_ref ctx ctx.shared_data))
+        done;
+        for _ = 1 to stores do
+          Asm.emit asm (Asm.P_store (region_ref ctx ctx.shared_data))
+        done
+    | Body.Call_local name ->
+        Asm.emit asm (Asm.P_call (Asm.To_addr (ctx.resolve_local name)))
+    | Body.Call_import name ->
+        ctx.note_import_call_site ~offset:(Asm.size asm) name;
+        Asm.emit asm (Asm.P_call (Asm.To_addr (ctx.resolve_import name)))
+    | Body.Call_virtual { vtable; slot } ->
+        Asm.emit asm (Asm.P_call_mem (ctx.resolve_vtable_slot vtable slot))
+    | Body.Loop { mean_iters; body } ->
+        let head = Asm.fresh_label asm in
+        Asm.place asm head;
+        go body;
+        let p_taken = if mean_iters <= 1.0 then 0.0 else 1.0 -. (1.0 /. mean_iters) in
+        Asm.emit asm
+          (Asm.P_cond { target = Asm.To_label head; site = ctx.fresh_site (); p_taken })
+    | Body.If { p; then_; else_ } ->
+        let lbl_else = Asm.fresh_label asm in
+        (* The branch is taken to skip the then-block, so taken prob = 1-p. *)
+        Asm.emit asm
+          (Asm.P_cond
+             { target = Asm.To_label lbl_else; site = ctx.fresh_site (); p_taken = 1.0 -. p });
+        go then_;
+        if else_ = [] then Asm.place asm lbl_else
+        else begin
+          let lbl_end = Asm.fresh_label asm in
+          Asm.emit asm (Asm.P_jmp (Asm.To_label lbl_end));
+          Asm.place asm lbl_else;
+          go else_;
+          Asm.place asm lbl_end
+        end
+  in
+  go ops;
+  Asm.emit asm Asm.P_ret
+
+let function_size ops =
+  let asm = Asm.create () in
+  lower_body asm sizing_ctx ops;
+  Asm.size asm

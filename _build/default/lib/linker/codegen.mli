@@ -1,0 +1,30 @@
+(** Lowering of {!Dlink_obj.Body} IR to proto-instructions.
+
+    Used twice by the loader: a sizing pass with dummy targets (encoded
+    sizes do not depend on target values) and a final pass with concrete
+    addresses. *)
+
+open Dlink_isa
+
+type ctx = {
+  resolve_import : string -> Addr.t;
+      (** call target for an imported symbol: PLT entry (dynamic modes) or
+          final function address (static / patched) *)
+  resolve_local : string -> Addr.t;
+  local_data : Addr.t * int;  (** module data region (base, size) *)
+  shared_data : Addr.t * int;  (** process-wide heap region *)
+  fresh_site : unit -> int;
+  resolve_vtable_slot : string -> int -> Addr.t;
+      (** address of slot [i] of a module vtable *)
+  note_import_call_site : offset:int -> string -> unit;
+      (** invoked at each lowered import call with its code offset *)
+}
+
+val sizing_ctx : ctx
+(** Dummy context for the sizing pass. *)
+
+val lower_body : Asm.t -> ctx -> Dlink_obj.Body.op list -> unit
+(** Emits the body followed by a [Ret]. *)
+
+val function_size : Dlink_obj.Body.op list -> int
+(** Encoded byte size of a lowered body (including the trailing [Ret]). *)

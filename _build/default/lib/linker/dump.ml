@@ -1,0 +1,113 @@
+open Dlink_isa
+
+let layout (t : Loader.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s %3s  %-22s %-22s %-22s %-22s\n" "module" "id" ".text"
+       ".plt" ".got" ".data");
+  let range (s : Image.section) =
+    if s.size = 0 then "-"
+    else Printf.sprintf "%s..%s" (Addr.to_hex s.base) (Addr.to_hex (s.base + s.size))
+  in
+  Array.iter
+    (fun (img : Image.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s %3d  %-22s %-22s %-22s %-22s\n" img.name img.id
+           (range img.text) (range img.plt) (range img.got) (range img.data)))
+    (Space.images t.Loader.space);
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s      %s..%s\n" "heap"
+       (Addr.to_hex t.Loader.shared_heap.base)
+       (Addr.to_hex (t.Loader.shared_heap.base + t.Loader.shared_heap.size)));
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s      %s..%s\n" "stack"
+       (Addr.to_hex t.Loader.stack_base)
+       (Addr.to_hex t.Loader.stack_top));
+  Buffer.contents buf
+
+(* Function labels by address, for annotating listings. *)
+let labels_of (img : Image.t) =
+  let labels = Hashtbl.create 32 in
+  Hashtbl.iter (fun name addr -> Hashtbl.replace labels addr name) img.funcs;
+  Hashtbl.iter
+    (fun sym addr -> Hashtbl.replace labels addr (sym ^ "@plt"))
+    img.plt_entries;
+  if img.plt.size > 0 then Hashtbl.replace labels img.plt.base "PLT0";
+  labels
+
+let disassemble_range (img : Image.t) ~labels ~from ~upto ~max_insns buf =
+  let count = ref 0 in
+  let addr = ref from in
+  while !addr < upto && !count < max_insns do
+    (match Image.fetch img !addr with
+    | Some insn ->
+        (match Hashtbl.find_opt labels !addr with
+        | Some l -> Buffer.add_string buf (Printf.sprintf "%s:\n" l)
+        | None -> ());
+        Buffer.add_string buf
+          (Printf.sprintf "  %s:%s %s\n" (Addr.to_hex !addr)
+             (if Image.in_plt img !addr then " [plt]" else "")
+             (Insn.to_string insn));
+        incr count;
+        addr := !addr + Insn.byte_size insn
+    | None -> incr addr)
+  done;
+  !count
+
+let disassemble_image ?(max_insns = 200) (img : Image.t) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "module %s (id %d):\n" img.name img.id);
+  let labels = labels_of img in
+  let n =
+    disassemble_range img ~labels ~from:img.text.base
+      ~upto:(img.plt.base + img.plt.size) ~max_insns buf
+  in
+  if n >= max_insns then Buffer.add_string buf "  ... (truncated)\n";
+  Buffer.contents buf
+
+let disassemble_function (t : Loader.t) ~mname ~fname =
+  match Space.image_by_name t.Loader.space mname with
+  | None -> None
+  | Some img -> (
+      match Image.func_addr img fname with
+      | None -> None
+      | Some from ->
+          (* Stop at the next function entry, or the end of text. *)
+          let upto =
+            Hashtbl.fold
+              (fun _ a acc -> if a > from && a < acc then a else acc)
+              img.funcs
+              (img.text.base + img.text.size)
+          in
+          let buf = Buffer.create 512 in
+          let labels = labels_of img in
+          ignore (disassemble_range img ~labels ~from ~upto ~max_insns:10_000 buf);
+          Some (Buffer.contents buf))
+
+let got_contents (t : Loader.t) (img : Image.t) =
+  let buf = Buffer.create 512 in
+  let init = Hashtbl.create 64 in
+  List.iter (fun (a, v) -> Hashtbl.replace init a v) t.Loader.init_mem;
+  let classify v =
+    if v = t.Loader.resolver_entry then "-> resolver"
+    else
+      match Space.image_at t.Loader.space v with
+      | Some owner when Image.in_plt owner v -> "-> plt stub (lazy)"
+      | Some owner -> Printf.sprintf "-> code in %s" owner.Image.name
+      | None -> ""
+  in
+  let slot_owner = Hashtbl.create 64 in
+  Hashtbl.iter (fun sym a -> Hashtbl.replace slot_owner a sym) img.got_slots;
+  let rec go a =
+    if a < img.got.base + img.got.size then begin
+      let v = Option.value ~default:0 (Hashtbl.find_opt init a) in
+      let sym = Option.value ~default:"(reserved)" (Hashtbl.find_opt slot_owner a) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s  %-24s %s %s\n" (Addr.to_hex a) sym (Addr.to_hex v)
+           (classify v));
+      go (a + 8)
+    end
+  in
+  Buffer.add_string buf (Printf.sprintf "GOT of %s:\n" img.name);
+  go img.got.base;
+  Buffer.contents buf

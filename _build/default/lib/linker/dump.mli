@@ -1,0 +1,18 @@
+(** Human-readable dumps of loaded images: memory-map summaries and
+    disassembly listings, in the style of [objdump]. *)
+
+val layout : Loader.t -> string
+(** One line per module: name, id, and section ranges. *)
+
+val disassemble_image : ?max_insns:int -> Image.t -> string
+(** Code listing with addresses, section annotations ([.text] / [.plt]),
+    and function labels.  [max_insns] truncates long listings (default
+    200). *)
+
+val disassemble_function : Loader.t -> mname:string -> fname:string -> string option
+(** Listing of a single function (up to its final [ret]/[halt] or the next
+    function boundary). *)
+
+val got_contents : Loader.t -> Image.t -> string
+(** The module's GOT: slot addresses, owning symbols, and initial values
+    with a classification (resolver, stub, function). *)

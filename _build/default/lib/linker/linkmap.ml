@@ -1,0 +1,16 @@
+open Dlink_isa
+
+type entry = { symbol : string; addr : Addr.t; image_id : int }
+type t = { table : (string, entry) Hashtbl.t; mutable order : string list }
+
+let create () = { table = Hashtbl.create 256; order = [] }
+
+let define t ~symbol ~addr ~image_id =
+  if not (Hashtbl.mem t.table symbol) then begin
+    Hashtbl.replace t.table symbol { symbol; addr; image_id };
+    t.order <- symbol :: t.order
+  end
+
+let lookup t symbol = Hashtbl.find_opt t.table symbol
+let lookup_addr t symbol = Option.map (fun e -> e.addr) (lookup t symbol)
+let symbols t = List.rev t.order

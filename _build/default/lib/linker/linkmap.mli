@@ -1,0 +1,16 @@
+(** Global symbol scope, in ELF global-lookup style: the first module in
+    load order that exports a symbol defines it. *)
+
+open Dlink_isa
+
+type entry = { symbol : string; addr : Addr.t; image_id : int }
+type t
+
+val create : unit -> t
+
+val define : t -> symbol:string -> addr:Addr.t -> image_id:int -> unit
+(** First definition wins; later ones are ignored (interposition order). *)
+
+val lookup : t -> string -> entry option
+val lookup_addr : t -> string -> Addr.t option
+val symbols : t -> string list

@@ -1,0 +1,75 @@
+(** Loader and link editor.
+
+    Maps a set of object files into a fresh address space in load order
+    (the first object is the executable), synthesizes per-module PLT and GOT
+    sections, lowers function bodies to instructions, and produces initial
+    memory contents according to the binding mode.
+
+    A synthetic dynamic-linker module ([__ld_so]) is always mapped; its
+    resolver entry performs symbol-lookup work (ALU and load instructions
+    over the link-map data) and finishes with the [Resolve] primitive. *)
+
+open Dlink_isa
+
+type options = {
+  mode : Mode.t;
+  aslr_seed : int option;
+      (** when set, randomizes inter-module gaps (address-space layout
+          randomization); when [None] the layout is a fixed sequential map *)
+  base : Addr.t;  (** load address of the first module *)
+  module_gap : int;  (** minimum gap between modules, bytes *)
+  resolver_work : int * int;
+      (** (alu, loads) instructions of symbol-lookup work in the resolver *)
+  shared_heap_bytes : int;  (** size of the process-wide heap region *)
+  func_align : int;
+      (** alignment of function entry points (power of two, >= 16).  Larger
+          values model the sparse code layout of real libraries, spreading
+          hot functions over more cache lines and pages *)
+  hw_level : int;
+      (** hardware capability level used to select GNU ifunc
+          implementations at load time (§2.4.1); candidates are listed
+          best-first and level [n-1] or more selects the best of [n] *)
+}
+
+val default_options : options
+
+type t = {
+  opts : options;
+  space : Space.t;
+  linkmap : Linkmap.t;
+  resolver_entry : Addr.t;
+  shared_heap : Image.section;
+  stack_top : Addr.t;
+  stack_base : Addr.t;
+  n_sites : int;  (** number of distinct site ids used by lowered code *)
+  init_mem : (Addr.t * int) list;  (** initial 64-bit memory cells *)
+  patch_sites : Addr.t list;
+      (** call-site addresses rewritten under [Patched] mode *)
+  plt_entry_addrs : (Addr.t, string * int) Hashtbl.t;
+      (** PLT entry address -> (symbol, image id), across all modules *)
+}
+
+val load : ?opts:options -> Dlink_obj.Objfile.t list -> (t, string) result
+(** The first object file is the main executable.  Fails on duplicate module
+    names, unresolved non-extra imports, or overlapping layout. *)
+
+val load_exn : ?opts:options -> Dlink_obj.Objfile.t list -> t
+
+val func_addr : t -> mname:string -> fname:string -> Addr.t option
+(** Entry address of a function in a given module. *)
+
+val is_plt_entry : t -> Addr.t -> bool
+(** Whether an address is the first instruction of some PLT entry. *)
+
+val plt_symbol_at : t -> Addr.t -> (string * int) option
+(** Symbol and image id of the PLT entry starting at this address. *)
+
+val in_any_plt : t -> Addr.t -> bool
+(** Whether an address lies inside any module's PLT section. *)
+
+val in_any_got : t -> Addr.t -> bool
+
+val patched_pages : t -> int
+(** Distinct code pages containing at least one patched call site. *)
+
+val total_code_bytes : t -> int

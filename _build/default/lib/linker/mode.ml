@@ -1,0 +1,11 @@
+type t = Lazy_binding | Eager_binding | Static_link | Patched
+
+let to_string = function
+  | Lazy_binding -> "lazy"
+  | Eager_binding -> "eager"
+  | Static_link -> "static"
+  | Patched -> "patched"
+
+let uses_plt = function
+  | Lazy_binding | Eager_binding -> true
+  | Static_link | Patched -> false

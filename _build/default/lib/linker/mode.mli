@@ -1,0 +1,17 @@
+(** Binding strategies the loader supports.
+
+    - [Lazy_binding]: ELF default; GOT entries start pointing back into the
+      PLT stub so the first call routes through the dynamic resolver.
+    - [Eager_binding]: BIND_NOW; GOT entries are resolved at load time, so
+      trampolines always jump straight to the target (but still execute).
+    - [Static_link]: no PLT/GOT; calls are lowered to direct calls.
+    - [Patched]: the paper's software emulation of the proposed hardware
+      (§4): sections are laid out as in lazy binding, but every library call
+      site is patched at load time into a direct call, and the patched code
+      pages are recorded for the §5.5 memory-overhead analysis. *)
+
+type t = Lazy_binding | Eager_binding | Static_link | Patched
+
+val to_string : t -> string
+val uses_plt : t -> bool
+(** Whether calls are routed through PLT trampolines at run time. *)

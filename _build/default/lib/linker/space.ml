@@ -1,0 +1,57 @@
+type t = {
+  sorted : Image.t array; (* ascending by text.base *)
+  by_id : (int, Image.t) Hashtbl.t;
+  by_name : (string, Image.t) Hashtbl.t;
+  mutable memo : Image.t option; (* last successful lookup *)
+}
+
+let create images =
+  let sorted = Array.of_list images in
+  Array.sort (fun (a : Image.t) b -> compare a.text.base b.text.base) sorted;
+  for i = 0 to Array.length sorted - 2 do
+    if Image.span_end sorted.(i) > sorted.(i + 1).text.base then
+      invalid_arg
+        (Printf.sprintf "Space.create: images %s and %s overlap" sorted.(i).name
+           sorted.(i + 1).name)
+  done;
+  let by_id = Hashtbl.create 16 and by_name = Hashtbl.create 16 in
+  Array.iter
+    (fun (img : Image.t) ->
+      Hashtbl.replace by_id img.id img;
+      Hashtbl.replace by_name img.name img)
+    sorted;
+  { sorted; by_id; by_name; memo = None }
+
+let images t = t.sorted
+
+let image_at t a =
+  match t.memo with
+  | Some img when Image.contains img a -> Some img
+  | _ ->
+      let n = Array.length t.sorted in
+      (* rightmost image whose base <= a *)
+      let rec search lo hi =
+        if lo >= hi then lo - 1
+        else
+          let mid = (lo + hi) / 2 in
+          if t.sorted.(mid).Image.text.base <= a then search (mid + 1) hi
+          else search lo mid
+      in
+      let i = search 0 n in
+      if i < 0 then None
+      else
+        let img = t.sorted.(i) in
+        if Image.contains img a then begin
+          t.memo <- Some img;
+          Some img
+        end
+        else None
+
+let fetch t a =
+  match image_at t a with
+  | None -> None
+  | Some img -> (
+      match Image.fetch img a with Some i -> Some (img, i) | None -> None)
+
+let image_by_id t id = Hashtbl.find_opt t.by_id id
+let image_by_name t name = Hashtbl.find_opt t.by_name name

@@ -1,0 +1,21 @@
+(** The process address space: mapped module images and fast PC lookup. *)
+
+open Dlink_isa
+
+type t
+
+val create : Image.t list -> t
+(** Raises [Invalid_argument] if any two images overlap. *)
+
+val images : t -> Image.t array
+(** In ascending base-address order. *)
+
+val image_at : t -> Addr.t -> Image.t option
+(** Image containing the address (binary search with a one-entry memo for
+    the common same-module case). *)
+
+val fetch : t -> Addr.t -> (Image.t * Insn.t) option
+(** Instruction at a PC together with its defining image. *)
+
+val image_by_id : t -> int -> Image.t option
+val image_by_name : t -> string -> Image.t option

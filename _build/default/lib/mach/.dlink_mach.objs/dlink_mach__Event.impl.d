@@ -1,0 +1,1 @@
+lib/mach/event.ml: Addr Dlink_isa Format Printf

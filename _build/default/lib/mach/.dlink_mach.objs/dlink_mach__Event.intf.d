@@ -1,0 +1,1 @@
+lib/mach/event.mli: Addr Dlink_isa Format

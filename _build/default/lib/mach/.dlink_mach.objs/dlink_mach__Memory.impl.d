@@ -1,0 +1,1 @@
+lib/mach/memory.ml: Dlink_util Hashtbl Option

@@ -1,0 +1,1 @@
+lib/mach/memory.mli: Addr Dlink_isa

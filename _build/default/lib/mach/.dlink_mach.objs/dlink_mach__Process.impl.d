@@ -1,0 +1,1 @@
+lib/mach/process.ml: Addr Array Dlink_isa Dlink_linker Dlink_util Event Insn List Memory Printf

@@ -1,0 +1,1 @@
+lib/mach/process.mli: Addr Dlink_isa Dlink_linker Event Memory

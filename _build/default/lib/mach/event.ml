@@ -1,0 +1,41 @@
+open Dlink_isa
+
+type branch =
+  | Call_direct of { target : Addr.t; arch_target : Addr.t }
+  | Call_indirect of { target : Addr.t; slot : Addr.t }
+  | Jump_direct of { target : Addr.t }
+  | Jump_indirect of { target : Addr.t; slot : Addr.t }
+  | Jump_resolver of { target : Addr.t }
+  | Cond_branch of { target : Addr.t; taken : bool }
+  | Return of { target : Addr.t }
+
+type t = {
+  pc : Addr.t;
+  size : int;
+  in_plt : bool;
+  load : Addr.t option;
+  load2 : Addr.t option;
+  store : Addr.t option;
+  branch : branch option;
+}
+
+let branch_target = function
+  | Call_direct { target; _ }
+  | Call_indirect { target; _ }
+  | Jump_direct { target }
+  | Jump_indirect { target; _ }
+  | Jump_resolver { target }
+  | Cond_branch { target; _ }
+  | Return { target } ->
+      target
+
+let is_indirect = function
+  | Call_indirect _ | Jump_indirect _ | Jump_resolver _ | Return _ -> true
+  | Call_direct _ | Jump_direct _ | Cond_branch _ -> false
+
+let pp ppf t =
+  Format.fprintf ppf "@[pc=%a size=%d%s%s@]" Addr.pp t.pc t.size
+    (if t.in_plt then " [plt]" else "")
+    (match t.branch with
+    | None -> ""
+    | Some b -> Printf.sprintf " -> 0x%x" (branch_target b))

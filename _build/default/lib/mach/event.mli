@@ -1,0 +1,36 @@
+(** Retire-stream events: one per architecturally executed instruction.
+
+    The microarchitecture model, the trampoline-skip controller, and the
+    profiler all consume this stream, mirroring the paper's design where the
+    proposed hardware observes instructions at the retire stage. *)
+
+open Dlink_isa
+
+type branch =
+  | Call_direct of { target : Addr.t; arch_target : Addr.t }
+      (** [target] is where control actually went; [arch_target] is the
+          call instruction's encoded destination.  They differ exactly when
+          the trampoline-skip mechanism redirected the fetch. *)
+  | Call_indirect of { target : Addr.t; slot : Addr.t }
+  | Jump_direct of { target : Addr.t }
+  | Jump_indirect of { target : Addr.t; slot : Addr.t }
+      (** a PLT trampoline retires as this, with [slot] = its GOT entry *)
+  | Jump_resolver of { target : Addr.t }
+      (** the [Resolve] primitive's final indirect jump *)
+  | Cond_branch of { target : Addr.t; taken : bool }
+  | Return of { target : Addr.t }
+
+type t = {
+  pc : Addr.t;
+  size : int;
+  in_plt : bool;  (** instruction lies in some module's PLT section *)
+  load : Addr.t option;
+  load2 : Addr.t option;
+  store : Addr.t option;
+  branch : branch option;
+}
+
+val branch_target : branch -> Addr.t
+val is_indirect : branch -> bool
+
+val pp : Format.formatter -> t -> unit

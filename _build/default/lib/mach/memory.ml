@@ -1,0 +1,21 @@
+module Site_hash = Dlink_util.Site_hash
+
+type t = (int, int) Hashtbl.t
+
+let word_index a =
+  assert (a land 7 = 0);
+  a lsr 3
+
+let create () : t = Hashtbl.create 4096
+let read t a = Option.value ~default:0 (Hashtbl.find_opt t (word_index a))
+
+let write t a v =
+  let i = word_index a in
+  if v = 0 then Hashtbl.remove t i else Hashtbl.replace t i v
+
+let copy = Hashtbl.copy
+
+let fingerprint t =
+  Hashtbl.fold (fun k v acc -> acc lxor Site_hash.mix2 k v) t 0
+
+let cell_count = Hashtbl.length

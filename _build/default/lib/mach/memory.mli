@@ -1,0 +1,20 @@
+(** Sparse 64-bit word memory.
+
+    The simulator only stores architecturally meaningful data: GOT slots,
+    stack words, and store results.  Unwritten locations read as zero.
+    All accesses are 8-byte aligned. *)
+
+open Dlink_isa
+
+type t
+
+val create : unit -> t
+val read : t -> Addr.t -> int
+val write : t -> Addr.t -> int -> unit
+val copy : t -> t
+
+val fingerprint : t -> int
+(** Order-independent hash of the full memory contents (used to compare
+    architectural state between base and enhanced runs). *)
+
+val cell_count : t -> int

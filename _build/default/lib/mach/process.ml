@@ -1,0 +1,199 @@
+open Dlink_isa
+module Loader = Dlink_linker.Loader
+module Space = Dlink_linker.Space
+module Image = Dlink_linker.Image
+module Linkmap = Dlink_linker.Linkmap
+module Site_hash = Dlink_util.Site_hash
+
+exception Fault of string
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
+
+type hooks = {
+  on_fetch_call : pc:Addr.t -> arch_target:Addr.t -> Addr.t;
+  on_retire : Event.t -> unit;
+}
+
+let default_hooks =
+  { on_fetch_call = (fun ~pc:_ ~arch_target -> arch_target); on_retire = ignore }
+
+type t = {
+  linked : Loader.t;
+  mem : Memory.t;
+  mutable pc : Addr.t;
+  mutable sp : Addr.t;
+  mutable retired : int;
+  site_counts : int array;
+  hooks : hooks;
+}
+
+(* Sentinel return address used by [call]; never a mapped code address. *)
+let sentinel = 0x10
+
+let create ?(hooks = default_hooks) linked =
+  let mem = Memory.create () in
+  List.iter (fun (a, v) -> Memory.write mem a v) linked.Loader.init_mem;
+  {
+    linked;
+    mem;
+    pc = sentinel;
+    sp = linked.Loader.stack_top;
+    retired = 0;
+    site_counts = Array.make (max 1 linked.Loader.n_sites) 0;
+    hooks;
+  }
+
+let linked t = t.linked
+let memory t = t.mem
+let pc t = t.pc
+let sp t = t.sp
+let retired t = t.retired
+
+let bump_site t site =
+  let c = t.site_counts.(site) in
+  t.site_counts.(site) <- c + 1;
+  c
+
+(* Data accesses follow an 80/20 locality pattern: most touches land in a
+   small hot prefix of the region, the rest are spread uniformly.  Uniform
+   addressing would thrash the D-cache far beyond anything real software
+   does; hot/cold split reproduces realistic hit rates while still
+   exercising the region's full page footprint. *)
+let hot_words_cap = 512 (* 4 KiB hot prefix *)
+let hot_permille = 800
+
+let ref_addr t = function
+  | Insn.Fixed a -> a
+  | Insn.Region { site; base; size } ->
+      let words = size / 8 in
+      let count = bump_site t site in
+      let h = Site_hash.mix2 site count in
+      let hot = h land 1023 < hot_permille * 1024 / 1000 in
+      let bound = if hot then min words hot_words_cap else words in
+      base + (8 * (h lsr 10 mod bound))
+
+let stored_value = function
+  | Insn.Fixed a -> Site_hash.mix2 a 0
+  | Insn.Region { site; base = _; size = _ } -> Site_hash.mix2 site 1
+
+let retire t ev =
+  t.retired <- t.retired + 1;
+  t.hooks.on_retire ev
+
+let step t =
+  let img, insn =
+    match Space.fetch t.linked.Loader.space t.pc with
+    | Some pair -> pair
+    | None -> fault "invalid fetch at %s" (Addr.to_hex t.pc)
+  in
+  let size = Insn.byte_size insn in
+  let in_plt = Image.in_plt img t.pc in
+  let pc = t.pc in
+  let event ?load ?load2 ?store ?branch () =
+    { Event.pc; size; in_plt; load; load2; store; branch }
+  in
+  match insn with
+  | Insn.Alu ->
+      t.pc <- pc + size;
+      retire t (event ())
+  | Insn.Load mref ->
+      let a = ref_addr t mref in
+      ignore (Memory.read t.mem a);
+      t.pc <- pc + size;
+      retire t (event ~load:a ())
+  | Insn.Store mref ->
+      let a = ref_addr t mref in
+      Memory.write t.mem a (stored_value mref);
+      t.pc <- pc + size;
+      retire t (event ~store:a ())
+  | Insn.Call target ->
+      let actual = t.hooks.on_fetch_call ~pc ~arch_target:target in
+      t.sp <- t.sp - 8;
+      Memory.write t.mem t.sp (pc + size);
+      t.pc <- actual;
+      retire t
+        (event ~store:t.sp
+           ~branch:(Event.Call_direct { target = actual; arch_target = target })
+           ())
+  | Insn.Call_mem slot ->
+      let target = Memory.read t.mem slot in
+      if target = 0 then fault "indirect call through null slot %s" (Addr.to_hex slot);
+      t.sp <- t.sp - 8;
+      Memory.write t.mem t.sp (pc + size);
+      t.pc <- target;
+      retire t
+        (event ~load:slot ~store:t.sp
+           ~branch:(Event.Call_indirect { target; slot })
+           ())
+  | Insn.Jmp target ->
+      t.pc <- target;
+      retire t (event ~branch:(Event.Jump_direct { target }) ())
+  | Insn.Jmp_mem slot ->
+      let target = Memory.read t.mem slot in
+      if target = 0 then fault "indirect jump through null slot %s" (Addr.to_hex slot);
+      t.pc <- target;
+      retire t (event ~load:slot ~branch:(Event.Jump_indirect { target; slot }) ())
+  | Insn.Cond { target; site; p_taken } ->
+      let count = bump_site t site in
+      let taken = Site_hash.bernoulli ~site ~count ~p:p_taken in
+      t.pc <- (if taken then target else pc + size);
+      retire t (event ~branch:(Event.Cond_branch { target; taken }) ())
+  | Insn.Push_info i ->
+      t.sp <- t.sp - 8;
+      Memory.write t.mem t.sp i;
+      t.pc <- pc + size;
+      retire t (event ~store:t.sp ())
+  | Insn.Resolve ->
+      (* Stack (top first): module id pushed by PLT0, then the relocation
+         index pushed by the PLT entry.  Both are consumed, the symbol is
+         bound, the GOT slot written, and control jumps to the target. *)
+      let module_id = Memory.read t.mem t.sp in
+      let reloc = Memory.read t.mem (t.sp + 8) in
+      let caller =
+        match Space.image_by_id t.linked.Loader.space module_id with
+        | Some img -> img
+        | None -> fault "resolver: unknown module id %d" module_id
+      in
+      if reloc < 0 || reloc >= Array.length caller.Image.reloc_syms then
+        fault "resolver: bad relocation index %d in %s" reloc caller.Image.name;
+      let sym = caller.Image.reloc_syms.(reloc) in
+      let target =
+        match Linkmap.lookup_addr t.linked.Loader.linkmap sym with
+        | Some a -> a
+        | None -> fault "resolver: undefined symbol %s" sym
+      in
+      let slot =
+        match Image.got_slot caller sym with
+        | Some s -> s
+        | None -> fault "resolver: no GOT slot for %s in %s" sym caller.Image.name
+      in
+      Memory.write t.mem slot target;
+      let old_sp = t.sp in
+      t.sp <- t.sp + 16;
+      t.pc <- target;
+      retire t
+        (event ~load:old_sp ~load2:(old_sp + 8) ~store:slot
+           ~branch:(Event.Jump_resolver { target })
+           ())
+  | Insn.Ret ->
+      let target = Memory.read t.mem t.sp in
+      let old_sp = t.sp in
+      t.sp <- t.sp + 8;
+      t.pc <- target;
+      retire t (event ~load:old_sp ~branch:(Event.Return { target }) ())
+  | Insn.Halt ->
+      t.pc <- sentinel;
+      retire t (event ())
+
+let call t ?(fuel = 50_000_000) addr =
+  t.sp <- t.sp - 8;
+  Memory.write t.mem t.sp sentinel;
+  t.pc <- addr;
+  let remaining = ref fuel in
+  while t.pc <> sentinel do
+    if !remaining <= 0 then fault "fuel exhausted at %s" (Addr.to_hex t.pc);
+    decr remaining;
+    step t
+  done
+
+let arch_fingerprint t = Site_hash.mix2 (Memory.fingerprint t.mem) t.sp

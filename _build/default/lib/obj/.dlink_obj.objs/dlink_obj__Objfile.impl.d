@@ -1,0 +1,1 @@
+lib/obj/objfile.ml: Body Hashtbl List Printf

@@ -1,0 +1,70 @@
+type op =
+  | Compute of int
+  | Touch of { loads : int; stores : int }
+  | Touch_shared of { loads : int; stores : int }
+  | Call_local of string
+  | Call_import of string
+  | Call_virtual of { vtable : string; slot : int }
+  | Loop of { mean_iters : float; body : op list }
+  | If of { p : float; then_ : op list; else_ : op list }
+
+let rec validate_op = function
+  | Compute n -> if n < 0 then Error "Compute: negative count" else Ok ()
+  | Touch { loads; stores } | Touch_shared { loads; stores } ->
+      if loads < 0 || stores < 0 then Error "Touch: negative count" else Ok ()
+  | Call_local name | Call_import name ->
+      if name = "" then Error "Call: empty symbol name" else Ok ()
+  | Call_virtual { vtable; slot } ->
+      if vtable = "" then Error "Call_virtual: empty table name"
+      else if slot < 0 then Error "Call_virtual: negative slot"
+      else Ok ()
+  | Loop { mean_iters; body } ->
+      if mean_iters < 1.0 then Error "Loop: mean_iters must be >= 1"
+      else validate body
+  | If { p; then_; else_ } ->
+      if p < 0.0 || p > 1.0 then Error "If: probability out of range"
+      else (
+        match validate then_ with Error _ as e -> e | Ok () -> validate else_)
+
+and validate ops =
+  List.fold_left
+    (fun acc op -> match acc with Error _ -> acc | Ok () -> validate_op op)
+    (Ok ()) ops
+
+let dedup names =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then false
+      else begin
+        Hashtbl.replace seen n ();
+        true
+      end)
+    names
+
+let rec collect f ops =
+  List.concat_map
+    (function
+      | Loop { body; _ } -> collect f body
+      | If { then_; else_; _ } -> collect f then_ @ collect f else_
+      | op -> f op)
+    ops
+
+let imports ops =
+  dedup (collect (function Call_import s -> [ s ] | _ -> []) ops)
+
+let local_calls ops =
+  dedup (collect (function Call_local s -> [ s ] | _ -> []) ops)
+
+let rec instruction_count_static ops =
+  List.fold_left (fun acc op -> acc + op_count op) 0 ops
+
+and op_count = function
+  | Compute n -> n
+  | Touch { loads; stores } | Touch_shared { loads; stores } -> loads + stores
+  | Call_local _ | Call_import _ | Call_virtual _ -> 1
+  | Loop { body; _ } -> instruction_count_static body + 1
+  | If { then_; else_; _ } ->
+      1
+      + instruction_count_static then_
+      + (if else_ = [] then 0 else 1 + instruction_count_static else_)

@@ -1,0 +1,39 @@
+(** Structured function bodies.
+
+    Object files carry a small structured IR rather than raw instructions;
+    the linker's code generator lowers it to {!Dlink_isa.Insn.t} once module
+    base addresses are known.  Control flow (loops, branches) uses
+    probabilistic per-site patterns so synthetic code exhibits realistic
+    variance while remaining exactly reproducible. *)
+
+type op =
+  | Compute of int  (** [n] generic ALU instructions *)
+  | Touch of { loads : int; stores : int }
+      (** accesses into the module's data region *)
+  | Touch_shared of { loads : int; stores : int }
+      (** accesses into the process-wide shared heap region *)
+  | Call_local of string  (** direct call to a function in the same module *)
+  | Call_import of string  (** call to an external symbol (via PLT when dynamic) *)
+  | Call_virtual of { vtable : string; slot : int }
+      (** C++-style dispatch: an indirect call through a function-pointer
+          table in the module's data segment (§2.4.2).  Unlike PLT calls,
+          the lowered instruction sequence is a memory-indirect {e call},
+          so the trampoline-skip hardware neither accelerates nor
+          misfires on it *)
+  | Loop of { mean_iters : float; body : op list }
+      (** back-edge taken with probability [1 - 1/mean_iters]; iteration
+          counts are geometric with the given mean *)
+  | If of { p : float; then_ : op list; else_ : op list }
+      (** two-sided branch taken with probability [p] *)
+
+val validate : op list -> (unit, string) result
+(** Checks probabilities are in range and loop means are [>= 1]. *)
+
+val imports : op list -> string list
+(** External symbols referenced (deduplicated, in first-use order). *)
+
+val local_calls : op list -> string list
+(** Local functions referenced (deduplicated, in first-use order). *)
+
+val instruction_count_static : op list -> int
+(** Number of instructions the body lowers to (static count, not dynamic). *)

@@ -1,0 +1,160 @@
+type func = { fname : string; exported : bool; body : Body.op list }
+type ifunc = { iname : string; candidates : string list }
+type vtable = { vname : string; entries : string list }
+
+type t = {
+  name : string;
+  funcs : func list;
+  ifuncs : ifunc list;
+  vtables : vtable list;
+  data_bytes : int;
+  extra_imports : string list;
+}
+
+let rec body_virtual_calls ops =
+  List.concat_map
+    (function
+      | Body.Loop { body; _ } -> body_virtual_calls body
+      | Body.If { then_; else_; _ } ->
+          body_virtual_calls then_ @ body_virtual_calls else_
+      | Body.Call_virtual { vtable; slot } -> [ (vtable, slot) ]
+      | Body.Compute _ | Body.Touch _ | Body.Touch_shared _ | Body.Call_local _
+      | Body.Call_import _ ->
+          [])
+    ops
+
+let validate t =
+  if t.name = "" then Error "module name must be non-empty"
+  else if t.data_bytes < 0 then Error "data_bytes must be non-negative"
+  else begin
+    let names = Hashtbl.create 16 in
+    let dup =
+      List.find_opt
+        (fun f ->
+          if Hashtbl.mem names f.fname then true
+          else begin
+            Hashtbl.replace names f.fname ();
+            false
+          end)
+        t.funcs
+    in
+    match dup with
+    | Some f -> Error (Printf.sprintf "duplicate function %s in %s" f.fname t.name)
+    | None ->
+        let bad_body =
+          List.find_map
+            (fun f ->
+              match Body.validate f.body with
+              | Error e -> Some (Printf.sprintf "%s.%s: %s" t.name f.fname e)
+              | Ok () -> None)
+            t.funcs
+        in
+        (match bad_body with
+        | Some e -> Error e
+        | None ->
+            let unresolved =
+              List.find_map
+                (fun f ->
+                  List.find_map
+                    (fun callee ->
+                      if Hashtbl.mem names callee then None
+                      else
+                        Some
+                          (Printf.sprintf "%s.%s calls unknown local %s" t.name
+                             f.fname callee))
+                    (Body.local_calls f.body))
+                t.funcs
+            in
+            (match unresolved with
+            | Some e -> Error e
+            | None ->
+                let bad_ifunc =
+                  List.find_map
+                    (fun i ->
+                      if i.iname = "" then Some "ifunc with empty name"
+                      else if Hashtbl.mem names i.iname then
+                        Some
+                          (Printf.sprintf "ifunc %s collides with a function in %s"
+                             i.iname t.name)
+                      else if i.candidates = [] then
+                        Some (Printf.sprintf "ifunc %s has no candidates" i.iname)
+                      else
+                        List.find_map
+                          (fun c ->
+                            if Hashtbl.mem names c then None
+                            else
+                              Some
+                                (Printf.sprintf
+                                   "ifunc %s candidate %s is not a local function"
+                                   i.iname c))
+                          i.candidates)
+                    t.ifuncs
+                in
+                (match bad_ifunc with
+                | Some e -> Error e
+                | None ->
+                    let vtbl = Hashtbl.create 8 in
+                    List.iter
+                      (fun v -> Hashtbl.replace vtbl v.vname (List.length v.entries))
+                      t.vtables;
+                    let bad_virtual =
+                      List.find_map
+                        (fun f ->
+                          List.find_map
+                            (fun (vname, slot) ->
+                              match Hashtbl.find_opt vtbl vname with
+                              | None ->
+                                  Some
+                                    (Printf.sprintf "%s.%s uses unknown vtable %s"
+                                       t.name f.fname vname)
+                              | Some n when slot >= n ->
+                                  Some
+                                    (Printf.sprintf
+                                       "%s.%s vtable %s slot %d out of range"
+                                       t.name f.fname vname slot)
+                              | Some _ -> None)
+                            (body_virtual_calls f.body))
+                        t.funcs
+                    in
+                    (match bad_virtual with Some e -> Error e | None -> Ok ()))))
+  end
+
+let create ~name ?(data_bytes = 4096) ?(extra_imports = []) ?(ifuncs = [])
+    ?(vtables = []) funcs =
+  let t = { name; funcs; ifuncs; vtables; data_bytes; extra_imports } in
+  match validate t with Ok () -> Ok t | Error e -> Error e
+
+let create_exn ~name ?data_bytes ?extra_imports ?ifuncs ?vtables funcs =
+  match create ~name ?data_bytes ?extra_imports ?ifuncs ?vtables funcs with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Objfile.create: " ^ e)
+
+let find_vtable t name = List.find_opt (fun v -> v.vname = name) t.vtables
+
+let exports t =
+  List.filter_map (fun f -> if f.exported then Some f.fname else None) t.funcs
+  @ List.map (fun i -> i.iname) t.ifuncs
+
+let imports t =
+  let own = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace own f.fname ()) t.funcs;
+  List.iter (fun i -> Hashtbl.replace own i.iname ()) t.ifuncs;
+  let seen = Hashtbl.create 16 in
+  let keep s =
+    if Hashtbl.mem own s || Hashtbl.mem seen s then false
+    else begin
+      Hashtbl.replace seen s ();
+      true
+    end
+  in
+  let from_bodies =
+    List.concat_map (fun f -> Body.imports f.body) t.funcs |> List.filter keep
+  in
+  (* Virtual-table entries that are not local become load-time data
+     relocations, not PLT imports; they still must resolve globally, which
+     the loader checks separately. *)
+  let extra = List.filter keep t.extra_imports in
+  from_bodies @ extra
+
+let find_func t name = List.find_opt (fun f -> f.fname = name) t.funcs
+let func_count t = List.length t.funcs

@@ -1,0 +1,63 @@
+(** Object files: the unit the loader maps into the address space.
+
+    A module (an executable or a shared library) bundles named functions,
+    a private data region, and a declared import set.  Imports are the union
+    of symbols referenced by function bodies and [extra_imports] — symbols
+    linked against but never called at run time, which make the PLT sparse
+    exactly as the paper observes for real binaries (§2). *)
+
+type func = { fname : string; exported : bool; body : Body.op list }
+
+type ifunc = { iname : string; candidates : string list }
+(** A GNU indirect function (§2.4.1): an exported symbol whose definition
+    is chosen from [candidates] (local functions, best-first order) based
+    on the hardware capability level known at load time.  Calls to an
+    ifunc route through the PLT exactly like ordinary dynamic symbols, so
+    the trampoline-skip hardware accelerates them identically. *)
+
+type vtable = { vname : string; entries : string list }
+(** A function-pointer table placed in the module's data segment and
+    relocated at load time; [entries] are global symbol names.  The target
+    of [Body.Call_virtual] dispatch. *)
+
+type t = private {
+  name : string;
+  funcs : func list;
+  ifuncs : ifunc list;
+  vtables : vtable list;
+  data_bytes : int;
+  extra_imports : string list;
+}
+
+val create :
+  name:string ->
+  ?data_bytes:int ->
+  ?extra_imports:string list ->
+  ?ifuncs:ifunc list ->
+  ?vtables:vtable list ->
+  func list ->
+  (t, string) result
+(** Validates: non-empty name, unique function names, positive data size,
+    well-formed bodies, local calls that resolve within the module, ifunc
+    candidates that exist locally, and virtual calls that reference a
+    declared vtable slot. *)
+
+val create_exn :
+  name:string ->
+  ?data_bytes:int ->
+  ?extra_imports:string list ->
+  ?ifuncs:ifunc list ->
+  ?vtables:vtable list ->
+  func list ->
+  t
+(** Like {!create} but raises [Invalid_argument] with the failure reason. *)
+
+val find_vtable : t -> string -> vtable option
+
+val imports : t -> string list
+(** All imported symbols in deterministic order (body references first, then
+    [extra_imports]), deduplicated.  Self-exported symbols are excluded. *)
+
+val exports : t -> string list
+val find_func : t -> string -> func option
+val func_count : t -> int

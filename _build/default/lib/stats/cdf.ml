@@ -1,0 +1,43 @@
+type t = { sorted : float array }
+
+let of_samples samples =
+  if Array.length samples = 0 then invalid_arg "Cdf.of_samples: empty";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  { sorted }
+
+let count t = Array.length t.sorted
+let min_value t = t.sorted.(0)
+let max_value t = t.sorted.(Array.length t.sorted - 1)
+
+let eval t x =
+  (* Number of samples <= x, via binary search for the rightmost such. *)
+  let n = Array.length t.sorted in
+  let rec search lo hi =
+    (* invariant: samples below lo are <= x, samples at/after hi are > x *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.sorted.(mid) <= x then search (mid + 1) hi else search lo mid
+  in
+  float_of_int (search 0 n) /. float_of_int n
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Cdf.quantile: q out of range";
+  let n = Array.length t.sorted in
+  let idx = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
+  let idx = if idx < 0 then 0 else if idx >= n then n - 1 else idx in
+  t.sorted.(idx)
+
+let points ?(max_points = 200) t =
+  let n = Array.length t.sorted in
+  let step = if n <= max_points then 1 else n / max_points in
+  let rec collect i acc =
+    if i >= n then
+      (* Always include the final sample so the staircase reaches 1.0. *)
+      (t.sorted.(n - 1), 1.0) :: acc
+    else
+      collect (i + step)
+        ((t.sorted.(i), float_of_int (i + 1) /. float_of_int n) :: acc)
+  in
+  List.rev (collect 0 [])

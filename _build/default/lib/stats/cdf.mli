@@ -1,0 +1,21 @@
+(** Empirical cumulative distribution functions (paper Figures 6 and 8). *)
+
+type t
+
+val of_samples : float array -> t
+(** Raises [Invalid_argument] on an empty array. *)
+
+val eval : t -> float -> float
+(** [eval t x] is the fraction of samples [<= x], in [\[0, 1\]]. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] with [q] in [\[0, 1\]]: smallest sample value at or above
+    the requested cumulative fraction. *)
+
+val points : ?max_points:int -> t -> (float * float) list
+(** Down-sampled [(value, cumulative fraction)] staircase suitable for
+    plotting. *)
+
+val count : t -> int
+val min_value : t -> float
+val max_value : t -> float

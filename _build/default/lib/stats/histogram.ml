@@ -1,0 +1,55 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  { lo; hi; counts = Array.make bins 0; under = 0; over = 0; total = 0 }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.under <- t.under + 1
+  else if x >= t.hi then t.over <- t.over + 1
+  else begin
+    let n = Array.length t.counts in
+    let i = int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int n) in
+    let i = if i >= n then n - 1 else i in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let total t = t.total
+let underflow t = t.under
+let overflow t = t.over
+
+let bin_width t = (t.hi -. t.lo) /. float_of_int (Array.length t.counts)
+
+let bins t =
+  let w = bin_width t in
+  Array.to_list
+    (Array.mapi
+       (fun i c ->
+         let blo = t.lo +. (float_of_int i *. w) in
+         (blo, blo +. w, c))
+       t.counts)
+
+let fractions t =
+  let denom = if t.total = 0 then 1.0 else float_of_int t.total in
+  List.map (fun (blo, bhi, c) -> ((blo +. bhi) /. 2.0, float_of_int c /. denom)) (bins t)
+
+let peak_center t =
+  if t.total = 0 then invalid_arg "Histogram.peak_center: empty histogram";
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > t.counts.(!best) then best := i) t.counts;
+  let w = bin_width t in
+  t.lo +. ((float_of_int !best +. 0.5) *. w)
+
+let of_samples ~lo ~hi ~bins samples =
+  let t = create ~lo ~hi ~bins in
+  Array.iter (add t) samples;
+  t

@@ -1,0 +1,24 @@
+(** Fixed-width bin histogram (paper Figure 7 style). *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Raises [Invalid_argument] if [hi <= lo] or [bins <= 0].  Samples outside
+    [\[lo, hi)] are counted in underflow/overflow buckets. *)
+
+val add : t -> float -> unit
+val total : t -> int
+val underflow : t -> int
+val overflow : t -> int
+
+val bins : t -> (float * float * int) list
+(** [(bin_lo, bin_hi, count)] per bin, in order. *)
+
+val fractions : t -> (float * float) list
+(** [(bin_center, fraction_of_total)] per bin; empty histogram gives zero
+    fractions. *)
+
+val peak_center : t -> float
+(** Center of the highest-count bin.  Raises on an empty histogram. *)
+
+val of_samples : lo:float -> hi:float -> bins:int -> float array -> t

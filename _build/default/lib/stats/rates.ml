@@ -1,0 +1,7 @@
+let pki ~count ~instructions =
+  if instructions = 0 then 0.0
+  else 1000.0 *. float_of_int count /. float_of_int instructions
+
+let change ~base ~enhanced = if base = 0.0 then 0.0 else (enhanced -. base) /. base
+
+let speedup ~base ~enhanced = if enhanced = 0.0 then 1.0 else base /. enhanced

@@ -1,0 +1,10 @@
+(** Ratio helpers for counter reporting. *)
+
+val pki : count:int -> instructions:int -> float
+(** Events per kilo-instruction; 0 when [instructions = 0]. *)
+
+val change : base:float -> enhanced:float -> float
+(** Relative change [(enhanced - base) / base]; 0 when [base = 0]. *)
+
+val speedup : base:float -> enhanced:float -> float
+(** [base / enhanced]; 1.0 when [enhanced = 0]. *)

@@ -1,0 +1,86 @@
+type t = {
+  mutable data : float array;
+  mutable len : int;
+  mutable sorted : float array option; (* cache invalidated by add *)
+}
+
+let create () = { data = Array.make 16 0.0; len = 0; sorted = None }
+
+let add t x =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * t.len) 0.0 in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sorted <- None
+
+let count t = t.len
+
+let check_nonempty t name =
+  if t.len = 0 then invalid_arg ("Summary." ^ name ^ ": empty accumulator")
+
+let mean t =
+  check_nonempty t "mean";
+  let acc = ref 0.0 in
+  for i = 0 to t.len - 1 do
+    acc := !acc +. t.data.(i)
+  done;
+  !acc /. float_of_int t.len
+
+let stddev t =
+  check_nonempty t "stddev";
+  let m = mean t in
+  let acc = ref 0.0 in
+  for i = 0 to t.len - 1 do
+    let d = t.data.(i) -. m in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt (!acc /. float_of_int t.len)
+
+let min t =
+  check_nonempty t "min";
+  let acc = ref t.data.(0) in
+  for i = 1 to t.len - 1 do
+    if t.data.(i) < !acc then acc := t.data.(i)
+  done;
+  !acc
+
+let max t =
+  check_nonempty t "max";
+  let acc = ref t.data.(0) in
+  for i = 1 to t.len - 1 do
+    if t.data.(i) > !acc then acc := t.data.(i)
+  done;
+  !acc
+
+let sorted t =
+  match t.sorted with
+  | Some s -> s
+  | None ->
+      let s = Array.sub t.data 0 t.len in
+      Array.sort compare s;
+      t.sorted <- Some s;
+      s
+
+let percentile t p =
+  check_nonempty t "percentile";
+  if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile: p out of range";
+  let s = sorted t in
+  let n = Array.length s in
+  if n = 1 then s.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    s.(lo) +. (frac *. (s.(hi) -. s.(lo)))
+  end
+
+let samples t = Array.sub t.data 0 t.len
+
+let of_array a =
+  let t = create () in
+  Array.iter (add t) a;
+  t

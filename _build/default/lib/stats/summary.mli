@@ -1,0 +1,24 @@
+(** Sample accumulator with order statistics.
+
+    Stores all observations (experiments here are at most a few hundred
+    thousand samples) so exact percentiles are available. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 100\]], linear interpolation between
+    order statistics.  Raises [Invalid_argument] on an empty accumulator or
+    out-of-range [p]. *)
+
+val samples : t -> float array
+(** Copy of the observations in insertion order. *)
+
+val of_array : float array -> t

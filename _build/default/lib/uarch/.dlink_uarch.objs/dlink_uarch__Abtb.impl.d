@@ -1,0 +1,1 @@
+lib/uarch/abtb.ml: Addr Assoc_table Dlink_isa Option

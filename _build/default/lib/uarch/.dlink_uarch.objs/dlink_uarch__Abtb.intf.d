@@ -1,0 +1,1 @@
+lib/uarch/abtb.mli: Addr Dlink_isa

@@ -1,0 +1,1 @@
+lib/uarch/assoc_table.ml: Array Dlink_util

@@ -1,0 +1,1 @@
+lib/uarch/bloom.ml: Addr Bytes Char Dlink_isa Dlink_util Float

@@ -1,0 +1,1 @@
+lib/uarch/bloom.mli: Addr Dlink_isa

@@ -1,0 +1,1 @@
+lib/uarch/btb.ml: Addr Assoc_table Dlink_isa

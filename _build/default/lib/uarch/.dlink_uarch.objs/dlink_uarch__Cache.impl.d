@@ -1,0 +1,1 @@
+lib/uarch/cache.ml: Addr Assoc_table Dlink_isa

@@ -1,0 +1,1 @@
+lib/uarch/direction.ml: Addr Bool Bytes Char Dlink_isa

@@ -1,0 +1,1 @@
+lib/uarch/engine.ml: Btb Cache Config Counters Direction Dlink_mach Event Ras Tlb

@@ -1,0 +1,1 @@
+lib/uarch/engine.mli: Addr Cache Config Counters Dlink_isa Dlink_mach Event Tlb

@@ -1,0 +1,1 @@
+lib/uarch/tlb.ml: Addr Assoc_table Dlink_isa

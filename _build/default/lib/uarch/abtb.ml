@@ -1,0 +1,19 @@
+open Dlink_isa
+
+type entry = { func : Addr.t; got_slot : Addr.t }
+type t = { table : entry Assoc_table.t; n_entries : int }
+
+let create ?ways ~entries () =
+  if entries <= 0 then invalid_arg "Abtb.create: entries must be positive";
+  let ways = Option.value ways ~default:entries in
+  if ways <= 0 || entries mod ways <> 0 then
+    invalid_arg "Abtb.create: entries/ways mismatch";
+  { table = Assoc_table.create ~sets:(entries / ways) ~ways; n_entries = entries }
+
+let entries t = t.n_entries
+let lookup t tramp = Assoc_table.find t.table tramp
+let insert t tramp e = Assoc_table.insert t.table tramp e
+let clear t = Assoc_table.clear t.table
+let valid_count t = Assoc_table.valid_count t.table
+let storage_bytes t = 12 * t.n_entries
+let iter f t = Assoc_table.iter f t.table

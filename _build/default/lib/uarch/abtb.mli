@@ -1,0 +1,30 @@
+(** Alternate BTB (the paper's central structure, §3.1).
+
+    Maps a trampoline's address (the architectural target of a library call
+    instruction) to the library function address the trampoline branches to,
+    together with the GOT slot the target was loaded from.  Populated at
+    retire time from the call-followed-by-memory-indirect-branch idiom;
+    cleared wholesale whenever a store hits the companion Bloom filter.
+
+    Each entry costs 12 bytes in hardware (two 48-bit addresses, §5.3). *)
+
+open Dlink_isa
+
+type entry = { func : Addr.t; got_slot : Addr.t }
+type t
+
+val create : ?ways:int -> entries:int -> unit -> t
+(** Default fully associative (ways = entries), LRU replacement.
+    [entries mod ways] must be 0 and [entries/ways] a power of two. *)
+
+val entries : t -> int
+val lookup : t -> Addr.t -> entry option
+(** Keyed by trampoline address; refreshes LRU. *)
+
+val insert : t -> Addr.t -> entry -> unit
+val clear : t -> unit
+val valid_count : t -> int
+val storage_bytes : t -> int
+(** 12 bytes per entry, as estimated in the paper. *)
+
+val iter : (Addr.t -> entry -> unit) -> t -> unit

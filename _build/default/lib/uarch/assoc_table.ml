@@ -1,0 +1,103 @@
+module Site_hash = Dlink_util.Site_hash
+
+type 'v t = {
+  sets : int;
+  ways : int;
+  keys : int array; (* sets*ways; -1 = invalid *)
+  values : 'v option array;
+  stamps : int array; (* LRU recency; larger = more recent *)
+  mutable tick : int;
+}
+
+let create ~sets ~ways =
+  if sets <= 0 || ways <= 0 then invalid_arg "Assoc_table.create: non-positive size";
+  if sets land (sets - 1) <> 0 then
+    invalid_arg "Assoc_table.create: sets must be a power of two";
+  let n = sets * ways in
+  {
+    sets;
+    ways;
+    keys = Array.make n (-1);
+    values = Array.make n None;
+    stamps = Array.make n 0;
+    tick = 0;
+  }
+
+let sets t = t.sets
+let ways t = t.ways
+let capacity t = t.sets * t.ways
+
+(* Real structures index with the key's low bits (sequential lines map to
+   sequential sets), which is what conflict behaviour depends on. *)
+let set_of t key = key land (t.sets - 1)
+
+let next_tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let find_slot t key =
+  let base = set_of t key * t.ways in
+  let rec scan w = if w >= t.ways then -1 else if t.keys.(base + w) = key then base + w else scan (w + 1) in
+  scan 0
+
+let find t key =
+  let i = find_slot t key in
+  if i < 0 then None
+  else begin
+    t.stamps.(i) <- next_tick t;
+    t.values.(i)
+  end
+
+let probe t key =
+  let i = find_slot t key in
+  if i < 0 then None else t.values.(i)
+
+let victim_slot t key =
+  let base = set_of t key * t.ways in
+  (* First invalid way, otherwise the least recently used. *)
+  let rec invalid w =
+    if w >= t.ways then None
+    else if t.keys.(base + w) = -1 then Some (base + w)
+    else invalid (w + 1)
+  in
+  match invalid 0 with
+  | Some i -> i
+  | None ->
+      let best = ref base in
+      for w = 1 to t.ways - 1 do
+        if t.stamps.(base + w) < t.stamps.(!best) then best := base + w
+      done;
+      !best
+
+let insert t key v =
+  let i = find_slot t key in
+  let i = if i >= 0 then i else victim_slot t key in
+  t.keys.(i) <- key;
+  t.values.(i) <- Some v;
+  t.stamps.(i) <- next_tick t
+
+let touch t key v =
+  let i = find_slot t key in
+  if i >= 0 then begin
+    t.stamps.(i) <- next_tick t;
+    true
+  end
+  else begin
+    insert t key v;
+    false
+  end
+
+let clear t =
+  Array.fill t.keys 0 (Array.length t.keys) (-1);
+  Array.fill t.values 0 (Array.length t.values) None;
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.tick <- 0
+
+let valid_count t =
+  Array.fold_left (fun acc k -> if k >= 0 then acc + 1 else acc) 0 t.keys
+
+let iter f t =
+  Array.iteri
+    (fun i k ->
+      if k >= 0 then match t.values.(i) with Some v -> f k v | None -> ())
+    t.keys

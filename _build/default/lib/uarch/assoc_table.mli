@@ -1,0 +1,32 @@
+(** Generic set-associative table with true-LRU replacement.
+
+    The building block for caches, TLBs, the BTB, and the ABTB.  Keys are
+    already-index-reduced integers (line numbers, page numbers, PCs); the
+    table hashes them across sets and tracks per-way recency. *)
+
+type 'v t
+
+val create : sets:int -> ways:int -> 'v t
+(** Both must be positive; [sets] must be a power of two. *)
+
+val sets : 'v t -> int
+val ways : 'v t -> int
+val capacity : 'v t -> int
+
+val find : 'v t -> int -> 'v option
+(** Lookup; refreshes LRU position on hit. *)
+
+val probe : 'v t -> int -> 'v option
+(** Lookup without touching LRU state. *)
+
+val insert : 'v t -> int -> 'v -> unit
+(** Insert or overwrite; evicts the set's LRU victim when full. *)
+
+val touch : 'v t -> int -> 'v -> bool
+(** Combined lookup-or-insert: returns [true] on hit (LRU refreshed), and
+    inserts the given value on miss returning [false].  This is the
+    cache/TLB access pattern. *)
+
+val clear : 'v t -> unit
+val valid_count : 'v t -> int
+val iter : (int -> 'v -> unit) -> 'v t -> unit

@@ -1,0 +1,46 @@
+open Dlink_isa
+module Site_hash = Dlink_util.Site_hash
+
+type t = {
+  field : Bytes.t;
+  mask : int;
+  hashes : int;
+  mutable set_bits : int;
+}
+
+let create ~bits ~hashes =
+  if bits <= 0 || bits land (bits - 1) <> 0 then
+    invalid_arg "Bloom.create: bits must be a positive power of two";
+  if hashes < 1 || hashes > 8 then invalid_arg "Bloom.create: hashes out of range";
+  { field = Bytes.make ((bits + 7) / 8) '\000'; mask = bits - 1; hashes; set_bits = 0 }
+
+let bit_pos t (a : Addr.t) k = Site_hash.mix2 a (k + 1) land t.mask
+
+let get_bit t i = Char.code (Bytes.get t.field (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set_bit t i =
+  if not (get_bit t i) then begin
+    let b = Char.code (Bytes.get t.field (i lsr 3)) in
+    Bytes.set t.field (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))));
+    t.set_bits <- t.set_bits + 1
+  end
+
+let add t a =
+  for k = 0 to t.hashes - 1 do
+    set_bit t (bit_pos t a k)
+  done
+
+let mem t a =
+  let rec check k = k >= t.hashes || (get_bit t (bit_pos t a k) && check (k + 1)) in
+  check 0
+
+let clear t =
+  Bytes.fill t.field 0 (Bytes.length t.field) '\000';
+  t.set_bits <- 0
+
+let bits_set t = t.set_bits
+let size_bits t = t.mask + 1
+
+let false_positive_rate t =
+  let frac = float_of_int t.set_bits /. float_of_int (size_bits t) in
+  Float.pow frac (float_of_int t.hashes)

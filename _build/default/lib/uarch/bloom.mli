@@ -1,0 +1,22 @@
+(** Bloom filter over addresses (paper §3.1–3.2).
+
+    Guards the ABTB: it records the GOT slot addresses backing live ABTB
+    entries.  A retired store whose address hits the filter forces a full
+    ABTB + filter clear.  No false negatives — a GOT modification can never
+    be missed — while false positives only cost a redundant clear. *)
+
+open Dlink_isa
+
+type t
+
+val create : bits:int -> hashes:int -> t
+(** [bits] must be a positive power of two; [hashes] in [\[1, 8\]]. *)
+
+val add : t -> Addr.t -> unit
+val mem : t -> Addr.t -> bool
+val clear : t -> unit
+val bits_set : t -> int
+val size_bits : t -> int
+
+val false_positive_rate : t -> float
+(** Theoretical rate for the current occupancy. *)

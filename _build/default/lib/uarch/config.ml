@@ -1,0 +1,56 @@
+type cache_geom = { size_bytes : int; ways : int }
+type tlb_geom = { entries : int; ways : int }
+
+type penalties = {
+  l1_miss : int;
+  l2_miss : int;
+  tlb_miss : int;
+  mispredict : int;
+  btb_fill : int;
+}
+
+type t = {
+  l1i : cache_geom;
+  l1d : cache_geom;
+  l2 : cache_geom;
+  itlb : tlb_geom;
+  dtlb : tlb_geom;
+  btb_sets : int;
+  btb_ways : int;
+  gshare_table_bits : int;
+  gshare_history_bits : int;
+  ras_depth : int;
+  penalties : penalties;
+}
+
+let xeon_e5450 =
+  {
+    l1i = { size_bytes = 32 * 1024; ways = 8 };
+    l1d = { size_bytes = 32 * 1024; ways = 8 };
+    l2 = { size_bytes = 6 * 1024 * 1024; ways = 24 };
+    itlb = { entries = 128; ways = 4 };
+    dtlb = { entries = 256; ways = 4 };
+    btb_sets = 2048;
+    btb_ways = 4;
+    gshare_table_bits = 14;
+    gshare_history_bits = 10;
+    ras_depth = 16;
+    penalties =
+      { l1_miss = 12; l2_miss = 200; tlb_miss = 30; mispredict = 15; btb_fill = 2 };
+  }
+
+let small =
+  {
+    l1i = { size_bytes = 4 * 1024; ways = 2 };
+    l1d = { size_bytes = 4 * 1024; ways = 2 };
+    l2 = { size_bytes = 64 * 1024; ways = 4 };
+    itlb = { entries = 16; ways = 2 };
+    dtlb = { entries = 16; ways = 2 };
+    btb_sets = 16;
+    btb_ways = 2;
+    gshare_table_bits = 8;
+    gshare_history_bits = 6;
+    ras_depth = 8;
+    penalties =
+      { l1_miss = 12; l2_miss = 200; tlb_miss = 30; mispredict = 15; btb_fill = 2 };
+  }

@@ -1,0 +1,34 @@
+(** Microarchitecture geometry and penalty parameters. *)
+
+type cache_geom = { size_bytes : int; ways : int }
+type tlb_geom = { entries : int; ways : int }
+
+type penalties = {
+  l1_miss : int;  (** extra cycles for an L1 miss that hits L2 *)
+  l2_miss : int;  (** extra cycles for an access that misses L2 *)
+  tlb_miss : int;  (** page-walk cycles *)
+  mispredict : int;  (** pipeline flush cycles *)
+  btb_fill : int;  (** fetch-bubble cycles on a direct-branch BTB miss *)
+}
+
+type t = {
+  l1i : cache_geom;
+  l1d : cache_geom;
+  l2 : cache_geom;
+  itlb : tlb_geom;
+  dtlb : tlb_geom;
+  btb_sets : int;
+  btb_ways : int;
+  gshare_table_bits : int;
+  gshare_history_bits : int;
+  ras_depth : int;
+  penalties : penalties;
+}
+
+val xeon_e5450 : t
+(** Approximation of the paper's evaluation machine (Intel Xeon E5450,
+    Harpertown): 32 KiB 8-way L1I and L1D, 6 MiB 24-way L2 per die,
+    128-entry ITLB, 256-entry DTLB. *)
+
+val small : t
+(** A deliberately small machine for fast unit tests. *)

@@ -1,0 +1,41 @@
+(** Performance counters, the simulator's analogue of the paper's VTune
+    measurements (Table 4) plus mechanism-specific telemetry. *)
+
+type t = {
+  mutable instructions : int;
+  mutable cycles : int;
+  mutable icache_misses : int;
+  mutable dcache_misses : int;
+  mutable l2_misses : int;
+  mutable itlb_misses : int;
+  mutable dtlb_misses : int;
+  mutable branches : int;
+  mutable branch_mispredictions : int;
+  mutable btb_misses : int;  (** direct-branch target-buffer fill bubbles *)
+  mutable tramp_instructions : int;  (** retired instructions inside a PLT *)
+  mutable tramp_calls : int;  (** calls whose architectural target is a PLT entry *)
+  mutable tramp_skips : int;  (** trampolines elided by the mechanism *)
+  mutable abtb_hits : int;
+  mutable abtb_inserts : int;
+  mutable abtb_clears : int;
+  mutable abtb_false_clears : int;
+      (** clears triggered by Bloom false positives (store was not actually
+          to a GOT slot backing a live entry) *)
+  mutable got_stores : int;
+  mutable resolver_runs : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+val diff : after:t -> before:t -> t
+(** Per-field subtraction: counters accumulated between two snapshots. *)
+
+val pki : t -> int -> float
+(** [pki t count] = events per kilo-instruction of [t.instructions]. *)
+
+val ipc_denominator : t -> int
+(** Instructions, never zero (clamped to 1). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,156 @@
+open Dlink_mach
+
+type t = {
+  cfg : Config.t;
+  ic : Cache.t;
+  dc : Cache.t;
+  l2c : Cache.t;
+  it : Tlb.t;
+  dt : Tlb.t;
+  btb : Btb.t;
+  dir : Direction.t;
+  ras : Ras.t;
+  c : Counters.t;
+}
+
+let create (cfg : Config.t) =
+  {
+    cfg;
+    ic = Cache.create ~name:"L1I" ~size_bytes:cfg.l1i.size_bytes ~ways:cfg.l1i.ways;
+    dc = Cache.create ~name:"L1D" ~size_bytes:cfg.l1d.size_bytes ~ways:cfg.l1d.ways;
+    l2c = Cache.create ~name:"L2" ~size_bytes:cfg.l2.size_bytes ~ways:cfg.l2.ways;
+    it = Tlb.create ~name:"ITLB" ~entries:cfg.itlb.entries ~ways:cfg.itlb.ways;
+    dt = Tlb.create ~name:"DTLB" ~entries:cfg.dtlb.entries ~ways:cfg.dtlb.ways;
+    btb = Btb.create ~sets:cfg.btb_sets ~ways:cfg.btb_ways;
+    dir =
+      Direction.create ~table_bits:cfg.gshare_table_bits
+        ~history_bits:cfg.gshare_history_bits;
+    ras = Ras.create ~depth:cfg.ras_depth;
+    c = Counters.create ();
+  }
+
+let config t = t.cfg
+let counters t = t.c
+let icache t = t.ic
+let dcache t = t.dc
+let l2 t = t.l2c
+let itlb t = t.it
+let dtlb t = t.dt
+let btb_update t pc target = Btb.update t.btb pc target
+let btb_predict t pc = Btb.predict t.btb pc
+
+(* An access that misses L1 is charged the L2 hit latency, or the memory
+   latency when it misses L2 as well. *)
+let miss_cost t addr ~l2_counts =
+  if Cache.access t.l2c addr then t.cfg.penalties.l1_miss
+  else begin
+    if l2_counts then t.c.l2_misses <- t.c.l2_misses + 1;
+    t.cfg.penalties.l2_miss
+  end
+
+let ifetch t pc =
+  let cycles = ref 0 in
+  if not (Tlb.access t.it pc) then begin
+    t.c.itlb_misses <- t.c.itlb_misses + 1;
+    cycles := !cycles + t.cfg.penalties.tlb_miss
+  end;
+  if not (Cache.access t.ic pc) then begin
+    t.c.icache_misses <- t.c.icache_misses + 1;
+    cycles := !cycles + miss_cost t pc ~l2_counts:true
+  end;
+  !cycles
+
+let data_access t addr =
+  let cycles = ref 0 in
+  if not (Tlb.access t.dt addr) then begin
+    t.c.dtlb_misses <- t.c.dtlb_misses + 1;
+    cycles := !cycles + t.cfg.penalties.tlb_miss
+  end;
+  if not (Cache.access t.dc addr) then begin
+    t.c.dcache_misses <- t.c.dcache_misses + 1;
+    cycles := !cycles + miss_cost t addr ~l2_counts:true
+  end;
+  !cycles
+
+let direct_target t ~pc ~target =
+  (* Decode recomputes direct targets, so a BTB miss is only a fill bubble. *)
+  match Btb.predict t.btb pc with
+  | Some p when p = target -> 0
+  | _ ->
+      t.c.btb_misses <- t.c.btb_misses + 1;
+      Btb.update t.btb pc target;
+      t.cfg.penalties.btb_fill
+
+let indirect_target t ~pc ~target =
+  let cost =
+    match Btb.predict t.btb pc with
+    | Some p when p = target -> 0
+    | _ ->
+        t.c.branch_mispredictions <- t.c.branch_mispredictions + 1;
+        t.cfg.penalties.mispredict
+  in
+  Btb.update t.btb pc target;
+  cost
+
+let branch_cost t (ev : Event.t) branch =
+  t.c.branches <- t.c.branches + 1;
+  match branch with
+  | Event.Cond_branch { target; taken } ->
+      let predicted = Direction.predict t.dir ev.pc in
+      Direction.update t.dir ev.pc taken;
+      let dir_cost =
+        if predicted <> taken then begin
+          t.c.branch_mispredictions <- t.c.branch_mispredictions + 1;
+          t.cfg.penalties.mispredict
+        end
+        else 0
+      in
+      let target_cost = if taken then direct_target t ~pc:ev.pc ~target else 0 in
+      dir_cost + target_cost
+  | Event.Call_direct { target; arch_target } ->
+      Ras.push t.ras (ev.pc + ev.size);
+      if target = arch_target then direct_target t ~pc:ev.pc ~target
+      else
+        (* Redirected (trampoline-skipped) call: the BTB is the only source
+           of the function address, so a stale entry is a real mispredict
+           corrected by the ABTB at resolution. *)
+        indirect_target t ~pc:ev.pc ~target
+  | Event.Jump_direct { target } -> direct_target t ~pc:ev.pc ~target
+  | Event.Call_indirect { target; _ } ->
+      Ras.push t.ras (ev.pc + ev.size);
+      indirect_target t ~pc:ev.pc ~target
+  | Event.Jump_indirect { target; _ } | Event.Jump_resolver { target } ->
+      indirect_target t ~pc:ev.pc ~target
+  | Event.Return { target } -> (
+      match Ras.pop t.ras with
+      | Some p when p = target -> 0
+      | _ ->
+          t.c.branch_mispredictions <- t.c.branch_mispredictions + 1;
+          t.cfg.penalties.mispredict)
+
+let retire t (ev : Event.t) =
+  t.c.instructions <- t.c.instructions + 1;
+  if ev.in_plt then t.c.tramp_instructions <- t.c.tramp_instructions + 1;
+  let cycles = ref 1 in
+  cycles := !cycles + ifetch t ev.pc;
+  (match ev.load with Some a -> cycles := !cycles + data_access t a | None -> ());
+  (match ev.load2 with Some a -> cycles := !cycles + data_access t a | None -> ());
+  (match ev.store with Some a -> cycles := !cycles + data_access t a | None -> ());
+  (match ev.branch with
+  | Some b -> cycles := !cycles + branch_cost t ev b
+  | None -> ());
+  t.c.cycles <- t.c.cycles + !cycles
+
+let context_switch ?(flush_predictors = false) ?(flush_caches = false) t =
+  Tlb.flush t.it;
+  Tlb.flush t.dt;
+  Ras.flush t.ras;
+  if flush_predictors then begin
+    Btb.flush t.btb;
+    Direction.flush t.dir
+  end;
+  if flush_caches then begin
+    Cache.flush t.ic;
+    Cache.flush t.dc;
+    Cache.flush t.l2c
+  end

@@ -1,0 +1,14 @@
+(** Return address stack: a small circular predictor for [ret] targets. *)
+
+open Dlink_isa
+
+type t
+
+val create : depth:int -> t
+val push : t -> Addr.t -> unit
+val pop : t -> Addr.t option
+(** [None] when empty (predict structurally unknown). *)
+
+val flush : t -> unit
+val depth : t -> int
+val occupancy : t -> int

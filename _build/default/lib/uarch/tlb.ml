@@ -1,0 +1,14 @@
+open Dlink_isa
+
+type t = { tname : string; table : unit Assoc_table.t }
+
+let create ~name ~entries ~ways =
+  if entries <= 0 || entries mod ways <> 0 then
+    invalid_arg "Tlb.create: entries/ways mismatch";
+  { tname = name; table = Assoc_table.create ~sets:(entries / ways) ~ways }
+
+let name t = t.tname
+let entries t = Assoc_table.capacity t.table
+let access t a = Assoc_table.touch t.table (Addr.page_of a) ()
+let present t a = Assoc_table.probe t.table (Addr.page_of a) <> None
+let flush t = Assoc_table.clear t.table

@@ -1,0 +1,17 @@
+(** Translation lookaside buffer model (4 KiB pages). *)
+
+open Dlink_isa
+
+type t
+
+val create : name:string -> entries:int -> ways:int -> t
+(** [entries / ways] must be a power of two. *)
+
+val name : t -> string
+val entries : t -> int
+
+val access : t -> Addr.t -> bool
+(** [true] on hit; fills on miss. *)
+
+val present : t -> Addr.t -> bool
+val flush : t -> unit

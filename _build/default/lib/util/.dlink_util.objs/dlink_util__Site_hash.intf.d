@@ -1,0 +1,1 @@
+lib/util/site_hash.mli:

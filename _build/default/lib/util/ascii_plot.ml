@@ -1,0 +1,88 @@
+type series = { label : string; points : (float * float) list }
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let safe_log10 v = if v <= 0.0 then neg_infinity else log10 v
+
+let line_chart ?(width = 72) ?(height = 20) ?(log_x = false) ?(log_y = false)
+    ?(x_label = "x") ?(y_label = "y") ~title series =
+  let tx v = if log_x then safe_log10 v else v in
+  let ty v = if log_y then safe_log10 v else v in
+  let all =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun (x, y) ->
+            let x = tx x and y = ty y in
+            if Float.is_finite x && Float.is_finite y then Some (x, y) else None)
+          s.points)
+      series
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  (match all with
+  | [] -> Buffer.add_string buf "  (no data)\n"
+  | _ ->
+      let xs = List.map fst all and ys = List.map snd all in
+      let xmin = List.fold_left min infinity xs
+      and xmax = List.fold_left max neg_infinity xs
+      and ymin = List.fold_left min infinity ys
+      and ymax = List.fold_left max neg_infinity ys in
+      let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+      let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+      let grid = Array.make_matrix height width ' ' in
+      List.iteri
+        (fun si s ->
+          let glyph = glyphs.(si mod Array.length glyphs) in
+          List.iter
+            (fun (x, y) ->
+              let x = tx x and y = ty y in
+              if Float.is_finite x && Float.is_finite y then begin
+                let col =
+                  int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1))
+                and row =
+                  height - 1
+                  - int_of_float ((y -. ymin) /. yspan *. float_of_int (height - 1))
+                in
+                if row >= 0 && row < height && col >= 0 && col < width then
+                  grid.(row).(col) <- glyph
+              end)
+            s.points)
+        series;
+      let axis_note dim log v = Printf.sprintf "%s%s" (if log then dim ^ "(log) " else dim ^ " ") (Table.fmt_float ~decimals:3 v) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s  ..  %s\n" (axis_note y_label log_y (if log_y then Float.pow 10.0 ymax else ymax))
+           "");
+      Array.iter
+        (fun row ->
+          Buffer.add_string buf "  |";
+          Array.iter (Buffer.add_char buf) row;
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf ("  +" ^ String.make width '-' ^ "\n");
+      Buffer.add_string buf
+        (Printf.sprintf "   %s  ..  %s\n"
+           (axis_note x_label log_x (if log_x then Float.pow 10.0 xmin else xmin))
+           (axis_note x_label log_x (if log_x then Float.pow 10.0 xmax else xmax)));
+      Buffer.add_string buf
+        (Printf.sprintf "   %s bottom: %s\n" y_label
+           (Table.fmt_float ~decimals:3 (if log_y then Float.pow 10.0 ymin else ymin)));
+      List.iteri
+        (fun si s ->
+          Buffer.add_string buf
+            (Printf.sprintf "   '%c' = %s\n" glyphs.(si mod Array.length glyphs) s.label))
+        series);
+  Buffer.contents buf
+
+let render_points series =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "series %s:\n" s.label);
+      List.iter
+        (fun (x, y) ->
+          Buffer.add_string buf (Printf.sprintf "  %12.4f  %14.6f\n" x y))
+        s.points)
+    series;
+  Buffer.contents buf

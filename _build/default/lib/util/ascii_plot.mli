@@ -1,0 +1,22 @@
+(** Terminal renderings of the paper's figures (series plots).
+
+    Every figure reproduction prints both a compact character plot and the
+    underlying sampled points so the series can be compared against the
+    paper or re-plotted externally. *)
+
+type series = { label : string; points : (float * float) list }
+
+val line_chart :
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  ?log_y:bool ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  series list ->
+  string
+(** Multi-series scatter/line chart using one glyph per series. *)
+
+val render_points : series list -> string
+(** Tabular dump of each series' sampled points. *)

@@ -1,0 +1,69 @@
+module Zipf = struct
+  type t = { n : int; s : float; cdf : float array }
+
+  let create ~n ~s =
+    if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+    if s < 0.0 then invalid_arg "Zipf.create: s must be non-negative";
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for k = 0 to n - 1 do
+      acc := !acc +. (1.0 /. Float.pow (float_of_int (k + 1)) s);
+      cdf.(k) <- !acc
+    done;
+    let total = !acc in
+    for k = 0 to n - 1 do
+      cdf.(k) <- cdf.(k) /. total
+    done;
+    { n; s; cdf }
+
+  let n t = t.n
+  let s t = t.s
+
+  let pmf t k =
+    if k < 0 || k >= t.n then invalid_arg "Zipf.pmf: rank out of range";
+    if k = 0 then t.cdf.(0) else t.cdf.(k) -. t.cdf.(k - 1)
+
+  let sample t rng =
+    let u = Rng.float rng 1.0 in
+    (* Smallest k with cdf.(k) >= u. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if t.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+    in
+    search 0 (t.n - 1)
+end
+
+module Categorical = struct
+  type 'a t = { items : 'a array; cdf : float array }
+
+  let create pairs =
+    if pairs = [] then invalid_arg "Categorical.create: empty";
+    List.iter
+      (fun (_, w) ->
+        if w < 0.0 then invalid_arg "Categorical.create: negative weight")
+      pairs;
+    let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 pairs in
+    if total <= 0.0 then invalid_arg "Categorical.create: zero total weight";
+    let items = Array.of_list (List.map fst pairs) in
+    let cdf = Array.make (Array.length items) 0.0 in
+    let acc = ref 0.0 in
+    List.iteri
+      (fun i (_, w) ->
+        acc := !acc +. (w /. total);
+        cdf.(i) <- !acc)
+      pairs;
+    { items; cdf }
+
+  let sample t rng =
+    let u = Rng.float rng 1.0 in
+    let n = Array.length t.items in
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if t.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+    in
+    t.items.(search 0 (n - 1))
+end

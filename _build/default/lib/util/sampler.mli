@@ -1,0 +1,30 @@
+(** Discrete distributions used by the workload generators. *)
+
+(** Zipf (power-law) distribution over ranks [0 .. n-1]; rank 0 is the most
+    probable.  Used to shape library-call frequency skew (paper Figure 4). *)
+module Zipf : sig
+  type t
+
+  val create : n:int -> s:float -> t
+  (** [create ~n ~s] builds a sampler with [pmf k ∝ 1 / (k+1)^s].
+      Raises [Invalid_argument] if [n <= 0] or [s < 0]. *)
+
+  val n : t -> int
+  val s : t -> float
+
+  val pmf : t -> int -> float
+  (** Probability of rank [k]. *)
+
+  val sample : t -> Rng.t -> int
+  (** Draw a rank via inverse-CDF binary search. *)
+end
+
+(** Weighted categorical distribution over ['a]. *)
+module Categorical : sig
+  type 'a t
+
+  val create : ('a * float) list -> 'a t
+  (** Weights must be non-negative with a positive sum. *)
+
+  val sample : 'a t -> Rng.t -> 'a
+end

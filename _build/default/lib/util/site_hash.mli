@@ -1,0 +1,17 @@
+(** Deterministic per-site pseudo-randomness.
+
+    Synthetic code needs data-dependent behaviour (branch directions, memory
+    access targets) that is (a) varied, (b) exactly reproducible, and (c)
+    identical between the base and enhanced simulator runs regardless of how
+    many trampoline instructions execute.  We derive it from a stateless hash
+    of [(site, occurrence count)] rather than from a shared RNG stream. *)
+
+val mix2 : int -> int -> int
+(** [mix2 a b] is a well-distributed non-negative hash of the pair. *)
+
+val bernoulli : site:int -> count:int -> p:float -> bool
+(** Deterministic coin flip: [true] with long-run frequency [p] over
+    [count = 0, 1, 2, ...] for a fixed [site]. *)
+
+val index : site:int -> count:int -> int -> int
+(** [index ~site ~count n] deterministically selects an index in [\[0, n)]. *)

@@ -1,0 +1,47 @@
+type t = { headers : string array; mutable rows : string array list }
+
+let create ~headers = { headers = Array.of_list headers; rows = [] }
+
+let add_row t cells =
+  let n = Array.length t.headers in
+  if List.length cells > n then invalid_arg "Table.add_row: too many cells";
+  let row = Array.make n "" in
+  List.iteri (fun i c -> row.(i) <- c) cells;
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let n = Array.length t.headers in
+  let width = Array.make n 0 in
+  let measure row =
+    Array.iteri (fun i c -> width.(i) <- max width.(i) (String.length c)) row
+  in
+  measure t.headers;
+  List.iter measure rows;
+  let buf = Buffer.create 256 in
+  let emit row =
+    Array.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf c;
+        if i < n - 1 then Buffer.add_string buf (String.make (width.(i) - String.length c) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  emit (Array.map (fun w -> String.make w '-') width);
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print ?title t =
+  (match title with
+  | None -> ()
+  | Some s ->
+      print_newline ();
+      print_endline s;
+      print_endline (String.make (String.length s) '='));
+  print_string (render t)
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let fmt_pct r = Printf.sprintf "%+.2f%%" (100.0 *. r)

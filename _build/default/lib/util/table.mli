@@ -1,0 +1,23 @@
+(** Plain-text table rendering for experiment reports. *)
+
+type t
+
+val create : headers:string list -> t
+(** A table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded; longer rows raise
+    [Invalid_argument]. *)
+
+val render : t -> string
+(** Aligned ASCII rendering with a header separator. *)
+
+val print : ?title:string -> t -> unit
+(** [print ?title t] writes the rendering (preceded by an underlined title)
+    to stdout. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting helper, default 2 decimals. *)
+
+val fmt_pct : float -> string
+(** Formats a ratio as a signed percentage, e.g. [-0.042 -> "-4.20%"]. *)

@@ -1,0 +1,1 @@
+lib/workloads/apache.mli: Dlink_core Spec

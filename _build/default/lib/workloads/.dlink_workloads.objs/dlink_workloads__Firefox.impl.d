@@ -1,0 +1,1 @@
+lib/workloads/firefox.ml: Dlink_core List Option Spec Synth

@@ -1,0 +1,1 @@
+lib/workloads/firefox.mli: Dlink_core Spec

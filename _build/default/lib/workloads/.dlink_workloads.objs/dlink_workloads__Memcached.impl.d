@@ -1,0 +1,1 @@
+lib/workloads/memcached.ml: Spec Synth

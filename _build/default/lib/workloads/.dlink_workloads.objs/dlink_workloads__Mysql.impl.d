@@ -1,0 +1,1 @@
+lib/workloads/mysql.ml: Spec Synth

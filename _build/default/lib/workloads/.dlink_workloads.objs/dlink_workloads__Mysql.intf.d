@@ -1,0 +1,1 @@
+lib/workloads/mysql.mli: Dlink_core Spec

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Apache Firefox List Memcached Mysql

@@ -1,0 +1,1 @@
+lib/workloads/synth.ml: Array Dlink_core Dlink_obj Dlink_util List Printf Spec String

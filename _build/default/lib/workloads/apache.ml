@@ -1,0 +1,60 @@
+let name = "apache"
+
+let request_types = [ "Home"; "Catalog"; "FileCatalog"; "File"; "Index"; "Search" ]
+
+let rtype rname weight calls =
+  {
+    Spec.rname;
+    weight;
+    variants = 32;
+    calls;
+    inter_compute = (90, 175);
+    segment_loop_mean = 1.6;
+  }
+
+let spec ?(seed = 42) () =
+  {
+    Spec.name;
+    seed;
+    libs =
+      [
+        "libphp";
+        "libc";
+        "libssl";
+        "libcrypto";
+        "libz";
+        "libxml2";
+        "libpcre";
+        "libapr";
+        "libaprutil";
+        "libm";
+      ];
+    n_trampolines = 501;
+    depth_weights = [ (1, 0.25); (2, 0.35); (3, 0.40) ];
+    zipf_s = 2.6;
+    terminal_compute = (14, 40);
+    terminal_loop_mean = 2.0;
+    terminal_touch = ((2, 4), (0, 2));
+    wrapper_compute = (6, 14);
+    rtypes =
+      [
+        rtype "Home" 0.10 (35, 60);
+        rtype "Catalog" 0.25 (45, 75);
+        rtype "FileCatalog" 0.15 (50, 85);
+        rtype "File" 0.20 (30, 55);
+        rtype "Index" 0.15 (40, 65);
+        rtype "Search" 0.15 (55, 95);
+      ];
+    housekeeping_every = 100;
+    housekeeping_chunk = 16;
+    ifunc_fraction = 0.12;
+    extra_import_factor = 1.0;
+    app_data_bytes = 128 * 1024;
+    lib_data_bytes = 24 * 1024;
+    us_scale = 300.0;
+    default_requests = 2000;
+    warmup_requests = 100;
+    func_align = 512;
+  }
+
+let workload ?seed () = Synth.build (spec ?seed ())

@@ -1,0 +1,12 @@
+(** Apache web server + SPECweb 2009 Support workload model.
+
+    Profile targets (paper): 501 distinct trampolines, 12.23 trampoline
+    instructions PKI, steep Figure 4 cutoff, six request types whose
+    response-time CDFs span roughly 800–2400 µs. *)
+
+val name : string
+val spec : ?seed:int -> unit -> Spec.t
+val workload : ?seed:int -> unit -> Dlink_core.Workload.t
+
+val request_types : string list
+(** The SPECweb-style request types reported in Figure 6. *)

@@ -1,0 +1,90 @@
+let name = "firefox"
+
+let request_types =
+  [ "Rendering"; "HTML5 Canvas"; "Data"; "DOM operations"; "Text parsing" ]
+
+let spec ?(seed = 45) () =
+  {
+    Spec.name;
+    seed;
+    libs =
+      [
+        "libxul";
+        "libnss";
+        "libsqlite";
+        "libgtk";
+        "libglib";
+        "libcairo";
+        "libpango";
+        "libX11";
+        "libfreetype";
+        "libfontconfig";
+        "libjpeg";
+        "libpng";
+        "libz";
+        "libstdcpp";
+        "libm";
+      ];
+    n_trampolines = 2457;
+    depth_weights = [ (1, 0.60); (2, 0.25); (3, 0.15) ];
+    zipf_s = 1.3;
+    terminal_compute = (570, 1260);
+    terminal_loop_mean = 6.0;
+    terminal_touch = ((3, 8), (1, 3));
+    wrapper_compute = (10, 20);
+    rtypes =
+      List.map
+        (fun (rname, weight, calls) ->
+          {
+            Spec.rname;
+            weight;
+            variants = 4;
+            calls;
+            inter_compute = (10, 20);
+            segment_loop_mean = 1.4;
+          })
+        [
+          ("Rendering", 0.25, (22, 38));
+          ("HTML5 Canvas", 0.20, (18, 32));
+          ("Data", 0.20, (25, 45));
+          ("DOM operations", 0.20, (20, 36));
+          ("Text parsing", 0.15, (28, 50));
+        ];
+    housekeeping_every = 16;
+    housekeeping_chunk = 48;
+    ifunc_fraction = 0.05;
+    extra_import_factor = 1.2;
+    app_data_bytes = 512 * 1024;
+    lib_data_bytes = 48 * 1024;
+    us_scale = 1.0;
+    default_requests = 600;
+    warmup_requests = 50;
+    func_align = 256;
+  }
+
+let workload ?seed () = Synth.build (spec ?seed ())
+
+let score_unit rname =
+  match rname with "Rendering" | "HTML5 Canvas" -> "fps" | _ -> "ops"
+
+(* Paper Table 5 Base magnitudes, used as the scoring anchor: the score is
+   a unit conversion (ops or frames per unit time); what the simulation
+   measures is the base-vs-enhanced latency ratio. *)
+let paper_base rname =
+  match rname with
+  | "Rendering" -> 49.31
+  | "HTML5 Canvas" -> 37.47
+  | "Data" -> 22_499.0
+  | "DOM operations" -> 16_547.0
+  | "Text parsing" -> 214_897.0
+  | _ -> 1.0
+
+let scores ?anchor (run : Dlink_core.Experiment.run) =
+  let anchor = Option.value anchor ~default:run in
+  List.map
+    (fun rname ->
+      let mean = Dlink_core.Experiment.mean_latency_us run rname in
+      let anchor_mean = Dlink_core.Experiment.mean_latency_us anchor rname in
+      let score = if mean > 0.0 then paper_base rname *. anchor_mean /. mean else 0.0 in
+      (rname, score_unit rname, score))
+    request_types

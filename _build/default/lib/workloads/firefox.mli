@@ -1,0 +1,26 @@
+(** Firefox + Peacekeeper browser-benchmark model.
+
+    Profile targets (paper): 2457 distinct trampolines but only 0.72
+    trampoline instructions PKI — execution dominated by computation
+    kernels; a shallow Figure 4 curve; five Peacekeeper categories whose
+    scores (fps or ops, higher better) improve by 0.8–2.7 % (Table 5). *)
+
+val name : string
+val spec : ?seed:int -> unit -> Spec.t
+val workload : ?seed:int -> unit -> Dlink_core.Workload.t
+
+val request_types : string list
+(** The five Peacekeeper categories. *)
+
+val score_unit : string -> string
+(** "fps" for rendering categories, "ops" otherwise. *)
+
+val scores :
+  ?anchor:Dlink_core.Experiment.run ->
+  Dlink_core.Experiment.run ->
+  (string * string * float) list
+(** Peacekeeper-style scores per category: [(category, unit, score)].
+    Scores are inversely proportional to the category's mean iteration
+    latency and anchored so that the [anchor] run (default: the run
+    itself) reports exactly the paper's Base magnitudes — the anchoring is
+    a unit conversion; the base-vs-enhanced ratio is the measurement. *)

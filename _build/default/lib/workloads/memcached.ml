@@ -1,0 +1,48 @@
+let name = "memcached"
+
+let request_types = [ "GET"; "SET" ]
+
+let spec ?(seed = 43) () =
+  {
+    Spec.name;
+    seed;
+    libs = [ "libc"; "libevent"; "libpthread" ];
+    n_trampolines = 33;
+    depth_weights = [ (1, 1.0) ];
+    zipf_s = 1.5;
+    terminal_compute = (275, 545);
+    terminal_loop_mean = 1.8;
+    terminal_touch = ((3, 6), (1, 2));
+    wrapper_compute = (6, 12);
+    rtypes =
+      [
+        {
+          Spec.rname = "GET";
+          weight = 0.7;
+          variants = 8;
+          calls = (14, 24);
+          inter_compute = (6, 12);
+          segment_loop_mean = 1.3;
+        };
+        {
+          Spec.rname = "SET";
+          weight = 0.3;
+          variants = 8;
+          calls = (18, 30);
+          inter_compute = (6, 12);
+          segment_loop_mean = 1.3;
+        };
+      ];
+    housekeeping_every = 25;
+    housekeeping_chunk = 8;
+    ifunc_fraction = 0.25;
+    extra_import_factor = 1.5;
+    app_data_bytes = 2 * 1024 * 1024;
+    lib_data_bytes = 64 * 1024;
+    us_scale = 1.0;
+    default_requests = 2500;
+    warmup_requests = 150;
+    func_align = 1024;
+  }
+
+let workload ?seed () = Synth.build (spec ?seed ())

@@ -1,0 +1,12 @@
+(** Memcached + CloudSuite client model.
+
+    Profile targets (paper): 33 distinct trampolines, 1.75 trampoline
+    instructions PKI, GET/SET request mix; Figure 7 reports processing-time
+    histograms in TSC kilocycles. *)
+
+val name : string
+val spec : ?seed:int -> unit -> Spec.t
+val workload : ?seed:int -> unit -> Dlink_core.Workload.t
+
+val request_types : string list
+(** ["GET"; "SET"]. *)

@@ -1,0 +1,90 @@
+let name = "mysql"
+
+let request_types = [ "New Order"; "Payment" ]
+(* The full TPC-C mix also issues the three minor transaction types; the
+   paper reports latencies "only for the most popular request types". *)
+let minor_request_types = [ "Delivery"; "Order Status"; "Stock Level" ]
+let table6_percentiles = [ 50.0; 75.0; 90.0; 95.0 ]
+
+let spec ?(seed = 44) () =
+  {
+    Spec.name;
+    seed;
+    libs =
+      [
+        "libc";
+        "libpthread";
+        "libstdcpp";
+        "libcrypt";
+        "libssl";
+        "libcrypto";
+        "libz";
+        "libaio";
+        "libm";
+        "libdl";
+        "libreadline";
+        "libsasl";
+      ];
+    n_trampolines = 1611;
+    depth_weights = [ (1, 0.50); (2, 0.30); (3, 0.20) ];
+    zipf_s = 2.0;
+    terminal_compute = (217, 441);
+    terminal_loop_mean = 1.5;
+    terminal_touch = ((2, 5), (0, 2));
+    wrapper_compute = (8, 16);
+    rtypes =
+      [
+        {
+          Spec.rname = "New Order";
+          weight = 0.45;
+          variants = 8;
+          calls = (180, 280);
+          inter_compute = (6, 14);
+          segment_loop_mean = 1.5;
+        };
+        {
+          Spec.rname = "Payment";
+          weight = 0.43;
+          variants = 8;
+          calls = (90, 150);
+          inter_compute = (6, 14);
+          segment_loop_mean = 1.5;
+        };
+        {
+          Spec.rname = "Delivery";
+          weight = 0.04;
+          variants = 2;
+          calls = (200, 320);
+          inter_compute = (6, 14);
+          segment_loop_mean = 1.5;
+        };
+        {
+          Spec.rname = "Order Status";
+          weight = 0.04;
+          variants = 2;
+          calls = (60, 100);
+          inter_compute = (6, 14);
+          segment_loop_mean = 1.3;
+        };
+        {
+          Spec.rname = "Stock Level";
+          weight = 0.04;
+          variants = 2;
+          calls = (120, 200);
+          inter_compute = (6, 14);
+          segment_loop_mean = 1.4;
+        };
+      ];
+    housekeeping_every = 16;
+    housekeeping_chunk = 40;
+    ifunc_fraction = 0.06;
+    extra_import_factor = 0.8;
+    app_data_bytes = 512 * 1024;
+    lib_data_bytes = 64 * 1024;
+    us_scale = 740.0;
+    default_requests = 400;
+    warmup_requests = 40;
+    func_align = 256;
+  }
+
+let workload ?seed () = Synth.build (spec ?seed ())

@@ -1,0 +1,19 @@
+(** MySQL + TPC-C (OLTP-Bench) model.
+
+    Profile targets (paper): 1611 distinct trampolines, 5.56 trampoline
+    instructions PKI; New Order and Payment request types with latencies in
+    the tens of milliseconds (Figure 8 / Table 6). *)
+
+val name : string
+val spec : ?seed:int -> unit -> Spec.t
+val workload : ?seed:int -> unit -> Dlink_core.Workload.t
+
+val request_types : string list
+(** ["New Order"; "Payment"] — the types Figure 8 / Table 6 report. *)
+
+val minor_request_types : string list
+(** The remaining TPC-C transaction types, present in the request mix but
+    not reported by the paper. *)
+
+val table6_percentiles : float list
+(** 50 / 75 / 90 / 95, as reported in Table 6. *)

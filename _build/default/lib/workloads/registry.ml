@@ -1,0 +1,10 @@
+let all =
+  [
+    (Apache.name, fun ?seed () -> Apache.workload ?seed ());
+    (Memcached.name, fun ?seed () -> Memcached.workload ?seed ());
+    (Mysql.name, fun ?seed () -> Mysql.workload ?seed ());
+    (Firefox.name, fun ?seed () -> Firefox.workload ?seed ());
+  ]
+
+let find name = List.assoc_opt name all
+let names = List.map fst all

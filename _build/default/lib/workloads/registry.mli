@@ -1,0 +1,5 @@
+(** All workloads by name, for the CLI and benchmark harness. *)
+
+val all : (string * (?seed:int -> unit -> Dlink_core.Workload.t)) list
+val find : string -> (?seed:int -> unit -> Dlink_core.Workload.t) option
+val names : string list

@@ -1,0 +1,100 @@
+type range = int * int
+
+type rtype_spec = {
+  rname : string;
+  weight : float;
+  variants : int;
+  calls : range;
+  inter_compute : range;
+  segment_loop_mean : float;
+}
+
+type t = {
+  name : string;
+  seed : int;
+  libs : string list;
+  n_trampolines : int;
+  depth_weights : (int * float) list;
+  zipf_s : float;
+  terminal_compute : range;
+  terminal_loop_mean : float;
+  terminal_touch : range * range;
+  wrapper_compute : range;
+  rtypes : rtype_spec list;
+  housekeeping_every : int;
+  housekeeping_chunk : int;
+  extra_import_factor : float;
+  ifunc_fraction : float;
+  app_data_bytes : int;
+  lib_data_bytes : int;
+  us_scale : float;
+  default_requests : int;
+  warmup_requests : int;
+  func_align : int;
+}
+
+let housekeeping_rtype = "_housekeeping"
+
+let check cond msg = if cond then Ok () else Error msg
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let valid_range (lo, hi) = lo >= 0 && hi >= lo
+
+let validate t =
+  let* () = check (t.name <> "") "name must be non-empty" in
+  let* () = check (t.libs <> []) "at least one library required" in
+  let* () = check (t.n_trampolines > 0) "n_trampolines must be positive" in
+  let* () =
+    check
+      (t.depth_weights <> []
+      && List.for_all (fun (d, w) -> d >= 1 && w >= 0.0) t.depth_weights
+      && List.exists (fun (_, w) -> w > 0.0) t.depth_weights)
+      "depth_weights must contain positive-depth entries with a positive weight"
+  in
+  let* () =
+    check
+      (List.for_all (fun (d, _) -> d <= List.length t.libs) t.depth_weights)
+      "chain depth cannot exceed the number of libraries"
+  in
+  let* () = check (t.zipf_s >= 0.0) "zipf_s must be non-negative" in
+  let* () = check (valid_range t.terminal_compute) "terminal_compute range invalid" in
+  let* () = check (t.terminal_loop_mean >= 1.0) "terminal_loop_mean must be >= 1" in
+  let* () =
+    check
+      (valid_range (fst t.terminal_touch) && valid_range (snd t.terminal_touch))
+      "terminal_touch ranges invalid"
+  in
+  let* () = check (valid_range t.wrapper_compute) "wrapper_compute range invalid" in
+  let* () = check (t.rtypes <> []) "at least one request type required" in
+  let* () =
+    check
+      (List.for_all
+         (fun r ->
+           r.rname <> "" && r.weight >= 0.0 && r.variants >= 1 && valid_range r.calls
+           && valid_range r.inter_compute
+           && r.segment_loop_mean >= 1.0)
+         t.rtypes)
+      "invalid request-type spec"
+  in
+  let* () =
+    check (List.exists (fun r -> r.weight > 0.0) t.rtypes) "request mix has zero weight"
+  in
+  let* () = check (t.housekeeping_every >= 0) "housekeeping_every must be >= 0" in
+  let* () =
+    check
+      (t.housekeeping_every = 0 || t.housekeeping_chunk > 0)
+      "housekeeping_chunk must be positive when housekeeping is enabled"
+  in
+  let* () = check (t.extra_import_factor >= 0.0) "extra_import_factor negative" in
+  let* () =
+    check
+      (t.ifunc_fraction >= 0.0 && t.ifunc_fraction <= 1.0)
+      "ifunc_fraction out of range"
+  in
+  let* () = check (t.us_scale > 0.0) "us_scale must be positive" in
+  let* () = check (t.default_requests > 0) "default_requests must be positive" in
+  let* () = check (t.warmup_requests >= 0) "warmup_requests must be >= 0" in
+  check
+    (t.func_align >= 16 && t.func_align land (t.func_align - 1) = 0)
+    "func_align must be a power of two >= 16"

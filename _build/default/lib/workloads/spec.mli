@@ -1,0 +1,68 @@
+(** Declarative description of a synthetic application.
+
+    The generator (see {!Synth}) turns a spec into object files whose
+    *library-call profile* matches a real application's published profile:
+    the number of distinct trampolines exercised (paper Table 3), the
+    trampoline density per kilo-instruction (Table 2), and the call
+    frequency skew (Figure 4).
+
+    The model is built around {e call chains}: a chain of depth [d] is a
+    path [app -> lib_1 -> ... -> lib_d] where every hop crosses a module
+    boundary through the PLT.  Each hop is one distinct trampoline, so the
+    trampoline universe has exactly [n_trampolines = sum of depths]
+    entries.  Handlers invoke chain entry points with Zipf-distributed
+    frequency; periodic housekeeping requests sweep cold chains so every
+    trampoline is exercised at least once during measurement, as in the
+    paper's long profiled runs. *)
+
+type range = int * int
+(** Inclusive integer range for generated magnitudes. *)
+
+type rtype_spec = {
+  rname : string;
+  weight : float;  (** request-mix probability weight *)
+  variants : int;  (** distinct handler bodies for this type *)
+  calls : range;  (** chain-entry invocations per handler *)
+  inter_compute : range;  (** ALU instructions between calls *)
+  segment_loop_mean : float;
+      (** handlers group call slots into segments wrapped in geometric
+          loops with this mean (1.0 disables), providing realistic
+          per-request latency variance *)
+}
+
+type t = {
+  name : string;
+  seed : int;
+  libs : string list;  (** shared-library module names *)
+  n_trampolines : int;  (** Table 3 target *)
+  depth_weights : (int * float) list;  (** chain-depth distribution *)
+  zipf_s : float;  (** Figure 4 skew *)
+  terminal_compute : range;  (** work in chain-terminal functions *)
+  terminal_loop_mean : float;
+  terminal_touch : range * range;  (** (loads, stores) in terminals *)
+  wrapper_compute : range;  (** work in intermediate chain hops *)
+  rtypes : rtype_spec list;
+  housekeeping_every : int;  (** every k-th request sweeps cold chains *)
+  housekeeping_chunk : int;  (** chains touched per housekeeping request *)
+  extra_import_factor : float;
+      (** unused imports per module, as a fraction of used ones — makes the
+          PLT sparse as observed for real binaries (§2) *)
+  ifunc_fraction : float;
+      (** fraction of chain-terminal functions exported as GNU ifuncs with
+          multiple implementations (§2.4.1), as glibc does for string
+          routines; the loader's [hw_level] picks the implementation *)
+  app_data_bytes : int;
+  lib_data_bytes : int;
+  us_scale : float;
+  default_requests : int;
+  warmup_requests : int;
+  func_align : int;
+      (** function alignment at load time; larger values model the sparse
+          code layout of production binaries (I-cache / I-TLB pressure) *)
+}
+
+val housekeeping_rtype : string
+(** Name of the synthetic request type housing cold-chain sweeps; excluded
+    from latency figures. *)
+
+val validate : t -> (unit, string) result

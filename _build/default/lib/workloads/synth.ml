@@ -1,0 +1,293 @@
+module Body = Dlink_obj.Body
+module Objfile = Dlink_obj.Objfile
+module Rng = Dlink_util.Rng
+module Sampler = Dlink_util.Sampler
+module Site_hash = Dlink_util.Site_hash
+module Workload = Dlink_core.Workload
+
+type chain = {
+  entry : string;  (** symbol the application imports *)
+  steps : (int * string) list;  (** (library index, symbol) per hop *)
+}
+
+let sanitize name =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then c else '_') name
+
+let sample_range rng (lo, hi) = if hi <= lo then lo else Rng.int_in rng lo hi
+
+(* Chain depths are drawn from the spec's distribution until the depth sum
+   reaches exactly [n_trampolines]; the final chain is clamped. *)
+let make_depths spec rng =
+  let cat = Sampler.Categorical.create spec.Spec.depth_weights in
+  let rec go total acc =
+    if total >= spec.Spec.n_trampolines then List.rev acc
+    else begin
+      let d = Sampler.Categorical.sample cat rng in
+      let d = min d (spec.Spec.n_trampolines - total) in
+      let d = max 1 d in
+      go (total + d) (d :: acc)
+    end
+  in
+  go 0 []
+
+let chain_count spec =
+  (* Depth sampling must replay the exact RNG draws of [build]. *)
+  let rng = Rng.create spec.Spec.seed in
+  List.length (make_depths spec rng)
+
+let make_chains spec rng depths =
+  let n_libs = List.length spec.Spec.libs in
+  List.mapi
+    (fun ci d ->
+      let rec path k prev acc =
+        if k >= d then List.rev acc
+        else begin
+          let lib =
+            if n_libs = 1 then 0
+            else begin
+              let cand = Rng.int rng n_libs in
+              if cand = prev then (cand + 1) mod n_libs else cand
+            end
+          in
+          path (k + 1) lib ((lib, Printf.sprintf "c%d_s%d" ci k) :: acc)
+        end
+      in
+      let steps = path 0 (-1) [] in
+      match steps with
+      | (_, entry) :: _ -> { entry; steps }
+      | [] -> assert false)
+    depths
+
+let terminal_body spec rng =
+  let c1 = sample_range rng spec.Spec.terminal_compute in
+  let loads = sample_range rng (fst spec.Spec.terminal_touch) in
+  let stores = sample_range rng (snd spec.Spec.terminal_touch) in
+  [
+    Body.Compute (max 1 (c1 / 2));
+    Body.If
+      {
+        p = 0.5;
+        then_ = [ Body.Compute 6; Body.Touch { loads = 1; stores = 0 } ];
+        else_ = [ Body.Compute 4 ];
+      };
+    Body.Loop
+      {
+        mean_iters = spec.Spec.terminal_loop_mean;
+        body = [ Body.Compute (max 1 (c1 / 2)); Body.Touch { loads; stores } ];
+      };
+  ]
+
+let wrapper_body spec rng next_sym =
+  let w = sample_range rng spec.Spec.wrapper_compute in
+  [
+    Body.Compute (max 1 (w / 2));
+    Body.Call_import next_sym;
+    Body.Compute (max 1 (w - (w / 2)));
+  ]
+
+(* Group a handler's call slots into segments, each optionally wrapped in a
+   geometric loop for per-request latency variance. *)
+let segment_ops rng mean slots =
+  let rec take n acc = function
+    | [] -> (List.rev acc, [])
+    | rest when n = 0 -> (List.rev acc, rest)
+    | x :: rest -> take (n - 1) (x :: acc) rest
+  in
+  let rec go slots acc =
+    match slots with
+    | [] -> List.concat (List.rev acc)
+    | _ ->
+        let seg_len = Rng.int_in rng 3 8 in
+        let seg, rest = take seg_len [] slots in
+        let ops = List.concat seg in
+        let ops =
+          if mean > 1.0 then [ Body.Loop { mean_iters = mean; body = ops } ] else ops
+        in
+        go rest (ops :: acc)
+  in
+  go slots []
+
+let handler_body rng zipf chains (rt : Spec.rtype_spec) =
+  let chain_arr = Array.of_list chains in
+  let n_calls = sample_range rng rt.Spec.calls in
+  let slot _ =
+    let c = chain_arr.(Sampler.Zipf.sample zipf rng) in
+    let inter = sample_range rng rt.Spec.inter_compute in
+    [
+      Body.Compute (max 1 inter);
+      Body.Touch { loads = 1; stores = (if Rng.bool rng 0.3 then 1 else 0) };
+      Body.Call_import c.entry;
+    ]
+  in
+  let slots = List.init n_calls slot in
+  [ Body.Compute 8; Body.Touch_shared { loads = 1; stores = 1 } ]
+  @ segment_ops rng rt.Spec.segment_loop_mean slots
+
+let housekeeping_bodies spec chains =
+  let chain_arr = Array.of_list chains in
+  let n = Array.length chain_arr in
+  let chunk = spec.Spec.housekeeping_chunk in
+  let n_hk = (n + chunk - 1) / chunk in
+  List.init n_hk (fun j ->
+      let ops = ref [ Body.Compute 4 ] in
+      for k = (j * chunk) + chunk - 1 downto j * chunk do
+        if k < n then ops := Body.Call_import chain_arr.(k).entry :: !ops
+      done;
+      List.rev !ops)
+
+let extra_imports spec rng ~mod_name ~used =
+  let n = int_of_float (spec.Spec.extra_import_factor *. float_of_int used) in
+  ignore rng;
+  List.init n (fun i -> Printf.sprintf "x_%s_%d" (sanitize mod_name) i)
+
+let build spec =
+  (match Spec.validate spec with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Synth.build: " ^ e));
+  let rng = Rng.create spec.Spec.seed in
+  let depths = make_depths spec rng in
+  let chains = make_chains spec rng depths in
+  let n_chains = List.length chains in
+  let zipf = Sampler.Zipf.create ~n:n_chains ~s:spec.Spec.zipf_s in
+  (* Library functions: every chain hop lives in its library module.  A
+     fraction of terminals are exported as GNU ifuncs (like glibc string
+     routines): the default implementation is the calibrated body, with a
+     slower fallback the loader selects on low-capability hardware. *)
+  let n_libs = List.length spec.Spec.libs in
+  let lib_funcs = Array.make n_libs [] in
+  let lib_ifuncs = Array.make n_libs [] in
+  List.iter
+    (fun chain ->
+      let rec emit = function
+        | [] -> ()
+        | [ (lib, sym) ] ->
+            let body = terminal_body spec rng in
+            if Rng.bool rng spec.Spec.ifunc_fraction then begin
+              let fast = sym ^ "__opt" and slow = sym ^ "__generic" in
+              let slow_body = Body.Compute 8 :: body in
+              lib_funcs.(lib) <-
+                { Objfile.fname = slow; exported = false; body = slow_body }
+                :: { Objfile.fname = fast; exported = false; body }
+                :: lib_funcs.(lib);
+              lib_ifuncs.(lib) <-
+                { Objfile.iname = sym; candidates = [ fast; slow ] }
+                :: lib_ifuncs.(lib)
+            end
+            else
+              lib_funcs.(lib) <-
+                { Objfile.fname = sym; exported = true; body } :: lib_funcs.(lib)
+        | (lib, sym) :: ((_, next_sym) :: _ as rest) ->
+            lib_funcs.(lib) <-
+              {
+                Objfile.fname = sym;
+                exported = true;
+                body = wrapper_body spec rng next_sym;
+              }
+              :: lib_funcs.(lib);
+            emit rest
+      in
+      emit chain.steps)
+    chains;
+  (* Application handlers. *)
+  let handler_name rt v = Printf.sprintf "h_%s_%d" (sanitize rt.Spec.rname) v in
+  let handlers =
+    List.concat_map
+      (fun rt ->
+        List.init rt.Spec.variants (fun v ->
+            {
+              Objfile.fname = handler_name rt v;
+              exported = false;
+              body = handler_body rng zipf chains rt;
+            }))
+      spec.Spec.rtypes
+  in
+  let hk_bodies =
+    if spec.Spec.housekeeping_every > 0 then housekeeping_bodies spec chains else []
+  in
+  let hk_funcs =
+    List.mapi
+      (fun j body ->
+        { Objfile.fname = Printf.sprintf "hk_%d" j; exported = false; body })
+      hk_bodies
+  in
+  let n_hk = List.length hk_funcs in
+  (* Object files: the application first, libraries in declared order. *)
+  let app_funcs = handlers @ hk_funcs in
+  let app_used =
+    List.length
+      (List.sort_uniq compare
+         (List.concat_map (fun (f : Objfile.func) -> Body.imports f.body) app_funcs))
+  in
+  let app =
+    Objfile.create_exn ~name:spec.Spec.name ~data_bytes:spec.Spec.app_data_bytes
+      ~extra_imports:(extra_imports spec rng ~mod_name:spec.Spec.name ~used:app_used)
+      app_funcs
+  in
+  let libs =
+    List.mapi
+      (fun j lname ->
+        let funcs = List.rev lib_funcs.(j) in
+        let used =
+          List.length
+            (List.sort_uniq compare
+               (List.concat_map (fun (f : Objfile.func) -> Body.imports f.body) funcs))
+        in
+        (* A library with no chain hop still needs one function to exist. *)
+        let funcs =
+          if funcs = [] then
+            [
+              {
+                Objfile.fname = Printf.sprintf "%s_init" (sanitize lname);
+                exported = true;
+                body = [ Body.Compute 4 ];
+              };
+            ]
+          else funcs
+        in
+        Objfile.create_exn ~name:lname ~data_bytes:spec.Spec.lib_data_bytes
+          ~extra_imports:(extra_imports spec rng ~mod_name:lname ~used)
+          ~ifuncs:(List.rev lib_ifuncs.(j)) funcs)
+      spec.Spec.libs
+  in
+  (* Deterministic request stream. *)
+  let rtype_arr = Array.of_list spec.Spec.rtypes in
+  let cat =
+    Sampler.Categorical.create
+      (List.mapi (fun i rt -> (i, rt.Spec.weight)) spec.Spec.rtypes)
+  in
+  let n_rtypes = Array.length rtype_arr in
+  let request_type_names =
+    Array.append
+      (Array.map (fun rt -> rt.Spec.rname) rtype_arr)
+      (if n_hk > 0 then [| Spec.housekeeping_rtype |] else [||])
+  in
+  let gen_request i =
+    let rng = Rng.create (Site_hash.mix2 spec.Spec.seed (i + 1_000_003)) in
+    if i >= 0 && n_hk > 0 && spec.Spec.housekeeping_every > 0
+       && i mod spec.Spec.housekeeping_every = 0
+    then begin
+      let j = i / spec.Spec.housekeeping_every mod n_hk in
+      {
+        Workload.rtype = n_rtypes;
+        mname = spec.Spec.name;
+        fname = Printf.sprintf "hk_%d" j;
+      }
+    end
+    else begin
+      let ri = Sampler.Categorical.sample cat rng in
+      let rt = rtype_arr.(ri) in
+      let v = Rng.int rng rt.Spec.variants in
+      { Workload.rtype = ri; mname = spec.Spec.name; fname = handler_name rt v }
+    end
+  in
+  {
+    Workload.wname = spec.Spec.name;
+    objs = app :: libs;
+    request_type_names;
+    gen_request;
+    default_requests = spec.Spec.default_requests;
+    warmup_requests = spec.Spec.warmup_requests;
+    us_scale = spec.Spec.us_scale;
+    ghz = 3.0;
+    func_align = spec.Spec.func_align;
+  }

@@ -1,0 +1,10 @@
+(** Synthetic application generator: turns a {!Spec.t} into loadable object
+    files plus a deterministic request stream, packaged as a
+    {!Dlink_core.Workload.t}. *)
+
+val build : Spec.t -> Dlink_core.Workload.t
+(** Raises [Invalid_argument] if the spec fails {!Spec.validate}. *)
+
+val chain_count : Spec.t -> int
+(** Number of call chains the generator will create for this spec
+    (deterministic; useful for sizing housekeeping coverage in tests). *)

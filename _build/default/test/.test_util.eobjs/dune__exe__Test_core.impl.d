@@ -1,0 +1,1 @@
+test/test_core.ml: Abtb_sweep Alcotest Array Cow Dlink_core Dlink_linker Dlink_mach Dlink_obj Dlink_uarch Experiment List Memory_savings Option Profile QCheck QCheck_alcotest Sim Skip Workload

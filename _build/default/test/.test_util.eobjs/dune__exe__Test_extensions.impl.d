@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Dlink_core Dlink_linker Dlink_mach Dlink_obj Dlink_uarch List Option Result Sim Skip

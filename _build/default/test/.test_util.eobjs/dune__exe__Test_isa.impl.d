@@ -1,0 +1,1 @@
+test/test_isa.ml: Addr Alcotest Asm Dlink_isa Insn List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_linker.ml: Alcotest Array Codegen Dlink_isa Dlink_linker Dlink_obj Dump Hashtbl Image Linkmap List Loader Mode Option Printf QCheck QCheck_alcotest Result Space String

@@ -1,0 +1,1 @@
+test/test_mach.ml: Alcotest Dlink_linker Dlink_mach Dlink_obj Event List Memory Option Process QCheck QCheck_alcotest String

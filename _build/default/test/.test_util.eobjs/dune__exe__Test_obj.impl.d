@@ -1,0 +1,1 @@
+test/test_obj.ml: Alcotest Dlink_obj List QCheck QCheck_alcotest Result

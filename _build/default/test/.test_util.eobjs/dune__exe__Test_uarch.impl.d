@@ -1,0 +1,1 @@
+test/test_uarch.ml: Abtb Alcotest Assoc_table Bloom Btb Cache Config Counters Direction Dlink_mach Dlink_uarch Engine List QCheck QCheck_alcotest Ras Tlb

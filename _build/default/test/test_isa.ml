@@ -1,0 +1,184 @@
+(* Tests for Dlink_isa: addresses, instructions, the mini assembler. *)
+
+open Dlink_isa
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---------------- Addr ---------------- *)
+
+let test_addr_line_of () =
+  checki "line 0" 0 (Addr.line_of 63);
+  checki "line 1" 1 (Addr.line_of 64);
+  checki "line of page" 64 (Addr.line_of 4096)
+
+let test_addr_page_of () =
+  checki "page 0" 0 (Addr.page_of 4095);
+  checki "page 1" 1 (Addr.page_of 4096)
+
+let test_addr_align_up () =
+  checki "already aligned" 64 (Addr.align_up 64 64);
+  checki "rounds up" 128 (Addr.align_up 65 64);
+  checki "zero" 0 (Addr.align_up 0 16)
+
+let test_addr_hex () =
+  Alcotest.(check string) "hex" "0x400000" (Addr.to_hex 0x400000)
+
+(* ---------------- Insn ---------------- *)
+
+let test_insn_sizes_x86_like () =
+  checki "call rel32" 5 (Insn.byte_size (Insn.Call 0));
+  checki "jmp_mem" 6 (Insn.byte_size (Insn.Jmp_mem 0));
+  checki "push imm" 5 (Insn.byte_size (Insn.Push_info 0));
+  checki "ret" 1 (Insn.byte_size Insn.Ret);
+  (* A PLT entry is exactly 16 bytes, as on x86-64 ELF. *)
+  checki "plt entry = 16B" 16
+    (Insn.byte_size (Insn.Jmp_mem 0)
+    + Insn.byte_size (Insn.Push_info 0)
+    + Insn.byte_size (Insn.Jmp 0))
+
+let test_insn_classification () =
+  checkb "call is branch" true (Insn.is_branch (Insn.Call 0));
+  checkb "alu not branch" false (Insn.is_branch Insn.Alu);
+  checkb "jmp_mem indirect" true (Insn.is_indirect_branch (Insn.Jmp_mem 0));
+  checkb "call direct" false (Insn.is_indirect_branch (Insn.Call 0));
+  checkb "ret indirect" true (Insn.is_indirect_branch Insn.Ret);
+  checkb "resolve indirect" true (Insn.is_indirect_branch Insn.Resolve)
+
+let test_insn_mem_slot () =
+  Alcotest.(check (option int)) "jmp_mem slot" (Some 0x1000)
+    (Insn.mem_slot (Insn.Jmp_mem 0x1000));
+  Alcotest.(check (option int)) "call slot" (Some 0x2000)
+    (Insn.mem_slot (Insn.Call_mem 0x2000));
+  Alcotest.(check (option int)) "alu none" None (Insn.mem_slot Insn.Alu)
+
+let test_insn_pp () =
+  checkb "renders" true (String.length (Insn.to_string (Insn.Call 0x400123)) > 0)
+
+(* ---------------- Asm ---------------- *)
+
+let test_asm_sequential_offsets () =
+  let asm = Asm.create () in
+  Asm.emit asm Asm.P_alu;
+  Asm.emit asm Asm.P_ret;
+  let insns = Asm.assemble asm ~base:0x1000 in
+  Alcotest.(check (list int)) "offsets" [ 0; 4 ] (List.map fst insns)
+
+let test_asm_forward_label () =
+  let asm = Asm.create () in
+  let l = Asm.fresh_label asm in
+  Asm.emit asm (Asm.P_jmp (Asm.To_label l));
+  Asm.emit asm Asm.P_alu;
+  Asm.place asm l;
+  Asm.emit asm Asm.P_ret;
+  match Asm.assemble asm ~base:100 with
+  | (0, Insn.Jmp target) :: _ -> checki "forward target" (100 + 5 + 4) target
+  | _ -> Alcotest.fail "expected jmp first"
+
+let test_asm_backward_label () =
+  let asm = Asm.create () in
+  let l = Asm.fresh_label asm in
+  Asm.place asm l;
+  Asm.emit asm Asm.P_alu;
+  Asm.emit asm (Asm.P_cond { target = Asm.To_label l; site = 1; p_taken = 0.5 });
+  match Asm.assemble asm ~base:0 with
+  | [ _; (4, Insn.Cond { target; _ }) ] -> checki "backward target" 0 target
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_asm_unplaced_label_rejected () =
+  let asm = Asm.create () in
+  let l = Asm.fresh_label asm in
+  Asm.emit asm (Asm.P_jmp (Asm.To_label l));
+  Alcotest.check_raises "unplaced" (Invalid_argument "Asm.assemble: unplaced label")
+    (fun () -> ignore (Asm.assemble asm ~base:0))
+
+let test_asm_double_place_rejected () =
+  let asm = Asm.create () in
+  let l = Asm.fresh_label asm in
+  Asm.place asm l;
+  Alcotest.check_raises "double place"
+    (Invalid_argument "Asm.place: label already placed") (fun () -> Asm.place asm l)
+
+let test_asm_pad_to () =
+  let asm = Asm.create () in
+  Asm.emit asm Asm.P_alu;
+  Asm.pad_to asm 16;
+  checki "padded" 16 (Asm.size asm);
+  Asm.emit asm Asm.P_ret;
+  checki "continues" 17 (Asm.size asm)
+
+let test_asm_size_independent_of_targets () =
+  let build target =
+    let asm = Asm.create () in
+    Asm.emit asm (Asm.P_call (Asm.To_addr target));
+    Asm.emit asm Asm.P_ret;
+    Asm.size asm
+  in
+  checki "size stable" (build 0) (build 0x7FFFFFFF)
+
+let test_asm_offset_of () =
+  let asm = Asm.create () in
+  Asm.emit asm Asm.P_alu;
+  let l = Asm.fresh_label asm in
+  Asm.place asm l;
+  checki "offset" 4 (Asm.offset_of asm l)
+
+(* ---------------- property tests ---------------- *)
+
+let proto_gen =
+  QCheck.Gen.oneofl
+    [ Asm.P_alu; Asm.P_ret; Asm.P_push_info 3; Asm.P_halt; Asm.P_jmp_mem 0x800 ]
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"assembled offsets strictly increase" ~count:300
+      (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 50) proto_gen))
+      (fun protos ->
+        let asm = Asm.create () in
+        List.iter (Asm.emit asm) protos;
+        let insns = Asm.assemble asm ~base:0 in
+        let rec increasing = function
+          | (o1, i1) :: ((o2, _) :: _ as rest) ->
+              o2 = o1 + Insn.byte_size i1 && increasing rest
+          | _ -> true
+        in
+        increasing insns);
+    QCheck.Test.make ~name:"align_up idempotent and >= input" ~count:500
+      QCheck.(pair (int_range 0 1_000_000) (int_range 0 10))
+      (fun (a, p) ->
+        let n = 1 lsl p in
+        let r = Addr.align_up a n in
+        r >= a && Addr.align_up r n = r && r mod n = 0);
+  ]
+
+let () =
+  Alcotest.run "dlink_isa"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "line_of" `Quick test_addr_line_of;
+          Alcotest.test_case "page_of" `Quick test_addr_page_of;
+          Alcotest.test_case "align_up" `Quick test_addr_align_up;
+          Alcotest.test_case "hex" `Quick test_addr_hex;
+        ] );
+      ( "insn",
+        [
+          Alcotest.test_case "x86-like sizes" `Quick test_insn_sizes_x86_like;
+          Alcotest.test_case "classification" `Quick test_insn_classification;
+          Alcotest.test_case "mem slot" `Quick test_insn_mem_slot;
+          Alcotest.test_case "pretty printing" `Quick test_insn_pp;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "sequential offsets" `Quick test_asm_sequential_offsets;
+          Alcotest.test_case "forward label" `Quick test_asm_forward_label;
+          Alcotest.test_case "backward label" `Quick test_asm_backward_label;
+          Alcotest.test_case "unplaced label rejected" `Quick test_asm_unplaced_label_rejected;
+          Alcotest.test_case "double place rejected" `Quick test_asm_double_place_rejected;
+          Alcotest.test_case "pad_to" `Quick test_asm_pad_to;
+          Alcotest.test_case "size target-independent" `Quick
+            test_asm_size_independent_of_targets;
+          Alcotest.test_case "offset_of" `Quick test_asm_offset_of;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,217 @@
+(* Tests for Dlink_obj: body IR and object files. *)
+
+module Body = Dlink_obj.Body
+module Objfile = Dlink_obj.Objfile
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checksl = Alcotest.(check (list string))
+
+let func ?(exported = true) fname body = { Objfile.fname; exported; body }
+
+(* ---------------- Body ---------------- *)
+
+let test_body_validate_ok () =
+  let body =
+    [
+      Body.Compute 3;
+      Body.Touch { loads = 1; stores = 1 };
+      Body.Loop { mean_iters = 2.0; body = [ Body.Compute 1 ] };
+      Body.If { p = 0.5; then_ = [ Body.Compute 1 ]; else_ = [] };
+    ]
+  in
+  checkb "valid" true (Body.validate body = Ok ())
+
+let test_body_validate_bad_probability () =
+  checkb "p>1 rejected" true
+    (Body.validate [ Body.If { p = 1.5; then_ = []; else_ = [] } ] <> Ok ())
+
+let test_body_validate_bad_loop () =
+  checkb "mean<1 rejected" true
+    (Body.validate [ Body.Loop { mean_iters = 0.5; body = [] } ] <> Ok ())
+
+let test_body_validate_nested () =
+  let bad = Body.Loop { mean_iters = 2.0; body = [ Body.Compute (-1) ] } in
+  checkb "nested error found" true (Body.validate [ bad ] <> Ok ())
+
+let test_body_imports_dedup_order () =
+  let body =
+    [
+      Body.Call_import "b";
+      Body.Call_import "a";
+      Body.Call_import "b";
+      Body.Loop { mean_iters = 2.0; body = [ Body.Call_import "c" ] };
+    ]
+  in
+  checksl "dedup, first-use order" [ "b"; "a"; "c" ] (Body.imports body)
+
+let test_body_imports_in_if_branches () =
+  let body =
+    [
+      Body.If
+        {
+          p = 0.3;
+          then_ = [ Body.Call_import "t" ];
+          else_ = [ Body.Call_import "e" ];
+        };
+    ]
+  in
+  checksl "both branches" [ "t"; "e" ] (Body.imports body)
+
+let test_body_local_calls () =
+  checksl "locals" [ "f" ] (Body.local_calls [ Body.Call_local "f" ])
+
+let test_body_static_count () =
+  checki "compute" 5 (Body.instruction_count_static [ Body.Compute 5 ]);
+  checki "touch" 3
+    (Body.instruction_count_static [ Body.Touch { loads = 2; stores = 1 } ]);
+  (* Loop adds one back-branch. *)
+  checki "loop" 3
+    (Body.instruction_count_static
+       [ Body.Loop { mean_iters = 2.0; body = [ Body.Compute 2 ] } ]);
+  (* If with else adds a branch and a jump. *)
+  checki "if/else" 4
+    (Body.instruction_count_static
+       [ Body.If { p = 0.5; then_ = [ Body.Compute 1 ]; else_ = [ Body.Compute 1 ] } ]);
+  (* If without else adds only the branch. *)
+  checki "if" 2
+    (Body.instruction_count_static
+       [ Body.If { p = 0.5; then_ = [ Body.Compute 1 ]; else_ = [] } ])
+
+(* ---------------- Objfile ---------------- *)
+
+let test_objfile_create_ok () =
+  match Objfile.create ~name:"m" [ func "f" [ Body.Compute 1 ] ] with
+  | Ok t ->
+      checki "one func" 1 (Objfile.func_count t);
+      checksl "exports" [ "f" ] (Objfile.exports t)
+  | Error e -> Alcotest.fail e
+
+let test_objfile_duplicate_function_rejected () =
+  checkb "dup rejected" true
+    (Result.is_error
+       (Objfile.create ~name:"m" [ func "f" []; func "f" [] ]))
+
+let test_objfile_empty_name_rejected () =
+  checkb "empty name" true (Result.is_error (Objfile.create ~name:"" []))
+
+let test_objfile_unresolved_local_rejected () =
+  checkb "unknown local" true
+    (Result.is_error
+       (Objfile.create ~name:"m" [ func "f" [ Body.Call_local "ghost" ] ]))
+
+let test_objfile_local_call_resolves () =
+  checkb "resolves" true
+    (Result.is_ok
+       (Objfile.create ~name:"m"
+          [ func "f" [ Body.Call_local "g" ]; func "g" [] ]))
+
+let test_objfile_imports_exclude_self () =
+  let t =
+    Objfile.create_exn ~name:"m"
+      [ func "f" [ Body.Call_import "g"; Body.Call_import "ext" ]; func "g" [] ]
+  in
+  (* "g" is defined locally, so only "ext" is an import. *)
+  checksl "imports" [ "ext" ] (Objfile.imports t)
+
+let test_objfile_extra_imports () =
+  let t =
+    Objfile.create_exn ~name:"m" ~extra_imports:[ "x1"; "x2"; "x1" ]
+      [ func "f" [ Body.Call_import "used" ] ]
+  in
+  checksl "body imports first, extras deduped" [ "used"; "x1"; "x2" ]
+    (Objfile.imports t)
+
+let test_objfile_non_exported_hidden () =
+  let t = Objfile.create_exn ~name:"m" [ func ~exported:false "f" [] ] in
+  checksl "no exports" [] (Objfile.exports t)
+
+let test_objfile_find_func () =
+  let t = Objfile.create_exn ~name:"m" [ func "f" [] ] in
+  checkb "found" true (Objfile.find_func t "f" <> None);
+  checkb "missing" true (Objfile.find_func t "g" = None)
+
+let test_objfile_invalid_body_rejected () =
+  checkb "invalid body" true
+    (Result.is_error
+       (Objfile.create ~name:"m"
+          [ func "f" [ Body.Loop { mean_iters = 0.0; body = [] } ] ]))
+
+let test_objfile_negative_data_rejected () =
+  checkb "negative data" true
+    (Result.is_error (Objfile.create ~name:"m" ~data_bytes:(-1) []))
+
+(* ---------------- property tests ---------------- *)
+
+let op_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 1 then
+            oneof
+              [
+                map (fun k -> Body.Compute k) (int_range 0 10);
+                map2
+                  (fun l s -> Body.Touch { loads = l; stores = s })
+                  (int_range 0 3) (int_range 0 3);
+                return (Body.Call_import "ext");
+              ]
+          else
+            oneof
+              [
+                map (fun k -> Body.Compute k) (int_range 0 10);
+                map
+                  (fun body -> Body.Loop { mean_iters = 2.0; body })
+                  (list_size (int_range 0 3) (self (n / 2)));
+                map2
+                  (fun t e -> Body.If { p = 0.5; then_ = t; else_ = e })
+                  (list_size (int_range 0 2) (self (n / 2)))
+                  (list_size (int_range 0 2) (self (n / 2)));
+              ])
+        n)
+
+let body_gen = QCheck.Gen.list_size (QCheck.Gen.int_range 0 8) op_gen
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"generated bodies validate" ~count:300 (QCheck.make body_gen)
+      (fun body -> Body.validate body = Ok ());
+    QCheck.Test.make ~name:"static count non-negative" ~count:300 (QCheck.make body_gen)
+      (fun body -> Body.instruction_count_static body >= 0);
+    QCheck.Test.make ~name:"imports are duplicate-free" ~count:300 (QCheck.make body_gen)
+      (fun body ->
+        let imports = Body.imports body in
+        List.length imports = List.length (List.sort_uniq compare imports));
+  ]
+
+let () =
+  Alcotest.run "dlink_obj"
+    [
+      ( "body",
+        [
+          Alcotest.test_case "validate ok" `Quick test_body_validate_ok;
+          Alcotest.test_case "bad probability" `Quick test_body_validate_bad_probability;
+          Alcotest.test_case "bad loop" `Quick test_body_validate_bad_loop;
+          Alcotest.test_case "nested error" `Quick test_body_validate_nested;
+          Alcotest.test_case "imports dedup/order" `Quick test_body_imports_dedup_order;
+          Alcotest.test_case "imports in branches" `Quick test_body_imports_in_if_branches;
+          Alcotest.test_case "local calls" `Quick test_body_local_calls;
+          Alcotest.test_case "static count" `Quick test_body_static_count;
+        ] );
+      ( "objfile",
+        [
+          Alcotest.test_case "create ok" `Quick test_objfile_create_ok;
+          Alcotest.test_case "duplicate function" `Quick test_objfile_duplicate_function_rejected;
+          Alcotest.test_case "empty name" `Quick test_objfile_empty_name_rejected;
+          Alcotest.test_case "unresolved local" `Quick test_objfile_unresolved_local_rejected;
+          Alcotest.test_case "local call resolves" `Quick test_objfile_local_call_resolves;
+          Alcotest.test_case "imports exclude self" `Quick test_objfile_imports_exclude_self;
+          Alcotest.test_case "extra imports" `Quick test_objfile_extra_imports;
+          Alcotest.test_case "non-exported hidden" `Quick test_objfile_non_exported_hidden;
+          Alcotest.test_case "find func" `Quick test_objfile_find_func;
+          Alcotest.test_case "invalid body" `Quick test_objfile_invalid_body_rejected;
+          Alcotest.test_case "negative data" `Quick test_objfile_negative_data_rejected;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,225 @@
+(* Tests for Dlink_stats: summaries, histograms, CDFs, rates. *)
+
+module Summary = Dlink_stats.Summary
+module Histogram = Dlink_stats.Histogram
+module Cdf = Dlink_stats.Cdf
+module Rates = Dlink_stats.Rates
+
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+let checki = Alcotest.(check int)
+
+(* ---------------- Summary ---------------- *)
+
+let test_summary_mean () =
+  let s = Summary.of_array [| 1.0; 2.0; 3.0; 4.0 |] in
+  checkf "mean" 2.5 (Summary.mean s)
+
+let test_summary_minmax () =
+  let s = Summary.of_array [| 5.0; -1.0; 3.0 |] in
+  checkf "min" (-1.0) (Summary.min s);
+  checkf "max" 5.0 (Summary.max s)
+
+let test_summary_stddev () =
+  let s = Summary.of_array [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  checkf "stddev" 2.0 (Summary.stddev s)
+
+let test_summary_percentile_endpoints () =
+  let s = Summary.of_array [| 10.0; 20.0; 30.0 |] in
+  checkf "p0" 10.0 (Summary.percentile s 0.0);
+  checkf "p100" 30.0 (Summary.percentile s 100.0);
+  checkf "p50" 20.0 (Summary.percentile s 50.0)
+
+let test_summary_percentile_interpolates () =
+  let s = Summary.of_array [| 0.0; 10.0 |] in
+  checkf "p25" 2.5 (Summary.percentile s 25.0)
+
+let test_summary_empty_raises () =
+  let s = Summary.create () in
+  Alcotest.check_raises "empty mean" (Invalid_argument "Summary.mean: empty accumulator")
+    (fun () -> ignore (Summary.mean s))
+
+let test_summary_percentile_range () =
+  let s = Summary.of_array [| 1.0 |] in
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Summary.percentile: p out of range") (fun () ->
+      ignore (Summary.percentile s 101.0))
+
+let test_summary_incremental () =
+  let s = Summary.create () in
+  for i = 1 to 1000 do
+    Summary.add s (float_of_int i)
+  done;
+  checki "count" 1000 (Summary.count s);
+  checkf "mean" 500.5 (Summary.mean s)
+
+let test_summary_cache_invalidation () =
+  let s = Summary.create () in
+  Summary.add s 5.0;
+  checkf "p50 before" 5.0 (Summary.percentile s 50.0);
+  Summary.add s 1.0;
+  checkf "min after add" 1.0 (Summary.percentile s 0.0)
+
+(* ---------------- Histogram ---------------- *)
+
+let test_histogram_binning () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  Histogram.add h 0.5;
+  Histogram.add h 9.5;
+  Histogram.add h 5.0;
+  let bins = Histogram.bins h in
+  let count_at i = let _, _, c = List.nth bins i in c in
+  checki "bin0" 1 (count_at 0);
+  checki "bin5" 1 (count_at 5);
+  checki "bin9" 1 (count_at 9);
+  checki "total" 3 (Histogram.total h)
+
+let test_histogram_under_overflow () =
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:2 in
+  Histogram.add h (-1.0);
+  Histogram.add h 2.0;
+  checki "under" 1 (Histogram.underflow h);
+  checki "over" 1 (Histogram.overflow h);
+  checki "total includes both" 2 (Histogram.total h)
+
+let test_histogram_fractions_sum () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Histogram.add h) [ 1.0; 2.0; 3.0; 7.0; 8.0 ];
+  let sum = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 (Histogram.fractions h) in
+  checkf "fractions sum to 1" 1.0 sum
+
+let test_histogram_peak () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Histogram.add h) [ 4.1; 4.2; 4.3; 8.0 ];
+  checkf "peak center" 4.5 (Histogram.peak_center h)
+
+let test_histogram_rejects_bad_args () =
+  Alcotest.check_raises "hi<=lo" (Invalid_argument "Histogram.create: hi must exceed lo")
+    (fun () -> ignore (Histogram.create ~lo:1.0 ~hi:1.0 ~bins:4))
+
+let test_histogram_boundary_value () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  Histogram.add h 10.0;
+  checki "hi is overflow" 1 (Histogram.overflow h)
+
+(* ---------------- Cdf ---------------- *)
+
+let test_cdf_eval () =
+  let c = Cdf.of_samples [| 1.0; 2.0; 3.0; 4.0 |] in
+  checkf "below" 0.0 (Cdf.eval c 0.5);
+  checkf "middle" 0.5 (Cdf.eval c 2.0);
+  checkf "above" 1.0 (Cdf.eval c 10.0)
+
+let test_cdf_quantile () =
+  let c = Cdf.of_samples [| 10.0; 20.0; 30.0; 40.0 |] in
+  checkf "q0.5" 20.0 (Cdf.quantile c 0.5);
+  checkf "q1" 40.0 (Cdf.quantile c 1.0);
+  checkf "q0" 10.0 (Cdf.quantile c 0.0)
+
+let test_cdf_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Cdf.of_samples: empty") (fun () ->
+      ignore (Cdf.of_samples [||]))
+
+let test_cdf_points_reach_one () =
+  let c = Cdf.of_samples (Array.init 1000 float_of_int) in
+  let points = Cdf.points ~max_points:50 c in
+  let _, last = List.nth points (List.length points - 1) in
+  checkf "last fraction 1" 1.0 last;
+  checkb "downsampled" true (List.length points <= 60)
+
+let test_cdf_unsorted_input () =
+  let c = Cdf.of_samples [| 3.0; 1.0; 2.0 |] in
+  checkf "min" 1.0 (Cdf.min_value c);
+  checkf "max" 3.0 (Cdf.max_value c)
+
+(* ---------------- Rates ---------------- *)
+
+let test_rates_pki () =
+  checkf "pki" 2.0 (Rates.pki ~count:20 ~instructions:10_000);
+  checkf "pki zero denom" 0.0 (Rates.pki ~count:5 ~instructions:0)
+
+let test_rates_change () =
+  checkf "change" (-0.1) (Rates.change ~base:10.0 ~enhanced:9.0);
+  checkf "change zero base" 0.0 (Rates.change ~base:0.0 ~enhanced:5.0)
+
+let test_rates_speedup () =
+  checkf "speedup" 2.0 (Rates.speedup ~base:10.0 ~enhanced:5.0)
+
+(* ---------------- property tests ---------------- *)
+
+let nonempty_floats =
+  QCheck.(list_of_size (Gen.int_range 1 200) (float_range (-1000.0) 1000.0))
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"percentile monotone in p" ~count:200 nonempty_floats
+      (fun l ->
+        let s = Summary.of_array (Array.of_list l) in
+        let p25 = Summary.percentile s 25.0
+        and p50 = Summary.percentile s 50.0
+        and p75 = Summary.percentile s 75.0 in
+        p25 <= p50 && p50 <= p75);
+    QCheck.Test.make ~name:"cdf eval within [0,1] and monotone" ~count:200
+      QCheck.(pair nonempty_floats (float_range (-2000.0) 2000.0))
+      (fun (l, x) ->
+        let c = Cdf.of_samples (Array.of_list l) in
+        let v = Cdf.eval c x and v' = Cdf.eval c (x +. 10.0) in
+        v >= 0.0 && v <= 1.0 && v <= v');
+    QCheck.Test.make ~name:"cdf quantile within sample range" ~count:200
+      QCheck.(pair nonempty_floats (float_range 0.0 1.0))
+      (fun (l, q) ->
+        let c = Cdf.of_samples (Array.of_list l) in
+        let v = Cdf.quantile c q in
+        v >= Cdf.min_value c && v <= Cdf.max_value c);
+    QCheck.Test.make ~name:"histogram total equals adds" ~count:200 nonempty_floats
+      (fun l ->
+        let h = Histogram.create ~lo:(-100.0) ~hi:100.0 ~bins:16 in
+        List.iter (Histogram.add h) l;
+        Histogram.total h = List.length l);
+    QCheck.Test.make ~name:"summary mean within [min,max]" ~count:200 nonempty_floats
+      (fun l ->
+        let s = Summary.of_array (Array.of_list l) in
+        Summary.mean s >= Summary.min s -. 1e-9
+        && Summary.mean s <= Summary.max s +. 1e-9);
+  ]
+
+let () =
+  Alcotest.run "dlink_stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "mean" `Quick test_summary_mean;
+          Alcotest.test_case "min/max" `Quick test_summary_minmax;
+          Alcotest.test_case "stddev" `Quick test_summary_stddev;
+          Alcotest.test_case "percentile endpoints" `Quick test_summary_percentile_endpoints;
+          Alcotest.test_case "percentile interpolation" `Quick test_summary_percentile_interpolates;
+          Alcotest.test_case "empty raises" `Quick test_summary_empty_raises;
+          Alcotest.test_case "percentile range" `Quick test_summary_percentile_range;
+          Alcotest.test_case "incremental" `Quick test_summary_incremental;
+          Alcotest.test_case "sorted cache invalidation" `Quick test_summary_cache_invalidation;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "binning" `Quick test_histogram_binning;
+          Alcotest.test_case "under/overflow" `Quick test_histogram_under_overflow;
+          Alcotest.test_case "fractions sum" `Quick test_histogram_fractions_sum;
+          Alcotest.test_case "peak" `Quick test_histogram_peak;
+          Alcotest.test_case "rejects bad args" `Quick test_histogram_rejects_bad_args;
+          Alcotest.test_case "hi boundary overflows" `Quick test_histogram_boundary_value;
+        ] );
+      ( "cdf",
+        [
+          Alcotest.test_case "eval" `Quick test_cdf_eval;
+          Alcotest.test_case "quantile" `Quick test_cdf_quantile;
+          Alcotest.test_case "empty rejected" `Quick test_cdf_empty_rejected;
+          Alcotest.test_case "points reach one" `Quick test_cdf_points_reach_one;
+          Alcotest.test_case "unsorted input" `Quick test_cdf_unsorted_input;
+        ] );
+      ( "rates",
+        [
+          Alcotest.test_case "pki" `Quick test_rates_pki;
+          Alcotest.test_case "change" `Quick test_rates_change;
+          Alcotest.test_case "speedup" `Quick test_rates_speedup;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,484 @@
+(* Tests for Dlink_uarch: tables, caches, TLBs, predictors, Bloom, ABTB,
+   counters, and the accounting engine. *)
+
+open Dlink_uarch
+module Event = Dlink_mach.Event
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---------------- Assoc_table ---------------- *)
+
+let test_assoc_hit_after_insert () =
+  let t = Assoc_table.create ~sets:4 ~ways:2 in
+  Assoc_table.insert t 10 "a";
+  Alcotest.(check (option string)) "hit" (Some "a") (Assoc_table.find t 10)
+
+let test_assoc_lru_eviction_order () =
+  (* One set, two ways: the least recently used key is evicted. *)
+  let t = Assoc_table.create ~sets:1 ~ways:2 in
+  Assoc_table.insert t 1 ();
+  Assoc_table.insert t 2 ();
+  ignore (Assoc_table.find t 1);
+  (* 2 is now LRU *)
+  Assoc_table.insert t 3 ();
+  checkb "1 kept" true (Assoc_table.probe t 1 <> None);
+  checkb "2 evicted" true (Assoc_table.probe t 2 = None);
+  checkb "3 present" true (Assoc_table.probe t 3 <> None)
+
+let test_assoc_probe_does_not_refresh () =
+  let t = Assoc_table.create ~sets:1 ~ways:2 in
+  Assoc_table.insert t 1 ();
+  Assoc_table.insert t 2 ();
+  ignore (Assoc_table.probe t 1);
+  (* probe must NOT refresh: 1 is still LRU *)
+  Assoc_table.insert t 3 ();
+  checkb "1 evicted" true (Assoc_table.probe t 1 = None)
+
+let test_assoc_set_isolation () =
+  (* Keys in different sets never evict each other. *)
+  let t = Assoc_table.create ~sets:2 ~ways:1 in
+  Assoc_table.insert t 0 ();
+  Assoc_table.insert t 1 ();
+  checkb "both live" true (Assoc_table.probe t 0 <> None && Assoc_table.probe t 1 <> None)
+
+let test_assoc_touch () =
+  let t = Assoc_table.create ~sets:2 ~ways:2 in
+  checkb "miss inserts" false (Assoc_table.touch t 5 ());
+  checkb "hit" true (Assoc_table.touch t 5 ())
+
+let test_assoc_overwrite () =
+  let t = Assoc_table.create ~sets:2 ~ways:2 in
+  Assoc_table.insert t 5 "a";
+  Assoc_table.insert t 5 "b";
+  Alcotest.(check (option string)) "overwritten" (Some "b") (Assoc_table.find t 5);
+  checki "single entry" 1 (Assoc_table.valid_count t)
+
+let test_assoc_clear () =
+  let t = Assoc_table.create ~sets:2 ~ways:2 in
+  Assoc_table.insert t 5 ();
+  Assoc_table.clear t;
+  checki "empty" 0 (Assoc_table.valid_count t)
+
+let test_assoc_rejects_bad_geometry () =
+  Alcotest.check_raises "non-pow2"
+    (Invalid_argument "Assoc_table.create: sets must be a power of two") (fun () ->
+      ignore (Assoc_table.create ~sets:3 ~ways:1))
+
+(* ---------------- Cache ---------------- *)
+
+let test_cache_hit_miss () =
+  let c = Cache.create ~name:"t" ~size_bytes:4096 ~ways:2 in
+  checkb "cold miss" false (Cache.access c 0x1000);
+  checkb "warm hit" true (Cache.access c 0x1000);
+  checkb "same line" true (Cache.access c 0x103F);
+  checkb "next line misses" false (Cache.access c 0x1040)
+
+let test_cache_capacity_eviction () =
+  let c = Cache.create ~name:"t" ~size_bytes:1024 ~ways:1 in
+  (* 16 lines direct mapped; address + 1024 maps to the same set. *)
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 1024);
+  checkb "conflict evicted" false (Cache.access c 0)
+
+let test_cache_flush () =
+  let c = Cache.create ~name:"t" ~size_bytes:1024 ~ways:2 in
+  ignore (Cache.access c 0);
+  Cache.flush c;
+  checkb "cold again" false (Cache.access c 0)
+
+(* ---------------- Tlb ---------------- *)
+
+let test_tlb_page_granularity () =
+  let t = Tlb.create ~name:"t" ~entries:8 ~ways:2 in
+  ignore (Tlb.access t 0x1000);
+  checkb "same page hits" true (Tlb.access t 0x1FFF);
+  checkb "next page misses" false (Tlb.access t 0x2000)
+
+let test_tlb_capacity () =
+  let t = Tlb.create ~name:"t" ~entries:4 ~ways:4 in
+  for i = 0 to 3 do
+    ignore (Tlb.access t (i * 4096 * 4))
+  done;
+  (* All four entries map to set 0 region...: fully assoc when ways=4, sets=1 *)
+  ignore (Tlb.access t (100 * 4096));
+  checkb "evicted oldest" false (Tlb.access t 0)
+
+(* ---------------- Btb / Direction / Ras ---------------- *)
+
+let test_btb_predict_update () =
+  let b = Btb.create ~sets:16 ~ways:2 in
+  checkb "cold" true (Btb.predict b 0x400 = None);
+  Btb.update b 0x400 0x500;
+  Alcotest.(check (option int)) "trained" (Some 0x500) (Btb.predict b 0x400)
+
+let test_btb_retarget () =
+  let b = Btb.create ~sets:16 ~ways:2 in
+  Btb.update b 0x400 0x500;
+  Btb.update b 0x400 0x600;
+  Alcotest.(check (option int)) "retargeted" (Some 0x600) (Btb.predict b 0x400)
+
+let test_direction_learns_bias () =
+  let d = Direction.create ~table_bits:10 ~history_bits:0 in
+  for _ = 1 to 10 do
+    Direction.update d 0x40 true
+  done;
+  checkb "learned taken" true (Direction.predict d 0x40)
+
+let test_direction_learns_alternating_with_history () =
+  let d = Direction.create ~table_bits:12 ~history_bits:4 in
+  (* Strictly alternating pattern is learnable with history. *)
+  let taken = ref false in
+  for _ = 1 to 200 do
+    taken := not !taken;
+    Direction.update d 0x40 !taken
+  done;
+  let correct = ref 0 in
+  for _ = 1 to 100 do
+    taken := not !taken;
+    if Direction.predict d 0x40 = !taken then incr correct;
+    Direction.update d 0x40 !taken
+  done;
+  checkb "alternation learned" true (!correct > 90)
+
+let test_ras_lifo () =
+  let r = Ras.create ~depth:4 in
+  Ras.push r 1;
+  Ras.push r 2;
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Ras.pop r);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Ras.pop r);
+  Alcotest.(check (option int)) "empty" None (Ras.pop r)
+
+let test_ras_overflow_wraps () =
+  let r = Ras.create ~depth:2 in
+  Ras.push r 1;
+  Ras.push r 2;
+  Ras.push r 3;
+  (* 1 overwritten *)
+  Alcotest.(check (option int)) "3" (Some 3) (Ras.pop r);
+  Alcotest.(check (option int)) "2" (Some 2) (Ras.pop r);
+  Alcotest.(check (option int)) "1 lost" None (Ras.pop r)
+
+(* ---------------- Bloom ---------------- *)
+
+let test_bloom_membership () =
+  let b = Bloom.create ~bits:1024 ~hashes:2 in
+  checkb "empty" false (Bloom.mem b 0x1234);
+  Bloom.add b 0x1234;
+  checkb "added" true (Bloom.mem b 0x1234)
+
+let test_bloom_clear () =
+  let b = Bloom.create ~bits:1024 ~hashes:2 in
+  Bloom.add b 0x10;
+  Bloom.clear b;
+  checkb "cleared" false (Bloom.mem b 0x10);
+  checki "no bits" 0 (Bloom.bits_set b)
+
+let test_bloom_fp_rate_reasonable () =
+  let b = Bloom.create ~bits:4096 ~hashes:2 in
+  for i = 1 to 20 do
+    Bloom.add b (i * 8192)
+  done;
+  let fp = ref 0 in
+  for i = 1000 to 2000 do
+    if Bloom.mem b (i * 7919) then incr fp
+  done;
+  checkb "few false positives" true (!fp < 10)
+
+let test_bloom_rejects_bad_args () =
+  Alcotest.check_raises "bits"
+    (Invalid_argument "Bloom.create: bits must be a positive power of two") (fun () ->
+      ignore (Bloom.create ~bits:1000 ~hashes:2))
+
+(* ---------------- Abtb ---------------- *)
+
+let test_abtb_insert_lookup () =
+  let a = Abtb.create ~entries:4 () in
+  Abtb.insert a 0x100 { Abtb.func = 0x200; got_slot = 0x300 };
+  (match Abtb.lookup a 0x100 with
+  | Some { Abtb.func; got_slot } ->
+      checki "func" 0x200 func;
+      checki "slot" 0x300 got_slot
+  | None -> Alcotest.fail "missing");
+  checkb "other misses" true (Abtb.lookup a 0x101 = None)
+
+let test_abtb_lru_capacity () =
+  let a = Abtb.create ~entries:2 () in
+  Abtb.insert a 1 { Abtb.func = 1; got_slot = 1 };
+  Abtb.insert a 2 { Abtb.func = 2; got_slot = 2 };
+  ignore (Abtb.lookup a 1);
+  Abtb.insert a 3 { Abtb.func = 3; got_slot = 3 };
+  checkb "2 evicted" true (Abtb.lookup a 2 = None);
+  checkb "1 retained" true (Abtb.lookup a 1 <> None)
+
+let test_abtb_clear () =
+  let a = Abtb.create ~entries:4 () in
+  Abtb.insert a 1 { Abtb.func = 1; got_slot = 1 };
+  Abtb.clear a;
+  checki "empty" 0 (Abtb.valid_count a)
+
+let test_abtb_storage_cost () =
+  (* Paper §5.3: 12 bytes per entry; 256 entries < 1.5KB claim is loose,
+     exactly 3KB at 12B/entry — we report the exact figure. *)
+  let a = Abtb.create ~entries:256 () in
+  checki "12B/entry" (256 * 12) (Abtb.storage_bytes a)
+
+(* ---------------- Counters ---------------- *)
+
+let test_counters_diff () =
+  let a = Counters.create () in
+  a.Counters.instructions <- 100;
+  a.Counters.cycles <- 300;
+  let snap = Counters.copy a in
+  a.Counters.instructions <- 150;
+  a.Counters.cycles <- 450;
+  let d = Counters.diff ~after:a ~before:snap in
+  checki "instr delta" 50 d.Counters.instructions;
+  checki "cycle delta" 150 d.Counters.cycles
+
+let test_counters_pki () =
+  let c = Counters.create () in
+  c.Counters.instructions <- 2000;
+  Alcotest.(check (float 1e-9)) "pki" 5.0 (Counters.pki c 10)
+
+let test_counters_reset () =
+  let c = Counters.create () in
+  c.Counters.branches <- 5;
+  Counters.reset c;
+  checki "reset" 0 c.Counters.branches
+
+(* ---------------- Engine ---------------- *)
+
+let plain_event ?load ?store ?branch pc =
+  { Event.pc; size = 4; in_plt = false; load; load2 = None; store; branch }
+
+let test_engine_counts_instructions_and_misses () =
+  let e = Engine.create Config.small in
+  Engine.retire e (plain_event 0x1000);
+  Engine.retire e (plain_event 0x1000);
+  let c = Engine.counters e in
+  checki "two instructions" 2 c.Counters.instructions;
+  checki "one icache miss" 1 c.Counters.icache_misses;
+  checki "one itlb miss" 1 c.Counters.itlb_misses;
+  checkb "cycles include penalties" true (c.Counters.cycles > 2)
+
+let test_engine_data_accesses () =
+  let e = Engine.create Config.small in
+  Engine.retire e (plain_event ~load:0x8000 0x1000);
+  Engine.retire e (plain_event ~store:0x8000 0x1004);
+  let c = Engine.counters e in
+  checki "one dcache miss (second hits)" 1 c.Counters.dcache_misses;
+  checki "one dtlb miss" 1 c.Counters.dtlb_misses
+
+let test_engine_cond_misprediction () =
+  let e = Engine.create Config.small in
+  (* Initial 2-bit counters are weakly not-taken: a taken branch mispredicts. *)
+  Engine.retire e
+    (plain_event ~branch:(Event.Cond_branch { target = 0x2000; taken = true }) 0x1000);
+  checki "mispredicted" 1 (Engine.counters e).Counters.branch_mispredictions
+
+let test_engine_indirect_learns () =
+  let e = Engine.create Config.small in
+  let ev = plain_event ~branch:(Event.Jump_indirect { target = 0x2000; slot = 0x30 }) 0x1000 in
+  Engine.retire e ev;
+  let m1 = (Engine.counters e).Counters.branch_mispredictions in
+  Engine.retire e ev;
+  let m2 = (Engine.counters e).Counters.branch_mispredictions in
+  checki "first mispredicts" 1 m1;
+  checki "second predicted" 1 m2
+
+let test_engine_return_uses_ras () =
+  let e = Engine.create Config.small in
+  (* Call pushes pc+size; matching return is predicted. *)
+  Engine.retire e
+    (plain_event ~branch:(Event.Call_direct { target = 0x2000; arch_target = 0x2000 }) 0x1000);
+  let before = (Engine.counters e).Counters.branch_mispredictions in
+  Engine.retire e (plain_event ~branch:(Event.Return { target = 0x1004 }) 0x2000);
+  checki "return predicted" before (Engine.counters e).Counters.branch_mispredictions
+
+let test_engine_redirected_call_with_stale_btb_mispredicts () =
+  let e = Engine.create Config.small in
+  (* A redirected (skipped) call whose BTB does not hold the function is a
+     genuine misprediction. *)
+  Engine.retire e
+    (plain_event ~branch:(Event.Call_direct { target = 0x3000; arch_target = 0x2000 }) 0x1000);
+  checki "mispredict" 1 (Engine.counters e).Counters.branch_mispredictions;
+  (* Next time the BTB holds the function address: no mispredict. *)
+  Engine.retire e
+    (plain_event ~branch:(Event.Call_direct { target = 0x3000; arch_target = 0x2000 }) 0x1000);
+  checki "then predicted" 1 (Engine.counters e).Counters.branch_mispredictions
+
+let test_engine_direct_call_miss_is_bubble_not_mispredict () =
+  let e = Engine.create Config.small in
+  Engine.retire e
+    (plain_event ~branch:(Event.Call_direct { target = 0x2000; arch_target = 0x2000 }) 0x1000);
+  let c = Engine.counters e in
+  checki "no mispredict" 0 c.Counters.branch_mispredictions;
+  checki "btb fill" 1 c.Counters.btb_misses
+
+let test_engine_btb_external_update () =
+  let e = Engine.create Config.small in
+  Engine.btb_update e 0x1000 0x5000;
+  Alcotest.(check (option int)) "visible" (Some 0x5000) (Engine.btb_predict e 0x1000)
+
+let test_engine_context_switch_flushes_tlbs () =
+  let e = Engine.create Config.small in
+  Engine.retire e (plain_event 0x1000);
+  Engine.context_switch e;
+  Engine.retire e (plain_event 0x1000);
+  checki "itlb misses twice" 2 (Engine.counters e).Counters.itlb_misses
+
+let test_engine_plt_instructions_counted () =
+  let e = Engine.create Config.small in
+  Engine.retire e { (plain_event 0x1000) with Event.in_plt = true };
+  checki "tramp instr" 1 (Engine.counters e).Counters.tramp_instructions
+
+let test_engine_cycle_arithmetic_exact () =
+  (* One plain instruction on a cold machine: 1 base cycle + ITLB walk +
+     L1I miss that also misses L2 (memory latency). *)
+  let cfg = Config.small in
+  let e = Engine.create cfg in
+  Engine.retire e (plain_event 0x1000);
+  let expected =
+    1 + cfg.Config.penalties.tlb_miss + cfg.Config.penalties.l2_miss
+  in
+  checki "cold fetch cost" expected (Engine.counters e).Counters.cycles;
+  (* Same instruction again: everything hits, exactly one cycle. *)
+  Engine.retire e (plain_event 0x1000);
+  checki "warm fetch cost" (expected + 1) (Engine.counters e).Counters.cycles
+
+let test_engine_l2_absorbs_l1_misses () =
+  let cfg = Config.small in
+  let e = Engine.create cfg in
+  (* Three addresses mapping to the same 2-way L1 set force a conflict
+     eviction; the larger L2 keeps all three, so re-access costs only the
+     L1-miss (L2-hit) penalty. *)
+  let a = 0x10000 in
+  let b = a + (4 * 1024) and c = a + (8 * 1024) in
+  Engine.retire e (plain_event a);
+  Engine.retire e (plain_event b);
+  Engine.retire e (plain_event c);
+  let before = (Engine.counters e).Counters.cycles in
+  Engine.retire e (plain_event a);
+  let cost = (Engine.counters e).Counters.cycles - before in
+  checki "L2 hit after L1 conflict" (1 + cfg.Config.penalties.l1_miss) cost
+
+(* ---------------- property tests ---------------- *)
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"bloom has no false negatives" ~count:200
+      QCheck.(list_of_size (QCheck.Gen.int_range 1 64) (int_range 0 1_000_000))
+      (fun addrs ->
+        let b = Bloom.create ~bits:4096 ~hashes:3 in
+        List.iter (Bloom.add b) addrs;
+        List.for_all (Bloom.mem b) addrs);
+    QCheck.Test.make ~name:"assoc table holds at most capacity" ~count:200
+      QCheck.(list_of_size (QCheck.Gen.int_range 1 100) (int_range 0 1000))
+      (fun keys ->
+        let t = Assoc_table.create ~sets:4 ~ways:2 in
+        List.iter (fun k -> Assoc_table.insert t k ()) keys;
+        Assoc_table.valid_count t <= Assoc_table.capacity t);
+    QCheck.Test.make ~name:"most recent key always present" ~count:200
+      QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (int_range 0 1000))
+      (fun keys ->
+        let t = Assoc_table.create ~sets:2 ~ways:2 in
+        List.iter (fun k -> Assoc_table.insert t k ()) keys;
+        match List.rev keys with
+        | last :: _ -> Assoc_table.probe t last <> None
+        | [] -> true);
+    QCheck.Test.make ~name:"cache access idempotent on hit" ~count:200
+      (QCheck.int_range 0 100_000)
+      (fun addr ->
+        let c = Cache.create ~name:"t" ~size_bytes:4096 ~ways:4 in
+        ignore (Cache.access c addr);
+        Cache.access c addr && Cache.access c addr);
+    QCheck.Test.make ~name:"ras pop returns last push" ~count:200
+      QCheck.(list_of_size (QCheck.Gen.int_range 1 8) (int_range 0 1_000_000))
+      (fun pushes ->
+        let r = Ras.create ~depth:16 in
+        List.iter (Ras.push r) pushes;
+        match List.rev pushes with
+        | last :: _ -> Ras.pop r = Some last
+        | [] -> true);
+  ]
+
+let () =
+  Alcotest.run "dlink_uarch"
+    [
+      ( "assoc_table",
+        [
+          Alcotest.test_case "hit after insert" `Quick test_assoc_hit_after_insert;
+          Alcotest.test_case "LRU eviction" `Quick test_assoc_lru_eviction_order;
+          Alcotest.test_case "probe no refresh" `Quick test_assoc_probe_does_not_refresh;
+          Alcotest.test_case "set isolation" `Quick test_assoc_set_isolation;
+          Alcotest.test_case "touch" `Quick test_assoc_touch;
+          Alcotest.test_case "overwrite" `Quick test_assoc_overwrite;
+          Alcotest.test_case "clear" `Quick test_assoc_clear;
+          Alcotest.test_case "bad geometry" `Quick test_assoc_rejects_bad_geometry;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "conflict eviction" `Quick test_cache_capacity_eviction;
+          Alcotest.test_case "flush" `Quick test_cache_flush;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "page granularity" `Quick test_tlb_page_granularity;
+          Alcotest.test_case "capacity" `Quick test_tlb_capacity;
+        ] );
+      ( "predictors",
+        [
+          Alcotest.test_case "btb predict/update" `Quick test_btb_predict_update;
+          Alcotest.test_case "btb retarget" `Quick test_btb_retarget;
+          Alcotest.test_case "direction bias" `Quick test_direction_learns_bias;
+          Alcotest.test_case "direction alternation" `Quick
+            test_direction_learns_alternating_with_history;
+          Alcotest.test_case "ras lifo" `Quick test_ras_lifo;
+          Alcotest.test_case "ras overflow" `Quick test_ras_overflow_wraps;
+        ] );
+      ( "bloom",
+        [
+          Alcotest.test_case "membership" `Quick test_bloom_membership;
+          Alcotest.test_case "clear" `Quick test_bloom_clear;
+          Alcotest.test_case "fp rate" `Quick test_bloom_fp_rate_reasonable;
+          Alcotest.test_case "bad args" `Quick test_bloom_rejects_bad_args;
+        ] );
+      ( "abtb",
+        [
+          Alcotest.test_case "insert/lookup" `Quick test_abtb_insert_lookup;
+          Alcotest.test_case "LRU capacity" `Quick test_abtb_lru_capacity;
+          Alcotest.test_case "clear" `Quick test_abtb_clear;
+          Alcotest.test_case "storage cost" `Quick test_abtb_storage_cost;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "diff" `Quick test_counters_diff;
+          Alcotest.test_case "pki" `Quick test_counters_pki;
+          Alcotest.test_case "reset" `Quick test_counters_reset;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "instr and fetch misses" `Quick
+            test_engine_counts_instructions_and_misses;
+          Alcotest.test_case "data accesses" `Quick test_engine_data_accesses;
+          Alcotest.test_case "cond misprediction" `Quick test_engine_cond_misprediction;
+          Alcotest.test_case "indirect learns" `Quick test_engine_indirect_learns;
+          Alcotest.test_case "return uses RAS" `Quick test_engine_return_uses_ras;
+          Alcotest.test_case "stale-BTB skip mispredicts" `Quick
+            test_engine_redirected_call_with_stale_btb_mispredicts;
+          Alcotest.test_case "direct miss is bubble" `Quick
+            test_engine_direct_call_miss_is_bubble_not_mispredict;
+          Alcotest.test_case "external BTB update" `Quick test_engine_btb_external_update;
+          Alcotest.test_case "context switch flushes TLBs" `Quick
+            test_engine_context_switch_flushes_tlbs;
+          Alcotest.test_case "plt instructions counted" `Quick
+            test_engine_plt_instructions_counted;
+          Alcotest.test_case "cycle arithmetic exact" `Quick
+            test_engine_cycle_arithmetic_exact;
+          Alcotest.test_case "L2 absorbs L1 misses" `Quick
+            test_engine_l2_absorbs_l1_misses;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,319 @@
+(* Tests for Dlink_util: RNG, samplers, site hashing, rendering. *)
+
+module Rng = Dlink_util.Rng
+module Sampler = Dlink_util.Sampler
+module Site_hash = Dlink_util.Site_hash
+module Table = Dlink_util.Table
+module Plot = Dlink_util.Ascii_plot
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---------------- Rng ---------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 1234 and b = Rng.create 1234 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  checkb "different seeds differ" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    checkb "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let rng = Rng.create 7 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_int_in () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int_in rng 5 9 in
+    checkb "in [5,9]" true (v >= 5 && v <= 9)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1_000 do
+    let v = Rng.float rng 2.5 in
+    checkb "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_bool_frequency () =
+  let rng = Rng.create 11 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Rng.bool rng 0.25 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  checkb "p=0.25 within 2%" true (abs_float (freq -. 0.25) < 0.02)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 5 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy continues identically" (Rng.next_int64 a)
+    (Rng.next_int64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  checkb "split streams differ" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 17 in
+  let n = 50_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential rng ~mean:4.0
+  done;
+  let mean = !acc /. float_of_int n in
+  checkb "exponential mean ~4" true (abs_float (mean -. 4.0) < 0.2)
+
+let test_rng_normal_moments () =
+  let rng = Rng.create 23 in
+  let n = 50_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.normal rng ~mu:10.0 ~sigma:2.0
+  done;
+  let mean = !acc /. float_of_int n in
+  checkb "normal mean ~10" true (abs_float (mean -. 10.0) < 0.1)
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 9 in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_pick_member () =
+  let rng = Rng.create 13 in
+  let a = [| 2; 4; 6 |] in
+  for _ = 1 to 100 do
+    checkb "member" true (Array.mem (Rng.pick rng a) a)
+  done
+
+(* ---------------- Zipf ---------------- *)
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Sampler.Zipf.create ~n:50 ~s:1.3 in
+  let total = ref 0.0 in
+  for k = 0 to 49 do
+    total := !total +. Sampler.Zipf.pmf z k
+  done;
+  checkb "pmf sums to 1" true (abs_float (!total -. 1.0) < 1e-9)
+
+let test_zipf_monotone_pmf () =
+  let z = Sampler.Zipf.create ~n:20 ~s:1.0 in
+  for k = 1 to 19 do
+    checkb "pmf decreasing" true (Sampler.Zipf.pmf z k <= Sampler.Zipf.pmf z (k - 1))
+  done
+
+let test_zipf_uniform_when_s_zero () =
+  let z = Sampler.Zipf.create ~n:10 ~s:0.0 in
+  for k = 0 to 9 do
+    checkb "uniform pmf" true (abs_float (Sampler.Zipf.pmf z k -. 0.1) < 1e-9)
+  done
+
+let test_zipf_sample_bounds () =
+  let z = Sampler.Zipf.create ~n:33 ~s:1.5 in
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let k = Sampler.Zipf.sample z rng in
+    checkb "rank in range" true (k >= 0 && k < 33)
+  done
+
+let test_zipf_sample_frequency_matches_pmf () =
+  let z = Sampler.Zipf.create ~n:10 ~s:1.2 in
+  let rng = Rng.create 99 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let k = Sampler.Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  for k = 0 to 9 do
+    let freq = float_of_int counts.(k) /. float_of_int n in
+    checkb "frequency ~ pmf" true (abs_float (freq -. Sampler.Zipf.pmf z k) < 0.01)
+  done
+
+let test_zipf_rejects_bad_args () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Sampler.Zipf.create ~n:0 ~s:1.0))
+
+(* ---------------- Categorical ---------------- *)
+
+let test_categorical_respects_weights () =
+  let c = Sampler.Categorical.create [ ("a", 3.0); ("b", 1.0) ] in
+  let rng = Rng.create 5 in
+  let a = ref 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    if Sampler.Categorical.sample c rng = "a" then incr a
+  done;
+  let freq = float_of_int !a /. float_of_int n in
+  checkb "weight 3:1" true (abs_float (freq -. 0.75) < 0.02)
+
+let test_categorical_zero_weight_never_sampled () =
+  let c = Sampler.Categorical.create [ ("x", 0.0); ("y", 1.0) ] in
+  let rng = Rng.create 5 in
+  for _ = 1 to 1_000 do
+    check Alcotest.string "only y" "y" (Sampler.Categorical.sample c rng)
+  done
+
+let test_categorical_rejects_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Categorical.create: empty")
+    (fun () -> ignore (Sampler.Categorical.create []))
+
+(* ---------------- Site_hash ---------------- *)
+
+let test_site_hash_nonnegative () =
+  for i = -50 to 50 do
+    for j = -50 to 50 do
+      checkb "non-negative" true (Site_hash.mix2 i j >= 0)
+    done
+  done
+
+let test_site_hash_deterministic () =
+  checki "stable" (Site_hash.mix2 42 7) (Site_hash.mix2 42 7)
+
+let test_site_hash_bernoulli_frequency () =
+  let hits = ref 0 in
+  let n = 100_000 in
+  for count = 0 to n - 1 do
+    if Site_hash.bernoulli ~site:3 ~count ~p:0.7 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  checkb "p=0.7" true (abs_float (freq -. 0.7) < 0.01)
+
+let test_site_hash_index_bounds () =
+  for count = 0 to 10_000 do
+    let i = Site_hash.index ~site:9 ~count 37 in
+    checkb "in range" true (i >= 0 && i < 37)
+  done
+
+(* ---------------- Table / Plot ---------------- *)
+
+let test_table_renders_aligned () =
+  let t = Table.create ~headers:[ "a"; "bb" ] in
+  Table.add_row t [ "xxx"; "y" ];
+  let s = Table.render t in
+  checkb "has separator" true (String.length s > 0 && String.contains s '-')
+
+let test_table_pads_short_rows () =
+  let t = Table.create ~headers:[ "a"; "b"; "c" ] in
+  Table.add_row t [ "1" ];
+  ignore (Table.render t)
+
+let test_table_rejects_long_rows () =
+  let t = Table.create ~headers:[ "a" ] in
+  Alcotest.check_raises "too many" (Invalid_argument "Table.add_row: too many cells")
+    (fun () -> Table.add_row t [ "1"; "2" ])
+
+let test_fmt_pct () =
+  check Alcotest.string "percent" "+4.00%" (Table.fmt_pct 0.04)
+
+let test_plot_empty_series () =
+  let s = Plot.line_chart ~title:"t" [ { Plot.label = "x"; points = [] } ] in
+  checkb "renders" true (String.length s > 0)
+
+let test_plot_log_scale () =
+  let s =
+    Plot.line_chart ~log_x:true ~log_y:true ~title:"t"
+      [ { Plot.label = "x"; points = [ (1.0, 10.0); (100.0, 1000.0) ] } ]
+  in
+  checkb "renders" true (String.length s > 0)
+
+(* ---------------- property tests ---------------- *)
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"rng int always within bound" ~count:1000
+      QCheck.(pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let rng = Rng.create seed in
+        let v = Rng.int rng bound in
+        v >= 0 && v < bound);
+    QCheck.Test.make ~name:"zipf cdf sample matches rank range" ~count:500
+      QCheck.(pair (int_range 1 200) (int_range 0 30))
+      (fun (n, seed) ->
+        let z = Sampler.Zipf.create ~n ~s:1.1 in
+        let rng = Rng.create seed in
+        let k = Sampler.Zipf.sample z rng in
+        k >= 0 && k < n);
+    QCheck.Test.make ~name:"site hash index within bound" ~count:1000
+      QCheck.(triple small_int small_int (int_range 1 500))
+      (fun (site, count, n) ->
+        let i = Site_hash.index ~site ~count n in
+        i >= 0 && i < n);
+    QCheck.Test.make ~name:"bernoulli deterministic" ~count:500
+      QCheck.(pair small_int small_int)
+      (fun (site, count) ->
+        Site_hash.bernoulli ~site ~count ~p:0.5
+        = Site_hash.bernoulli ~site ~count ~p:0.5);
+  ]
+
+let () =
+  Alcotest.run "dlink_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int rejects non-positive" `Quick test_rng_int_rejects_nonpositive;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bool frequency" `Quick test_rng_bool_frequency;
+          Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "normal moments" `Quick test_rng_normal_moments;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "pick member" `Quick test_pick_member;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "pmf sums to one" `Quick test_zipf_pmf_sums_to_one;
+          Alcotest.test_case "pmf monotone" `Quick test_zipf_monotone_pmf;
+          Alcotest.test_case "uniform when s=0" `Quick test_zipf_uniform_when_s_zero;
+          Alcotest.test_case "sample bounds" `Quick test_zipf_sample_bounds;
+          Alcotest.test_case "sample frequency" `Slow test_zipf_sample_frequency_matches_pmf;
+          Alcotest.test_case "rejects bad args" `Quick test_zipf_rejects_bad_args;
+        ] );
+      ( "categorical",
+        [
+          Alcotest.test_case "respects weights" `Quick test_categorical_respects_weights;
+          Alcotest.test_case "zero weight" `Quick test_categorical_zero_weight_never_sampled;
+          Alcotest.test_case "rejects empty" `Quick test_categorical_rejects_empty;
+        ] );
+      ( "site_hash",
+        [
+          Alcotest.test_case "non-negative" `Quick test_site_hash_nonnegative;
+          Alcotest.test_case "deterministic" `Quick test_site_hash_deterministic;
+          Alcotest.test_case "bernoulli frequency" `Quick test_site_hash_bernoulli_frequency;
+          Alcotest.test_case "index bounds" `Quick test_site_hash_index_bounds;
+        ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "table aligned" `Quick test_table_renders_aligned;
+          Alcotest.test_case "table pads" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "table rejects long" `Quick test_table_rejects_long_rows;
+          Alcotest.test_case "fmt_pct" `Quick test_fmt_pct;
+          Alcotest.test_case "plot empty" `Quick test_plot_empty_series;
+          Alcotest.test_case "plot log" `Quick test_plot_log_scale;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]
