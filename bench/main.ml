@@ -21,15 +21,68 @@ module Sweep = Dlink_core.Abtb_sweep
 module Memsave = Dlink_core.Memory_savings
 module Profile = Dlink_core.Profile
 module Cow = Dlink_core.Cow
+module Sched = Dlink_sched.Scheduler
+module Policy = Dlink_sched.Policy
+module Qs = Dlink_sched.Quantum_sweep
 module W = Dlink_workloads
 module Table = Dlink_util.Table
 module Plot = Dlink_util.Ascii_plot
+module Json = Dlink_util.Json
 module Stats = Dlink_stats
 
 let section title =
   Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
 
 let fmt = Table.fmt_float
+
+(* --json FILE: machine-readable dump of the headline metrics, appended to
+   as sections run and written on exit. *)
+let json_path =
+  let rec scan = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
+(* Fail fast on an unwritable path rather than at the end of a long run. *)
+let () =
+  match json_path with
+  | None -> ()
+  | Some path -> (
+      try close_out (open_out path)
+      with Sys_error e ->
+        Printf.eprintf "cannot write --json file: %s\n" e;
+        exit 2)
+
+let json_acc : (string * Json.t) list ref = ref []
+let json_add key v = if json_path <> None then json_acc := (key, v) :: !json_acc
+
+let json_counters (c : C.t) =
+  Json.Obj
+    [
+      ("instructions", Json.Int c.C.instructions);
+      ("cycles", Json.Int c.C.cycles);
+      ("tramp_calls", Json.Int c.C.tramp_calls);
+      ("tramp_skips", Json.Int c.C.tramp_skips);
+      ("tramp_instructions", Json.Int c.C.tramp_instructions);
+      ("abtb_clears", Json.Int c.C.abtb_clears);
+      ("got_stores", Json.Int c.C.got_stores);
+      ("resolver_runs", Json.Int c.C.resolver_runs);
+      ("coherence_invalidations", Json.Int c.C.coherence_invalidations);
+      ("icache_misses", Json.Int c.C.icache_misses);
+      ("dcache_misses", Json.Int c.C.dcache_misses);
+      ("itlb_misses", Json.Int c.C.itlb_misses);
+      ("dtlb_misses", Json.Int c.C.dtlb_misses);
+      ("branch_mispredictions", Json.Int c.C.branch_mispredictions);
+    ]
+
+let json_flush () =
+  match json_path with
+  | None -> ()
+  | Some path ->
+      Json.write_file path (Json.Obj (List.rev !json_acc));
+      Printf.printf "\nwrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
 (* Shared simulation runs: one (base, enhanced, patched) triple per
@@ -700,6 +753,79 @@ let ablation_explicit_invalidate () =
     \  an architecturally visible contract, like non-coherent I-caches."
 
 (* ------------------------------------------------------------------ *)
+(* Multi-process scheduling: the dlink_sched subsystem.                  *)
+
+let multiprocess_scheduling () =
+  section "Multi-process scheduling: flush vs ASID-tagged ABTB";
+  let mix = [ "apache"; "memcached"; "mysql" ] in
+  let workloads =
+    List.map (fun n -> (Option.get (W.Registry.find n)) ?seed:None ()) mix
+  in
+  Printf.printf "  mix: %s, 200 requests each, single core\n%!"
+    (String.concat "+" mix);
+  let points = Qs.sweep ~requests:200 ~policies:Policy.all workloads in
+  Table.print (Qs.table points);
+  print_string (Qs.plot points);
+  print_endline
+    "  Short quanta under 'flush' destroy the ABTB working set before it\n\
+    \  pays off; ASID tags let a process resume warm (section 3.3).";
+  json_add "quantum_sweep"
+    (Json.List
+       (List.map
+          (fun (p : Qs.point) ->
+            Json.Obj
+              [
+                ("quantum", Json.Int p.Qs.quantum);
+                ("policy", Json.String (Policy.to_string p.Qs.policy));
+                ("skip_pct", Json.Float p.Qs.skip_pct);
+                ("cpi", Json.Float p.Qs.cpi);
+                ("abtb_clears", Json.Int p.Qs.abtb_clears);
+                ("coherence_invalidations", Json.Int p.Qs.coherence_invalidations);
+                ("switches", Json.Int p.Qs.switches);
+              ])
+          points));
+  (* Cross-core GOT coherence: a rebinding store retired by one core's
+     process clears the sibling core's guarded entries over the bus. *)
+  let sched =
+    Sched.create ~policy:Policy.Asid_shared_guard ~quantum:10 ~cores:2
+      ~requests:150
+      (List.map (fun n -> (Option.get (W.Registry.find n)) ?seed:None ())
+         [ "memcached"; "memcached" ])
+  in
+  Sched.run sched;
+  let before = (Sched.system_counters sched).C.coherence_invalidations in
+  let p1 = Sched.proc sched 1 in
+  let got_slot =
+    let linked = Sched.proc_linked p1 in
+    let lowest =
+      Array.fold_left
+        (fun acc (img : Dlink_linker.Image.t) ->
+          Hashtbl.fold
+            (fun _ a acc ->
+              match acc with None -> Some a | Some b -> Some (min a b))
+            img.Dlink_linker.Image.got_slots acc)
+        None
+        (Dlink_linker.Space.images linked.Dlink_linker.Loader.space)
+    in
+    Option.get lowest
+  in
+  Sched.retire_got_store sched ~pid:1 got_slot;
+  let after = (Sched.system_counters sched).C.coherence_invalidations in
+  Printf.printf
+    "  cross-core rebinding: GOT store on core 1 -> %d coherence invalidation(s)\n\
+    \  on the sibling core (bus published=%d delivered=%d)\n"
+    (after - before)
+    (Dlink_mach.Coherence.published (Sched.bus sched))
+    (Dlink_mach.Coherence.delivered (Sched.bus sched));
+  json_add "cross_core_guard"
+    (Json.Obj
+       [
+         ("invalidations", Json.Int (after - before));
+         ("bus_published", Json.Int (Dlink_mach.Coherence.published (Sched.bus sched)));
+         ("bus_delivered", Json.Int (Dlink_mach.Coherence.delivered (Sched.bus sched)));
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core structures.                     *)
 
 let microbenchmarks () =
@@ -801,6 +927,18 @@ let () =
     "Reproduction harness: Architectural Support for Dynamic Linking (ASPLOS'15)";
   section "Simulations";
   let triples = List.map (fun n -> (n, make_triple n)) workload_names in
+  json_add "workloads"
+    (Json.Obj
+       (List.map
+          (fun (name, tr) ->
+            ( name,
+              Json.Obj
+                [
+                  ("base", json_counters tr.base.E.counters);
+                  ("enhanced", json_counters tr.enhanced.E.counters);
+                  ("patched", json_counters tr.patched.E.counters);
+                ] ))
+          triples));
   table2 triples;
   table3 triples;
   figure4 triples;
@@ -819,6 +957,8 @@ let () =
   ablation_link_modes ();
   ablation_dispatch_mechanisms ();
   ablation_explicit_invalidate ();
+  multiprocess_scheduling ();
   microbenchmarks ();
+  json_flush ();
   section "Done";
   print_endline "All tables and figures regenerated; see EXPERIMENTS.md for analysis."

@@ -7,6 +7,7 @@
      sweep     Figure 5 ABTB-size sweep for one workload
      profile   Table 2/3 + Figure 4 opportunity profile
      memsave   §5.5 memory-overhead model
+     multi     multi-process scheduler: flush vs ASID context switching
      list      available workloads *)
 
 module C = Dlink_uarch.Counters
@@ -298,6 +299,134 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Print the first retired instructions of a request")
     Term.(const action $ workload_arg $ seed_arg $ limit_arg)
 
+let mix_conv =
+  let parse s =
+    let names = String.split_on_char ',' s in
+    let bad =
+      List.filter (fun n -> Dlink_workloads.Registry.find n = None) names
+    in
+    if names = [] || bad <> [] then
+      Error
+        (`Msg
+          (Printf.sprintf "unknown workload(s) %s (try: %s)"
+             (String.concat ", " bad)
+             (String.concat ", " Dlink_workloads.Registry.names)))
+    else Ok names
+  in
+  Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (String.concat "," l))
+
+let policy_conv =
+  let parse s =
+    match Dlink_sched.Policy.of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg ("unknown policy " ^ s ^ " (flush, asid, asid-shared-guard)"))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Dlink_sched.Policy.to_string p))
+
+let multi_cmd =
+  let module Sched = Dlink_sched.Scheduler in
+  let module Qs = Dlink_sched.Quantum_sweep in
+  let action mix policy quantum cores requests seed sweep =
+    if quantum <= 0 then begin
+      prerr_endline "dlinksim: --quantum must be positive";
+      exit 2
+    end;
+    if cores <= 0 then begin
+      prerr_endline "dlinksim: --cores must be positive";
+      exit 2
+    end;
+    let workloads = List.map (fun n -> get_workload n seed) mix in
+    if sweep then begin
+      let points =
+        Qs.sweep ?requests ~cores ~policies:Dlink_sched.Policy.all workloads
+      in
+      Table.print
+        ~title:(Printf.sprintf "Quantum sweep: %s on %d core(s)"
+                  (String.concat "+" mix) cores)
+        (Qs.table points);
+      print_newline ();
+      print_string (Qs.plot points)
+    end
+    else begin
+      let sched = Sched.create ?requests ~policy ~quantum ~cores workloads in
+      Sched.run sched;
+      Printf.printf "mix=%s policy=%s quantum=%d cores=%d switches=%d\n"
+        (String.concat "+" mix)
+        (Dlink_sched.Policy.to_string policy)
+        quantum (Sched.n_cores sched) (Sched.switches sched);
+      let t =
+        Table.create
+          ~headers:
+            [
+              "pid"; "workload"; "requests"; "quanta"; "skip %"; "CPI";
+              "abtb clears"; "mean us"; "p95 us";
+            ]
+      in
+      List.iter
+        (fun p ->
+          let c = Sched.proc_counters p in
+          let s = Dlink_stats.Summary.of_array (Sched.latencies_us p) in
+          Table.add_row t
+            [
+              string_of_int (Sched.pid p);
+              Sched.name p;
+              string_of_int (Sched.requests_done p);
+              string_of_int (Sched.quanta p);
+              fmt
+                (100.0 *. float_of_int c.C.tramp_skips
+                /. float_of_int (max 1 c.C.tramp_calls));
+              fmt ~decimals:3
+                (float_of_int c.C.cycles /. float_of_int (max 1 c.C.instructions));
+              string_of_int c.C.abtb_clears;
+              fmt ~decimals:1 (Dlink_stats.Summary.mean s);
+              fmt ~decimals:1 (Dlink_stats.Summary.percentile s 95.0);
+            ])
+        (Sched.procs sched);
+      Table.print ~title:"Per-process" t;
+      print_newline ();
+      print_counters (Sched.system_counters sched);
+      let sys = Sched.system_counters sched in
+      if sys.C.coherence_invalidations > 0 then
+        Printf.printf "coherence invalidations: %d\n" sys.C.coherence_invalidations
+    end
+  in
+  let mix_arg =
+    Arg.(
+      required
+      & pos 0 (some mix_conv) None
+      & info [] ~docv:"MIX" ~doc:"Comma-separated workload mix, e.g. apache,memcached,mysql.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt policy_conv Dlink_sched.Policy.Flush
+      & info [ "p"; "policy" ] ~docv:"POLICY"
+          ~doc:"Context-switch policy: flush, asid or asid-shared-guard.")
+  in
+  let quantum_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "q"; "quantum" ] ~docv:"Q" ~doc:"Scheduling quantum in requests.")
+  in
+  let cores_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "cores" ] ~docv:"N" ~doc:"Number of simulated cores.")
+  in
+  let sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:"Run the flush-vs-ASID quantum sweep instead of a single run.")
+  in
+  Cmd.v
+    (Cmd.info "multi" ~doc:"Multi-process scheduling: flush vs ASID-tagged ABTB")
+    Term.(
+      const action $ mix_arg $ policy_arg $ quantum_arg $ cores_arg
+      $ requests_arg $ seed_arg $ sweep_arg)
+
 let list_cmd =
   let action () =
     List.iter print_endline Dlink_workloads.Registry.names
@@ -315,6 +444,7 @@ let () =
             sweep_cmd;
             profile_cmd;
             memsave_cmd;
+            multi_cmd;
             dump_cmd;
             trace_cmd;
             list_cmd;

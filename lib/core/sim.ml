@@ -116,7 +116,7 @@ let call_addr t addr = Process.call t.process addr
 let call t ~mname ~fname = call_addr t (func_addr t ~mname ~fname)
 
 let context_switch ?(retain_asid = false) t =
-  Engine.context_switch t.engine;
+  Engine.context_switch ~retain_asid t.engine;
   if not retain_asid then Option.iter Skip.flush t.skip
 
 let mark_measurement_start t =

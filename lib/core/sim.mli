@@ -54,9 +54,10 @@ val func_addr : t -> mname:string -> fname:string -> Addr.t
 (** Raises [Invalid_argument] if not found. *)
 
 val context_switch : ?retain_asid:bool -> t -> unit
-(** Simulate an OS context switch away and back: TLBs and RAS flush, and —
-    unless [retain_asid] — the ABTB flushes with them (§3.3, "Missing ABTB
-    entry after context switch"). *)
+(** Simulate an OS context switch away and back: the RAS flushes, and —
+    unless [retain_asid] — the TLBs and ABTB flush with it (§3.3, "Missing
+    ABTB entry after context switch").  With [retain_asid] the tagged
+    TLB/ABTB entries survive, as on hardware with address-space ids. *)
 
 val mark_measurement_start : t -> unit
 (** Reset the profiler and record a counter snapshot; subsequent

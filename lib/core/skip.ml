@@ -43,8 +43,13 @@ type t = {
   on_stale_prediction : unit -> unit;
   read_got : Addr.t -> int;
   (* Exact shadow of GOT slots backing live-or-evicted entries since the
-     last clear; used only to classify Bloom hits as true or false. *)
-  exact_slots : (Addr.t, unit) Hashtbl.t;
+     last clear, keyed by (asid, slot); used only to classify Bloom hits as
+     true or false. *)
+  exact_slots : (int * Addr.t, unit) Hashtbl.t;
+  (* Address spaces with live filter entries since the last clear; a remote
+     invalidation must probe the filter under each of them. *)
+  live_asids : (int, unit) Hashtbl.t;
+  mutable asid : int;
   mutable pending_call : (Addr.t * Addr.t) option; (* (call pc, call target) *)
 }
 
@@ -60,27 +65,58 @@ let create ?(config = default_config) ~counters ~btb_update ~btb_predict
     on_stale_prediction;
     read_got;
     exact_slots = Hashtbl.create 64;
+    live_asids = Hashtbl.create 8;
+    asid = 0;
     pending_call = None;
   }
 
 let abtb t = t.abtb
 let bloom t = t.bloom
+let asid t = t.asid
+
+let set_asid t asid =
+  t.asid <- asid;
+  (* The idiom window never spans a context switch. *)
+  t.pending_call <- None
 
 let flush t =
   Abtb.clear t.abtb;
   Bloom.clear t.bloom;
   Hashtbl.reset t.exact_slots;
+  Hashtbl.reset t.live_asids;
   t.pending_call <- None
 
+let record_clear t ~addr ~asid =
+  t.counters.Counters.abtb_clears <- t.counters.Counters.abtb_clears + 1;
+  if not (Hashtbl.mem t.exact_slots (asid, addr)) then
+    t.counters.Counters.abtb_false_clears <-
+      t.counters.Counters.abtb_false_clears + 1;
+  flush t
+
 let clear_on_store t addr =
-  if t.cfg.coherence = Bloom_guard && Bloom.mem t.bloom (bloom_key t.cfg addr)
-  then begin
-    t.counters.Counters.abtb_clears <- t.counters.Counters.abtb_clears + 1;
-    if not (Hashtbl.mem t.exact_slots addr) then
-      t.counters.Counters.abtb_false_clears <-
-        t.counters.Counters.abtb_false_clears + 1;
-    flush t
-  end
+  if
+    t.cfg.coherence = Bloom_guard
+    && Bloom.mem ~asid:t.asid t.bloom (bloom_key t.cfg addr)
+  then record_clear t ~addr ~asid:t.asid
+
+let on_remote_store t addr =
+  (* A store retired by another core: the local filter is probed under every
+     address space with live entries — the slot may guard any of them. *)
+  let key = bloom_key t.cfg addr in
+  let hit_asid =
+    Hashtbl.fold
+      (fun a () acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> if Bloom.mem ~asid:a t.bloom key then Some a else None)
+      t.live_asids None
+  in
+  match hit_asid with
+  | None -> ()
+  | Some a ->
+      t.counters.Counters.coherence_invalidations <-
+        t.counters.Counters.coherence_invalidations + 1;
+      record_clear t ~addr ~asid:a
 
 (* The front end redirects through the BTB only (the hardware is an
    unmodified fetch pipeline); the ABTB confirms or corrects at resolution:
@@ -96,7 +132,7 @@ let clear_on_store t addr =
      reported through [on_stale_prediction]. *)
 let on_fetch_call t ~pc ~arch_target =
   let predicted = t.btb_predict pc in
-  match Abtb.lookup t.abtb arch_target with
+  match Abtb.lookup ~asid:t.asid t.abtb arch_target with
   | None ->
       (match predicted with
       | Some p when p <> arch_target -> t.on_stale_prediction ()
@@ -128,9 +164,11 @@ let on_retire t (ev : Event.t) =
   | Some (call_pc, call_target), Some (Event.Jump_indirect { target; slot }) ->
       let fallthrough = ev.pc + ev.size in
       if not (t.cfg.filter_fallthrough && target = fallthrough) then begin
-        Abtb.insert t.abtb call_target { Abtb.func = target; got_slot = slot };
-        Bloom.add t.bloom (bloom_key t.cfg slot);
-        Hashtbl.replace t.exact_slots slot ();
+        Abtb.insert ~asid:t.asid t.abtb call_target
+          { Abtb.func = target; got_slot = slot };
+        Bloom.add ~asid:t.asid t.bloom (bloom_key t.cfg slot);
+        Hashtbl.replace t.exact_slots (t.asid, slot) ();
+        Hashtbl.replace t.live_asids t.asid ();
         t.counters.Counters.abtb_inserts <- t.counters.Counters.abtb_inserts + 1;
         (* Retrain the call site so the very next fetch goes straight to
            the function (§3.2, front-end update rule). *)

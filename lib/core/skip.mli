@@ -90,8 +90,20 @@ val on_fetch_call : t -> pc:Addr.t -> arch_target:Addr.t -> Addr.t
 
 val on_retire : t -> Event.t -> unit
 
+val on_remote_store : t -> Addr.t -> unit
+(** A GOT store retired by {e another} core, delivered over the
+    {!Dlink_mach.Coherence} bus: the filter is probed under every address
+    space with live entries, and a hit clears the table exactly like a
+    local store would, additionally counting a coherence invalidation. *)
+
 val flush : t -> unit
 (** Context switch / explicit software invalidation (§3.4). *)
+
+val asid : t -> int
+val set_asid : t -> int -> unit
+(** The address-space id tagging subsequent ABTB/Bloom traffic (default 0).
+    Setting it also abandons any half-observed call/jump idiom — the pair
+    window never spans a context switch. *)
 
 val abtb : t -> Abtb.t
 val bloom : t -> Bloom.t

@@ -1,0 +1,32 @@
+open Dlink_isa
+
+type subscriber = { core : int; notify : src:int -> Addr.t -> unit }
+
+type t = {
+  mutable subscribers : subscriber list; (* ascending core id *)
+  mutable published : int;
+  mutable delivered : int;
+}
+
+let create () = { subscribers = []; published = 0; delivered = 0 }
+
+let subscribe t ~core notify =
+  if List.exists (fun s -> s.core = core) t.subscribers then
+    invalid_arg (Printf.sprintf "Coherence.subscribe: core %d already present" core);
+  t.subscribers <-
+    List.sort
+      (fun a b -> compare a.core b.core)
+      ({ core; notify } :: t.subscribers)
+
+let publish t ~src addr =
+  t.published <- t.published + 1;
+  List.iter
+    (fun s ->
+      if s.core <> src then begin
+        t.delivered <- t.delivered + 1;
+        s.notify ~src addr
+      end)
+    t.subscribers
+
+let published t = t.published
+let delivered t = t.delivered

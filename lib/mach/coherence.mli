@@ -1,0 +1,30 @@
+(** Cross-core GOT-store coherence bus.
+
+    The paper's mechanism must observe GOT writes made by {e other} cores
+    (§3.2: hardware snoops invalidations of guarded lines).  This module is
+    that snoop channel in miniature: when a core retires a store into a GOT
+    region, the scheduler publishes the physical address here and every
+    other subscribed core's skip unit gets a chance to test it against its
+    Bloom filter and clear.
+
+    Delivery is synchronous and in ascending core-id order, keeping
+    multi-core runs deterministic. *)
+
+open Dlink_isa
+
+type t
+
+val create : unit -> t
+
+val subscribe : t -> core:int -> (src:int -> Addr.t -> unit) -> unit
+(** Register a core's invalidation handler.  Raises [Invalid_argument] if
+    the core id is already subscribed. *)
+
+val publish : t -> src:int -> Addr.t -> unit
+(** Broadcast a retired GOT store to every subscriber except [src]. *)
+
+val published : t -> int
+(** Stores broadcast so far. *)
+
+val delivered : t -> int
+(** Per-remote-core deliveries so far. *)

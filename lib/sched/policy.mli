@@ -1,0 +1,17 @@
+(** Context-switch policy for the trampoline-skip hardware (§3.3).
+
+    - [Flush]: the ABTB and its Bloom filter flush with the TLBs on every
+      switch — the paper's baseline assumption, and the only correct option
+      for untagged hardware.
+    - [Asid]: ABTB, Bloom, and TLB entries are tagged with an address-space
+      id and survive switches; a process resumes with its working set warm.
+    - [Asid_shared_guard]: [Asid], plus GOT stores retired on one core are
+      broadcast over the {!Dlink_mach.Coherence} bus so every other core's
+      skip unit can test its filter and clear — the coherence story the
+      paper requires when another core rewrites a guarded GOT entry. *)
+
+type t = Flush | Asid | Asid_shared_guard
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option

@@ -1,0 +1,101 @@
+module C = Dlink_uarch.Counters
+module Sim = Dlink_core.Sim
+module Workload = Dlink_core.Workload
+module Table = Dlink_util.Table
+module Plot = Dlink_util.Ascii_plot
+
+type point = {
+  quantum : int;
+  policy : Policy.t;
+  skip_pct : float;
+  cpi : float;
+  cycles : int;
+  instructions : int;
+  abtb_clears : int;
+  coherence_invalidations : int;
+  switches : int;
+}
+
+let default_quanta = [ 1; 2; 5; 10; 25; 50 ]
+
+let point_of_run sched =
+  let c = Scheduler.system_counters sched in
+  {
+    quantum = Scheduler.quantum sched;
+    policy = Scheduler.policy sched;
+    skip_pct =
+      100.0 *. float_of_int c.C.tramp_skips /. float_of_int (max 1 c.C.tramp_calls);
+    cpi = float_of_int c.C.cycles /. float_of_int (max 1 c.C.instructions);
+    cycles = c.C.cycles;
+    instructions = c.C.instructions;
+    abtb_clears = c.C.abtb_clears;
+    coherence_invalidations = c.C.coherence_invalidations;
+    switches = Scheduler.switches sched;
+  }
+
+let sweep ?ucfg ?skip_cfg ?mode ?requests ?(cores = 1)
+    ?(policies = [ Policy.Flush; Policy.Asid ]) ?(quanta = default_quanta)
+    workloads =
+  List.concat_map
+    (fun quantum ->
+      List.map
+        (fun policy ->
+          let sched =
+            Scheduler.create ?ucfg ?skip_cfg ?mode ?requests ~policy ~quantum
+              ~cores workloads
+          in
+          Scheduler.run sched;
+          point_of_run sched)
+        policies)
+    quanta
+
+let table points =
+  let t =
+    Table.create
+      ~headers:
+        [
+          "quantum";
+          "policy";
+          "skip %";
+          "CPI";
+          "abtb clears";
+          "coh invals";
+          "switches";
+        ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          string_of_int p.quantum;
+          Policy.to_string p.policy;
+          Table.fmt_float p.skip_pct;
+          Table.fmt_float ~decimals:3 p.cpi;
+          string_of_int p.abtb_clears;
+          string_of_int p.coherence_invalidations;
+          string_of_int p.switches;
+        ])
+    points;
+  t
+
+let plot points =
+  let policies =
+    List.sort_uniq compare (List.map (fun p -> p.policy) points)
+  in
+  let series =
+    List.map
+      (fun policy ->
+        {
+          Plot.label = Policy.to_string policy;
+          points =
+            List.filter_map
+              (fun p ->
+                if p.policy = policy then
+                  Some (float_of_int p.quantum, p.skip_pct)
+                else None)
+              points;
+        })
+      policies
+  in
+  Plot.line_chart ~log_x:true ~x_label:"quantum (requests)" ~y_label:"skip %"
+    ~title:"trampoline skip rate vs scheduling quantum" series

@@ -1,0 +1,40 @@
+(** Flush-vs-ASID quantum sweep: the subsystem's headline experiment.
+
+    For each (quantum, policy) combination a fresh {!Scheduler.t} runs the
+    same workload mix to completion, and the system-wide counters are
+    condensed into one {!point}.  Short quanta under [Flush] destroy the
+    ABTB working set faster than it can be rebuilt; ASID tagging recovers
+    the skip rate because entries survive the switch. *)
+
+type point = {
+  quantum : int;
+  policy : Policy.t;
+  skip_pct : float;  (** trampoline skips / trampoline calls, percent *)
+  cpi : float;
+  cycles : int;
+  instructions : int;
+  abtb_clears : int;
+  coherence_invalidations : int;
+  switches : int;
+}
+
+val default_quanta : int list
+
+val sweep :
+  ?ucfg:Dlink_uarch.Config.t ->
+  ?skip_cfg:Dlink_core.Skip.config ->
+  ?mode:Dlink_core.Sim.mode ->
+  ?requests:int ->
+  ?cores:int ->
+  ?policies:Policy.t list ->
+  ?quanta:int list ->
+  Dlink_core.Workload.t list ->
+  point list
+(** Cartesian product of [quanta] x [policies] (defaults: {!default_quanta}
+    x [[Flush; Asid]]), each combination simulated independently with one
+    core unless [cores] is given.  Points are ordered by quantum, then
+    policy. *)
+
+val table : point list -> Dlink_util.Table.t
+val plot : point list -> string
+(** Skip rate vs quantum, one glyph per policy, log-scaled x axis. *)

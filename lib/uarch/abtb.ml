@@ -11,9 +11,9 @@ let create ?ways ~entries () =
   { table = Assoc_table.create ~sets:(entries / ways) ~ways; n_entries = entries }
 
 let entries t = t.n_entries
-let lookup t tramp = Assoc_table.find t.table tramp
-let insert t tramp e = Assoc_table.insert t.table tramp e
-let clear t = Assoc_table.clear t.table
-let valid_count t = Assoc_table.valid_count t.table
+let lookup ?(asid = 0) t tramp = Assoc_table.find t.table ~tag:asid tramp
+let insert ?(asid = 0) t tramp e = Assoc_table.insert t.table ~tag:asid tramp e
+let clear ?asid t = Assoc_table.clear ?tag:asid t.table
+let valid_count ?asid t = Assoc_table.valid_count ?tag:asid t.table
 let storage_bytes t = 12 * t.n_entries
 let iter f t = Assoc_table.iter f t.table

@@ -6,6 +6,10 @@
     retire time from the call-followed-by-memory-indirect-branch idiom;
     cleared wholesale whenever a store hits the companion Bloom filter.
 
+    Entries optionally carry an address-space id ([asid], default 0) so the
+    table can be preserved across context switches, like an ASID-tagged TLB
+    (§3.3): a lookup only hits entries installed by the same address space.
+
     Each entry costs 12 bytes in hardware (two 48-bit addresses, §5.3). *)
 
 open Dlink_isa
@@ -18,12 +22,14 @@ val create : ?ways:int -> entries:int -> unit -> t
     [entries mod ways] must be 0 and [entries/ways] a power of two. *)
 
 val entries : t -> int
-val lookup : t -> Addr.t -> entry option
-(** Keyed by trampoline address; refreshes LRU. *)
+val lookup : ?asid:int -> t -> Addr.t -> entry option
+(** Keyed by trampoline address (and ASID tag); refreshes LRU. *)
 
-val insert : t -> Addr.t -> entry -> unit
-val clear : t -> unit
-val valid_count : t -> int
+val insert : ?asid:int -> t -> Addr.t -> entry -> unit
+val clear : ?asid:int -> t -> unit
+(** [clear t] drops everything; [clear ~asid t] one address space only. *)
+
+val valid_count : ?asid:int -> t -> int
 val storage_bytes : t -> int
 (** 12 bytes per entry, as estimated in the paper. *)
 

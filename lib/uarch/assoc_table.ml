@@ -4,6 +4,7 @@ type 'v t = {
   sets : int;
   ways : int;
   keys : int array; (* sets*ways; -1 = invalid *)
+  tags : int array; (* address-space id of each entry; 0 when untagged *)
   values : 'v option array;
   stamps : int array; (* LRU recency; larger = more recent *)
   mutable tick : int;
@@ -18,6 +19,7 @@ let create ~sets ~ways =
     sets;
     ways;
     keys = Array.make n (-1);
+    tags = Array.make n 0;
     values = Array.make n None;
     stamps = Array.make n 0;
     tick = 0;
@@ -28,28 +30,34 @@ let ways t = t.ways
 let capacity t = t.sets * t.ways
 
 (* Real structures index with the key's low bits (sequential lines map to
-   sequential sets), which is what conflict behaviour depends on. *)
+   sequential sets), which is what conflict behaviour depends on.  The tag
+   does not participate in indexing — entries from different address spaces
+   compete for the same set, as in a physically shared structure. *)
 let set_of t key = key land (t.sets - 1)
 
 let next_tick t =
   t.tick <- t.tick + 1;
   t.tick
 
-let find_slot t key =
+let find_slot t key tag =
   let base = set_of t key * t.ways in
-  let rec scan w = if w >= t.ways then -1 else if t.keys.(base + w) = key then base + w else scan (w + 1) in
+  let rec scan w =
+    if w >= t.ways then -1
+    else if t.keys.(base + w) = key && t.tags.(base + w) = tag then base + w
+    else scan (w + 1)
+  in
   scan 0
 
-let find t key =
-  let i = find_slot t key in
+let find t ?(tag = 0) key =
+  let i = find_slot t key tag in
   if i < 0 then None
   else begin
     t.stamps.(i) <- next_tick t;
     t.values.(i)
   end
 
-let probe t key =
-  let i = find_slot t key in
+let probe t ?(tag = 0) key =
+  let i = find_slot t key tag in
   if i < 0 then None else t.values.(i)
 
 let victim_slot t key =
@@ -69,32 +77,51 @@ let victim_slot t key =
       done;
       !best
 
-let insert t key v =
-  let i = find_slot t key in
+let insert t ?(tag = 0) key v =
+  let i = find_slot t key tag in
   let i = if i >= 0 then i else victim_slot t key in
   t.keys.(i) <- key;
+  t.tags.(i) <- tag;
   t.values.(i) <- Some v;
   t.stamps.(i) <- next_tick t
 
-let touch t key v =
-  let i = find_slot t key in
+let touch t ?(tag = 0) key v =
+  let i = find_slot t key tag in
   if i >= 0 then begin
     t.stamps.(i) <- next_tick t;
     true
   end
   else begin
-    insert t key v;
+    insert t ~tag key v;
     false
   end
 
-let clear t =
-  Array.fill t.keys 0 (Array.length t.keys) (-1);
-  Array.fill t.values 0 (Array.length t.values) None;
-  Array.fill t.stamps 0 (Array.length t.stamps) 0;
-  t.tick <- 0
+let invalidate_slot t i =
+  t.keys.(i) <- -1;
+  t.tags.(i) <- 0;
+  t.values.(i) <- None;
+  t.stamps.(i) <- 0
 
-let valid_count t =
-  Array.fold_left (fun acc k -> if k >= 0 then acc + 1 else acc) 0 t.keys
+let clear ?tag t =
+  match tag with
+  | None ->
+      Array.fill t.keys 0 (Array.length t.keys) (-1);
+      Array.fill t.tags 0 (Array.length t.tags) 0;
+      Array.fill t.values 0 (Array.length t.values) None;
+      Array.fill t.stamps 0 (Array.length t.stamps) 0;
+      t.tick <- 0
+  | Some tag ->
+      Array.iteri
+        (fun i k -> if k >= 0 && t.tags.(i) = tag then invalidate_slot t i)
+        t.keys
+
+let valid_count ?tag t =
+  let counted i k =
+    k >= 0 && match tag with None -> true | Some tag -> t.tags.(i) = tag
+  in
+  let n = ref 0 in
+  Array.iteri (fun i k -> if counted i k then incr n) t.keys;
+  !n
 
 let iter f t =
   Array.iteri

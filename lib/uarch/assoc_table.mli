@@ -2,7 +2,13 @@
 
     The building block for caches, TLBs, the BTB, and the ABTB.  Keys are
     already-index-reduced integers (line numbers, page numbers, PCs); the
-    table hashes them across sets and tracks per-way recency. *)
+    table hashes them across sets and tracks per-way recency.
+
+    Entries optionally carry an address-space id ([tag], default 0): a
+    lookup only hits an entry whose tag matches, and [clear ~tag] drops a
+    single address space's entries.  Tags do not participate in set
+    indexing — co-scheduled address spaces contend for the same sets, as
+    in physically shared hardware. *)
 
 type 'v t
 
@@ -13,20 +19,24 @@ val sets : 'v t -> int
 val ways : 'v t -> int
 val capacity : 'v t -> int
 
-val find : 'v t -> int -> 'v option
-(** Lookup; refreshes LRU position on hit. *)
+val find : 'v t -> ?tag:int -> int -> 'v option
+(** Lookup; refreshes LRU position on hit.  Only matches entries whose tag
+    equals [tag] (default 0). *)
 
-val probe : 'v t -> int -> 'v option
+val probe : 'v t -> ?tag:int -> int -> 'v option
 (** Lookup without touching LRU state. *)
 
-val insert : 'v t -> int -> 'v -> unit
+val insert : 'v t -> ?tag:int -> int -> 'v -> unit
 (** Insert or overwrite; evicts the set's LRU victim when full. *)
 
-val touch : 'v t -> int -> 'v -> bool
+val touch : 'v t -> ?tag:int -> int -> 'v -> bool
 (** Combined lookup-or-insert: returns [true] on hit (LRU refreshed), and
     inserts the given value on miss returning [false].  This is the
     cache/TLB access pattern. *)
 
-val clear : 'v t -> unit
-val valid_count : 'v t -> int
+val clear : ?tag:int -> 'v t -> unit
+(** [clear t] invalidates everything; [clear ~tag t] only the entries of
+    one address space. *)
+
+val valid_count : ?tag:int -> 'v t -> int
 val iter : (int -> 'v -> unit) -> 'v t -> unit

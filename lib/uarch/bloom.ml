@@ -14,7 +14,13 @@ let create ~bits ~hashes =
   if hashes < 1 || hashes > 8 then invalid_arg "Bloom.create: hashes out of range";
   { field = Bytes.make ((bits + 7) / 8) '\000'; mask = bits - 1; hashes; set_bits = 0 }
 
-let bit_pos t (a : Addr.t) k = Site_hash.mix2 a (k + 1) land t.mask
+(* The ASID is folded into the hashed value, so tagged entries from
+   different address spaces occupy (probabilistically) disjoint bit sets;
+   membership queries are then per-address-space.  Clearing remains global —
+   a bit field cannot be selectively erased, which matches the hardware. *)
+let bit_pos t ~asid (a : Addr.t) k =
+  let v = if asid = 0 then a else Site_hash.mix2 a asid in
+  Site_hash.mix2 v (k + 1) land t.mask
 
 let get_bit t i = Char.code (Bytes.get t.field (i lsr 3)) land (1 lsl (i land 7)) <> 0
 
@@ -25,13 +31,15 @@ let set_bit t i =
     t.set_bits <- t.set_bits + 1
   end
 
-let add t a =
+let add ?(asid = 0) t a =
   for k = 0 to t.hashes - 1 do
-    set_bit t (bit_pos t a k)
+    set_bit t (bit_pos t ~asid a k)
   done
 
-let mem t a =
-  let rec check k = k >= t.hashes || (get_bit t (bit_pos t a k) && check (k + 1)) in
+let mem ?(asid = 0) t a =
+  let rec check k =
+    k >= t.hashes || (get_bit t (bit_pos t ~asid a k) && check (k + 1))
+  in
   check 0
 
 let clear t =

@@ -12,8 +12,12 @@ type t
 val create : bits:int -> hashes:int -> t
 (** [bits] must be a positive power of two; [hashes] in [\[1, 8\]]. *)
 
-val add : t -> Addr.t -> unit
-val mem : t -> Addr.t -> bool
+val add : ?asid:int -> t -> Addr.t -> unit
+(** The optional address-space id (default 0) is folded into the hash, so
+    co-resident address spaces keep probabilistically disjoint entries and
+    [mem] becomes a per-address-space query.  Clearing is always global. *)
+
+val mem : ?asid:int -> t -> Addr.t -> bool
 val clear : t -> unit
 val bits_set : t -> int
 val size_bits : t -> int

@@ -5,5 +5,5 @@ type t = Addr.t Assoc_table.t
 let create ~sets ~ways : t = Assoc_table.create ~sets ~ways
 let predict t pc = Assoc_table.find t pc
 let update t pc target = Assoc_table.insert t pc target
-let flush = Assoc_table.clear
-let valid_count = Assoc_table.valid_count
+let flush t = Assoc_table.clear t
+let valid_count t = Assoc_table.valid_count t

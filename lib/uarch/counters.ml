@@ -16,6 +16,7 @@ type t = {
   mutable abtb_inserts : int;
   mutable abtb_clears : int;
   mutable abtb_false_clears : int;
+  mutable coherence_invalidations : int;
   mutable got_stores : int;
   mutable resolver_runs : int;
 }
@@ -39,6 +40,7 @@ let create () =
     abtb_inserts = 0;
     abtb_clears = 0;
     abtb_false_clears = 0;
+    coherence_invalidations = 0;
     got_stores = 0;
     resolver_runs = 0;
   }
@@ -61,6 +63,7 @@ let reset t =
   t.abtb_inserts <- 0;
   t.abtb_clears <- 0;
   t.abtb_false_clears <- 0;
+  t.coherence_invalidations <- 0;
   t.got_stores <- 0;
   t.resolver_runs <- 0
 
@@ -85,9 +88,34 @@ let diff ~after ~before =
     abtb_inserts = after.abtb_inserts - before.abtb_inserts;
     abtb_clears = after.abtb_clears - before.abtb_clears;
     abtb_false_clears = after.abtb_false_clears - before.abtb_false_clears;
+    coherence_invalidations =
+      after.coherence_invalidations - before.coherence_invalidations;
     got_stores = after.got_stores - before.got_stores;
     resolver_runs = after.resolver_runs - before.resolver_runs;
   }
+
+let add ~into t =
+  into.instructions <- into.instructions + t.instructions;
+  into.cycles <- into.cycles + t.cycles;
+  into.icache_misses <- into.icache_misses + t.icache_misses;
+  into.dcache_misses <- into.dcache_misses + t.dcache_misses;
+  into.l2_misses <- into.l2_misses + t.l2_misses;
+  into.itlb_misses <- into.itlb_misses + t.itlb_misses;
+  into.dtlb_misses <- into.dtlb_misses + t.dtlb_misses;
+  into.branches <- into.branches + t.branches;
+  into.branch_mispredictions <- into.branch_mispredictions + t.branch_mispredictions;
+  into.btb_misses <- into.btb_misses + t.btb_misses;
+  into.tramp_instructions <- into.tramp_instructions + t.tramp_instructions;
+  into.tramp_calls <- into.tramp_calls + t.tramp_calls;
+  into.tramp_skips <- into.tramp_skips + t.tramp_skips;
+  into.abtb_hits <- into.abtb_hits + t.abtb_hits;
+  into.abtb_inserts <- into.abtb_inserts + t.abtb_inserts;
+  into.abtb_clears <- into.abtb_clears + t.abtb_clears;
+  into.abtb_false_clears <- into.abtb_false_clears + t.abtb_false_clears;
+  into.coherence_invalidations <-
+    into.coherence_invalidations + t.coherence_invalidations;
+  into.got_stores <- into.got_stores + t.got_stores;
+  into.resolver_runs <- into.resolver_runs + t.resolver_runs
 
 let ipc_denominator t = max 1 t.instructions
 
@@ -112,9 +140,11 @@ let pp ppf t =
      abtb inserts        %d@,\
      abtb clears         %d@,\
      abtb false clears   %d@,\
+     coherence invals    %d@,\
      got stores          %d@,\
      resolver runs       %d@]"
     t.instructions t.cycles t.icache_misses t.dcache_misses t.l2_misses
     t.itlb_misses t.dtlb_misses t.branches t.branch_mispredictions t.btb_misses
     t.tramp_instructions t.tramp_calls t.tramp_skips t.abtb_hits t.abtb_inserts
-    t.abtb_clears t.abtb_false_clears t.got_stores t.resolver_runs
+    t.abtb_clears t.abtb_false_clears t.coherence_invalidations t.got_stores
+    t.resolver_runs

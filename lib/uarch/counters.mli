@@ -21,6 +21,9 @@ type t = {
   mutable abtb_false_clears : int;
       (** clears triggered by Bloom false positives (store was not actually
           to a GOT slot backing a live entry) *)
+  mutable coherence_invalidations : int;
+      (** ABTB clears forced by GOT stores observed on the coherence bus
+          from another core (multi-process runs only) *)
   mutable got_stores : int;
   mutable resolver_runs : int;
 }
@@ -31,6 +34,10 @@ val copy : t -> t
 
 val diff : after:t -> before:t -> t
 (** Per-field subtraction: counters accumulated between two snapshots. *)
+
+val add : into:t -> t -> unit
+(** Per-field accumulation, used to attribute per-quantum deltas of a
+    shared core counter to the process that ran the quantum. *)
 
 val pki : t -> int -> float
 (** [pki t count] = events per kilo-instruction of [t.instructions]. *)

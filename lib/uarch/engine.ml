@@ -11,6 +11,7 @@ type t = {
   dir : Direction.t;
   ras : Ras.t;
   c : Counters.t;
+  mutable asid : int; (* tag applied to TLB fills/lookups; 0 = untagged *)
 }
 
 let create (cfg : Config.t) =
@@ -27,10 +28,13 @@ let create (cfg : Config.t) =
         ~history_bits:cfg.gshare_history_bits;
     ras = Ras.create ~depth:cfg.ras_depth;
     c = Counters.create ();
+    asid = 0;
   }
 
 let config t = t.cfg
 let counters t = t.c
+let asid t = t.asid
+let set_asid t asid = t.asid <- asid
 let icache t = t.ic
 let dcache t = t.dc
 let l2 t = t.l2c
@@ -50,7 +54,7 @@ let miss_cost t addr ~l2_counts =
 
 let ifetch t pc =
   let cycles = ref 0 in
-  if not (Tlb.access t.it pc) then begin
+  if not (Tlb.access ~asid:t.asid t.it pc) then begin
     t.c.itlb_misses <- t.c.itlb_misses + 1;
     cycles := !cycles + t.cfg.penalties.tlb_miss
   end;
@@ -62,7 +66,7 @@ let ifetch t pc =
 
 let data_access t addr =
   let cycles = ref 0 in
-  if not (Tlb.access t.dt addr) then begin
+  if not (Tlb.access ~asid:t.asid t.dt addr) then begin
     t.c.dtlb_misses <- t.c.dtlb_misses + 1;
     cycles := !cycles + t.cfg.penalties.tlb_miss
   end;
@@ -141,9 +145,14 @@ let retire t (ev : Event.t) =
   | None -> ());
   t.c.cycles <- t.c.cycles + !cycles
 
-let context_switch ?(flush_predictors = false) ?(flush_caches = false) t =
-  Tlb.flush t.it;
-  Tlb.flush t.dt;
+let context_switch ?(flush_predictors = false) ?(flush_caches = false)
+    ?(retain_asid = false) t =
+  (* ASID-tagged TLBs survive the switch: stale entries belong to other
+     tags and can never hit, so nothing needs flushing. *)
+  if not retain_asid then begin
+    Tlb.flush t.it;
+    Tlb.flush t.dt
+  end;
   Ras.flush t.ras;
   if flush_predictors then begin
     Btb.flush t.btb;

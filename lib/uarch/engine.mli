@@ -33,9 +33,17 @@ val btb_update : t -> Addr.t -> Addr.t -> unit
 
 val btb_predict : t -> Addr.t -> Addr.t option
 
-val context_switch : ?flush_predictors:bool -> ?flush_caches:bool -> t -> unit
-(** TLBs and the RAS are always flushed; predictors and caches optionally
-    (physically-tagged caches survive a switch on real hardware). *)
+val asid : t -> int
+val set_asid : t -> int -> unit
+(** Address-space id tagging TLB fills and lookups (default 0).  Set by the
+    multi-process scheduler when it dispatches a different process. *)
+
+val context_switch :
+  ?flush_predictors:bool -> ?flush_caches:bool -> ?retain_asid:bool -> t -> unit
+(** The RAS always flushes.  TLBs flush unless [retain_asid] (tagged
+    entries from other address spaces cannot hit, so retention is safe);
+    predictors and caches flush optionally (physically-tagged caches
+    survive a switch on real hardware). *)
 
 val icache : t -> Cache.t
 val dcache : t -> Cache.t

@@ -1,4 +1,7 @@
-(** Translation lookaside buffer model (4 KiB pages). *)
+(** Translation lookaside buffer model (4 KiB pages).
+
+    Entries optionally carry an address-space id ([asid], default 0), so a
+    context switch can preserve translations instead of flushing them. *)
 
 open Dlink_isa
 
@@ -10,8 +13,9 @@ val create : name:string -> entries:int -> ways:int -> t
 val name : t -> string
 val entries : t -> int
 
-val access : t -> Addr.t -> bool
+val access : ?asid:int -> t -> Addr.t -> bool
 (** [true] on hit; fills on miss. *)
 
-val present : t -> Addr.t -> bool
-val flush : t -> unit
+val present : ?asid:int -> t -> Addr.t -> bool
+val flush : ?asid:int -> t -> unit
+(** [flush t] drops everything; [flush ~asid t] one address space only. *)

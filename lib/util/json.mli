@@ -1,0 +1,20 @@
+(** Minimal JSON emitter (no parser) for machine-readable reports.
+
+    Deliberately tiny so the repo needs no external JSON dependency; the
+    bench harness uses it for [--json FILE] output. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed, 2-space indent, stable field order.  Non-finite floats
+    serialize as [null]. *)
+
+val write_file : string -> t -> unit
+(** [write_file path v] writes [to_string v] plus a trailing newline. *)

@@ -263,8 +263,35 @@ let test_context_switch_with_asid_retains_abtb () =
   Sim.call sim ~mname:"app" ~fname:"main";
   let skip = Option.get (Sim.skip sim) in
   let n = Dlink_uarch.Abtb.valid_count (Skip.abtb skip) in
+  checkb "entries trained" true (n > 0);
   Sim.context_switch ~retain_asid:true sim;
   checki "abtb retained" n (Dlink_uarch.Abtb.valid_count (Skip.abtb skip))
+
+let test_got_store_still_clears_after_asid_switch () =
+  (* ASID retention must not weaken the Bloom guard: a rebinding store
+     after the switch still hits the filter and clears the ABTB. *)
+  let sim = make_sim (call_n_times "f" 10) in
+  Sim.call sim ~mname:"app" ~fname:"main";
+  let skip = Option.get (Sim.skip sim) in
+  Sim.context_switch ~retain_asid:true sim;
+  checkb "entries survived the switch" true
+    (Dlink_uarch.Abtb.valid_count (Skip.abtb skip) > 0);
+  let clears_before = (Sim.counters sim).C.abtb_clears in
+  let linked = Sim.linked sim in
+  let appimg = Option.get (Space.image_by_name linked.Loader.space "app") in
+  let slot = Option.get (Image.got_slot appimg "f") in
+  Skip.on_retire skip
+    {
+      Dlink_mach.Event.pc = 0;
+      size = 4;
+      in_plt = false;
+      load = None;
+      load2 = None;
+      store = Some slot;
+      branch = None;
+    };
+  checki "abtb cleared" 0 (Dlink_uarch.Abtb.valid_count (Skip.abtb skip));
+  checki "clear counted" (clears_before + 1) (Sim.counters sim).C.abtb_clears
 
 (* ---------------- ASLR ---------------- *)
 
@@ -556,6 +583,8 @@ let () =
         [
           Alcotest.test_case "switch flushes" `Quick test_context_switch_flushes_abtb;
           Alcotest.test_case "asid retains" `Quick test_context_switch_with_asid_retains_abtb;
+          Alcotest.test_case "got store clears after asid switch" `Quick
+            test_got_store_still_clears_after_asid_switch;
         ] );
       ("aslr", [ Alcotest.test_case "mechanism layout-blind" `Quick
                    test_aslr_does_not_affect_mechanism ]);

@@ -1,0 +1,264 @@
+(* Tests for Dlink_sched: deterministic multi-process scheduling with
+   flush / ASID / shared-guard context-switch policies.
+
+   The invariants:
+   - the scheduler is a pure function of the workload seeds: the same
+     configuration produces bit-identical counters on every run;
+   - per-quantum counter attribution is complete: per-process counters
+     sum to the system counters for every in-quantum event;
+   - ASID retention recovers trampoline skips that flushing destroys at
+     short quanta;
+   - under [Asid_shared_guard], a GOT rebinding store retired by one
+     core's process clears the sibling core's guarded entries via the
+     coherence bus. *)
+
+module C = Dlink_uarch.Counters
+module Coherence = Dlink_mach.Coherence
+module Image = Dlink_linker.Image
+module Space = Dlink_linker.Space
+module Loader = Dlink_linker.Loader
+module Policy = Dlink_sched.Policy
+module Sched = Dlink_sched.Scheduler
+module Qs = Dlink_sched.Quantum_sweep
+module W = Dlink_workloads.Registry
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let workloads names =
+  List.map (fun n -> (Option.get (W.find n)) ?seed:None ()) names
+
+let mix3 () = workloads [ "apache"; "memcached"; "mysql" ]
+
+let run_mix ?(requests = 100) ?(cores = 1) ~policy ~quantum names =
+  let sched = Sched.create ~requests ~policy ~quantum ~cores (workloads names) in
+  Sched.run sched;
+  sched
+
+(* ---------------- policy ---------------- *)
+
+let test_policy_round_trip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check (option string))
+        "round trip" (Some (Policy.to_string p))
+        (Option.map Policy.to_string (Policy.of_string (Policy.to_string p))))
+    Policy.all;
+  checkb "unknown rejected" true (Policy.of_string "bogus" = None)
+
+(* ---------------- determinism ---------------- *)
+
+let test_same_seed_identical_counters () =
+  let run () =
+    let sched =
+      Sched.create ~requests:80 ~policy:Policy.Asid ~quantum:7 ~cores:2
+        (mix3 ())
+    in
+    Sched.run sched;
+    ( Sched.system_counters sched,
+      List.map (fun p -> C.copy (Sched.proc_counters p)) (Sched.procs sched) )
+  in
+  let sys1, procs1 = run () in
+  let sys2, procs2 = run () in
+  checkb "system counters bit-identical" true (sys1 = sys2);
+  checkb "per-process counters bit-identical" true (procs1 = procs2)
+
+let test_determinism_across_policies () =
+  (* Architectural work is policy-independent: every policy retires the
+     same requests, so resolver runs and GOT stores match exactly. *)
+  let totals policy =
+    let sched = run_mix ~policy ~quantum:5 [ "apache"; "memcached"; "mysql" ] in
+    let c = Sched.system_counters sched in
+    (c.C.resolver_runs, c.C.got_stores)
+  in
+  let reference = totals Policy.Flush in
+  List.iter
+    (fun p -> checkb "same architectural work" true (totals p = reference))
+    [ Policy.Asid; Policy.Asid_shared_guard ]
+
+(* ---------------- scheduling accounting ---------------- *)
+
+let test_attribution_is_complete () =
+  let sched = run_mix ~policy:Policy.Flush ~quantum:9 [ "apache"; "memcached" ] in
+  let sys = Sched.system_counters sched in
+  let sum f =
+    List.fold_left (fun acc p -> acc + f (Sched.proc_counters p)) 0
+      (Sched.procs sched)
+  in
+  checki "instructions attributed" sys.C.instructions
+    (sum (fun c -> c.C.instructions));
+  checki "tramp calls attributed" sys.C.tramp_calls
+    (sum (fun c -> c.C.tramp_calls));
+  checki "tramp skips attributed" sys.C.tramp_skips
+    (sum (fun c -> c.C.tramp_skips))
+
+let test_quanta_and_requests () =
+  let sched = run_mix ~requests:95 ~policy:Policy.Flush ~quantum:10 [ "memcached"; "mysql" ] in
+  List.iter
+    (fun p ->
+      checki "all requests ran" 95 (Sched.requests_done p);
+      checki "quantum respected" 10 (Sched.quanta p);
+      checki "one latency per request" 95 (Array.length (Sched.latencies_us p)))
+    (Sched.procs sched);
+  checkb "finished" true (Sched.finished sched)
+
+let test_cores_clamped () =
+  let sched = run_mix ~cores:8 ~policy:Policy.Flush ~quantum:5 [ "memcached"; "mysql" ] in
+  checki "cores clamped to process count" 2 (Sched.n_cores sched)
+
+(* ---------------- flush vs ASID ---------------- *)
+
+let test_asid_recovers_skips_at_short_quanta () =
+  let skips policy =
+    let sched =
+      run_mix ~requests:120 ~policy ~quantum:1 [ "apache"; "memcached"; "mysql" ]
+    in
+    (Sched.system_counters sched).C.tramp_skips
+  in
+  let flush = skips Policy.Flush and asid = skips Policy.Asid in
+  checkb
+    (Printf.sprintf "asid (%d) skips more than flush (%d)" asid flush)
+    true (asid > flush)
+
+let test_single_process_policies_agree () =
+  (* With one process there are no switches, so policy is irrelevant. *)
+  let counters policy =
+    let sched = run_mix ~policy ~quantum:5 [ "memcached" ] in
+    Sched.system_counters sched
+  in
+  let reference = counters Policy.Flush in
+  List.iter
+    (fun p -> checkb "identical counters" true (counters p = reference))
+    [ Policy.Asid; Policy.Asid_shared_guard ]
+
+(* ---------------- cross-core coherence ---------------- *)
+
+let lowest_got_slot sched pid =
+  let linked = Sched.proc_linked (Sched.proc sched pid) in
+  Array.fold_left
+    (fun acc (img : Image.t) ->
+      Hashtbl.fold
+        (fun _ a acc ->
+          match acc with None -> Some a | Some b -> Some (min a b))
+        img.Image.got_slots acc)
+    None
+    (Space.images linked.Loader.space)
+  |> Option.get
+
+let test_cross_process_store_clears_sibling () =
+  (* Two identical processes on two cores: no ASLR means their address
+     spaces share a layout, so process 1's GOT slots alias process 0's in
+     the sibling's Bloom filter.  The rebinding store must reach core 0
+     over the bus and clear its tables. *)
+  let sched =
+    Sched.create ~requests:100 ~policy:Policy.Asid_shared_guard ~quantum:10
+      ~cores:2
+      (workloads [ "memcached"; "memcached" ])
+  in
+  Sched.run sched;
+  let core0_clears_before = (Sched.core_counters (Sched.core sched 0)).C.abtb_clears in
+  let invals_before =
+    (Sched.system_counters sched).C.coherence_invalidations
+  in
+  Sched.retire_got_store sched ~pid:1 (lowest_got_slot sched 1);
+  let core0_clears_after = (Sched.core_counters (Sched.core sched 0)).C.abtb_clears in
+  let invals_after = (Sched.system_counters sched).C.coherence_invalidations in
+  checkb "bus carried traffic" true (Coherence.published (Sched.bus sched) > 0);
+  checki "sibling core cleared its ABTB" (core0_clears_before + 1)
+    core0_clears_after;
+  checki "invalidation counted" (invals_before + 1) invals_after
+
+let test_flush_policy_publishes_nothing () =
+  let sched =
+    Sched.create ~requests:60 ~policy:Policy.Flush ~quantum:10 ~cores:2
+      (workloads [ "memcached"; "memcached" ])
+  in
+  Sched.run sched;
+  Sched.retire_got_store sched ~pid:1 (lowest_got_slot sched 1);
+  checki "no bus traffic under flush" 0 (Coherence.published (Sched.bus sched));
+  checki "no coherence invalidations" 0
+    (Sched.system_counters sched).C.coherence_invalidations
+
+(* ---------------- coherence bus unit ---------------- *)
+
+let test_bus_delivery_order_and_self_exclusion () =
+  let bus = Coherence.create () in
+  let seen = ref [] in
+  (* Subscribe out of order: delivery must still be ascending by core. *)
+  List.iter
+    (fun core ->
+      Coherence.subscribe bus ~core (fun ~src addr ->
+          seen := (core, src, addr) :: !seen))
+    [ 2; 0; 1 ];
+  Coherence.publish bus ~src:1 0xBEEF;
+  Alcotest.(check (list (triple int int int)))
+    "ascending order, publisher excluded"
+    [ (0, 1, 0xBEEF); (2, 1, 0xBEEF) ]
+    (List.rev !seen);
+  checki "published" 1 (Coherence.published bus);
+  checki "delivered" 2 (Coherence.delivered bus);
+  checkb "duplicate core rejected" true
+    (try
+       Coherence.subscribe bus ~core:2 (fun ~src:_ _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- quantum sweep ---------------- *)
+
+let test_sweep_shape () =
+  let points =
+    Qs.sweep ~requests:40 ~quanta:[ 2; 8 ]
+      ~policies:[ Policy.Flush; Policy.Asid ]
+      (workloads [ "memcached" ])
+  in
+  checki "quanta x policies" 4 (List.length points);
+  Alcotest.(check (list (pair int string)))
+    "ordered by quantum then policy"
+    [ (2, "flush"); (2, "asid"); (8, "flush"); (8, "asid") ]
+    (List.map (fun p -> (p.Qs.quantum, Policy.to_string p.Qs.policy)) points);
+  List.iter
+    (fun p ->
+      checkb "skip_pct in range" true (p.Qs.skip_pct >= 0.0 && p.Qs.skip_pct <= 100.0);
+      checkb "cpi positive" true (p.Qs.cpi > 0.0))
+    points
+
+(* ---------------- runner ---------------- *)
+
+let () =
+  Alcotest.run "dlink_sched"
+    [
+      ( "policy",
+        [ Alcotest.test_case "round trip" `Quick test_policy_round_trip ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, identical counters" `Quick
+            test_same_seed_identical_counters;
+          Alcotest.test_case "architectural work is policy-independent" `Quick
+            test_determinism_across_policies;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "attribution is complete" `Quick
+            test_attribution_is_complete;
+          Alcotest.test_case "quanta and requests" `Quick test_quanta_and_requests;
+          Alcotest.test_case "cores clamped" `Quick test_cores_clamped;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "asid recovers skips at short quanta" `Quick
+            test_asid_recovers_skips_at_short_quanta;
+          Alcotest.test_case "single process: policies agree" `Quick
+            test_single_process_policies_agree;
+        ] );
+      ( "coherence",
+        [
+          Alcotest.test_case "cross-process store clears sibling" `Quick
+            test_cross_process_store_clears_sibling;
+          Alcotest.test_case "flush publishes nothing" `Quick
+            test_flush_policy_publishes_nothing;
+          Alcotest.test_case "bus order and self-exclusion" `Quick
+            test_bus_delivery_order_and_self_exclusion;
+        ] );
+      ( "sweep",
+        [ Alcotest.test_case "shape" `Quick test_sweep_shape ] );
+    ]
