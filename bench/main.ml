@@ -75,6 +75,10 @@ let json_counters (c : C.t) =
       ("itlb_misses", Json.Int c.C.itlb_misses);
       ("dtlb_misses", Json.Int c.C.dtlb_misses);
       ("branch_mispredictions", Json.Int c.C.branch_mispredictions);
+      ("mis_skips", Json.Int c.C.mis_skips);
+      ("lost_skips", Json.Int c.C.lost_skips);
+      ("quarantine_entries", Json.Int c.C.quarantine_entries);
+      ("fault_injected", Json.Int c.C.fault_injected);
     ]
 
 let json_flush () =
@@ -828,6 +832,89 @@ let multiprocess_scheduling () =
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core structures.                     *)
 
+(* Differential-oracle validation: every workload runs skip-on vs skip-off
+   with zero injected faults (the mechanism must produce zero mis-skips on
+   its own), then a seeded faulted run on synth demonstrates detection,
+   quarantine, and recovery. *)
+let fault_oracle () =
+  let module Fault = Dlink_fault.Fuzz in
+  let module Plan = Dlink_fault.Plan in
+  let module Oracle = Dlink_fault.Oracle in
+  section "Fault-injection oracle";
+  let budget = 150 and seed = 42 in
+  let t =
+    Table.create
+      ~headers:
+        [ "workload"; "faults"; "skips"; "mis"; "lost"; "quarantined"; "verdict" ]
+  in
+  let entries =
+    List.map
+      (fun name ->
+        let w = (Option.get (W.Registry.find name)) ~seed () in
+        let clean =
+          Fault.trial ~workload:w ~budget (Plan.empty seed)
+        in
+        let r = clean.Fault.report in
+        Table.add_row t
+          [
+            name;
+            "0";
+            string_of_int r.Oracle.skips;
+            string_of_int r.Oracle.mis_skips;
+            string_of_int r.Oracle.lost_skips;
+            string_of_int r.Oracle.quarantine_entries;
+            (if clean.Fault.failures = [] then "ok" else "FAIL");
+          ];
+        (name, clean))
+      workload_names
+  in
+  let w = W.Synth.workload ~seed () in
+  let faulted = Fault.run ~workload:w ~seed ~budget:200 ~faults:8 () in
+  let fr = faulted.Fault.report in
+  Table.add_row t
+    [
+      "synth+faults";
+      string_of_int fr.Oracle.faults_injected;
+      string_of_int fr.Oracle.skips;
+      string_of_int fr.Oracle.mis_skips;
+      string_of_int fr.Oracle.lost_skips;
+      string_of_int fr.Oracle.quarantine_entries;
+      (if faulted.Fault.failures = [] then "ok" else "FAIL");
+    ];
+  Table.print t;
+  Printf.printf
+    "faulted plan: %s\ncooldown: %d requests, %d skips, %d mis-skips\n"
+    (Plan.to_string faulted.Fault.plan)
+    fr.Oracle.cooldown_requests fr.Oracle.cooldown_skips
+    fr.Oracle.cooldown_mis_skips;
+  json_add "fault_oracle"
+    (Json.Obj
+       (List.map
+          (fun (name, clean) ->
+            let r = clean.Fault.report in
+            ( name,
+              Json.Obj
+                [
+                  ("mis_skips", Json.Int r.Oracle.mis_skips);
+                  ("lost_skips", Json.Int r.Oracle.lost_skips);
+                  ("unclassified", Json.Int r.Oracle.unclassified);
+                  ("ok", Json.Bool (clean.Fault.failures = []));
+                ] ))
+          entries
+       @ [
+           ( "synth_faulted",
+             Json.Obj
+               [
+                 ("plan", Json.String (Plan.to_string faulted.Fault.plan));
+                 ("faults_injected", Json.Int fr.Oracle.faults_injected);
+                 ("mis_skips", Json.Int fr.Oracle.mis_skips);
+                 ("quarantine_entries", Json.Int fr.Oracle.quarantine_entries);
+                 ("cooldown_mis_skips", Json.Int fr.Oracle.cooldown_mis_skips);
+                 ("cooldown_skips", Json.Int fr.Oracle.cooldown_skips);
+                 ("ok", Json.Bool (faulted.Fault.failures = []));
+               ] );
+         ]))
+
 let microbenchmarks () =
   section "Microbenchmarks (Bechamel, ns/op)";
   let open Bechamel in
@@ -958,6 +1045,7 @@ let () =
   ablation_dispatch_mechanisms ();
   ablation_explicit_invalidate ();
   multiprocess_scheduling ();
+  fault_oracle ();
   microbenchmarks ();
   json_flush ();
   section "Done";

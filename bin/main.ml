@@ -8,6 +8,7 @@
      profile   Table 2/3 + Figure 4 opportunity profile
      memsave   §5.5 memory-overhead model
      multi     multi-process scheduler: flush vs ASID context switching
+     fuzz      seeded fault-injection stress with a differential oracle
      list      available workloads *)
 
 module C = Dlink_uarch.Counters
@@ -97,7 +98,41 @@ let print_counters (c : C.t) =
   row "abtb clears" c.C.abtb_clears;
   row "got stores" c.C.got_stores;
   row "resolver runs" c.C.resolver_runs;
+  row "mis skips" c.C.mis_skips;
+  row "lost skips" c.C.lost_skips;
+  row "quarantined sets" c.C.quarantine_entries;
+  row "faults injected" c.C.fault_injected;
   Table.print t
+
+let counters_json (c : C.t) =
+  let module J = Dlink_util.Json in
+  J.Obj
+    [
+      ("instructions", J.Int c.C.instructions);
+      ("cycles", J.Int c.C.cycles);
+      ("icache_misses", J.Int c.C.icache_misses);
+      ("dcache_misses", J.Int c.C.dcache_misses);
+      ("l2_misses", J.Int c.C.l2_misses);
+      ("itlb_misses", J.Int c.C.itlb_misses);
+      ("dtlb_misses", J.Int c.C.dtlb_misses);
+      ("branches", J.Int c.C.branches);
+      ("branch_mispredictions", J.Int c.C.branch_mispredictions);
+      ("btb_misses", J.Int c.C.btb_misses);
+      ("tramp_instructions", J.Int c.C.tramp_instructions);
+      ("tramp_calls", J.Int c.C.tramp_calls);
+      ("tramp_skips", J.Int c.C.tramp_skips);
+      ("abtb_hits", J.Int c.C.abtb_hits);
+      ("abtb_inserts", J.Int c.C.abtb_inserts);
+      ("abtb_clears", J.Int c.C.abtb_clears);
+      ("abtb_false_clears", J.Int c.C.abtb_false_clears);
+      ("coherence_invalidations", J.Int c.C.coherence_invalidations);
+      ("got_stores", J.Int c.C.got_stores);
+      ("resolver_runs", J.Int c.C.resolver_runs);
+      ("mis_skips", J.Int c.C.mis_skips);
+      ("lost_skips", J.Int c.C.lost_skips);
+      ("quarantine_entries", J.Int c.C.quarantine_entries);
+      ("fault_injected", J.Int c.C.fault_injected);
+    ]
 
 let run_cmd =
   let action name mode requests seed =
@@ -427,25 +462,207 @@ let multi_cmd =
       const action $ mix_arg $ policy_arg $ quantum_arg $ cores_arg
       $ requests_arg $ seed_arg $ sweep_arg)
 
+let fuzz_cmd =
+  let module F = Dlink_fault.Fuzz in
+  let module P = Dlink_fault.Plan in
+  let module O = Dlink_fault.Oracle in
+  let action name seed budget faults plan_str cooldown window json_path =
+    if budget <= 0 then begin
+      prerr_endline "dlinksim: --budget must be positive";
+      exit 2
+    end;
+    if faults < 0 then begin
+      prerr_endline "dlinksim: --faults must be non-negative";
+      exit 2
+    end;
+    if window < 0 then begin
+      prerr_endline "dlinksim: --window must be non-negative";
+      exit 2
+    end;
+    let w = get_workload name (Some seed) in
+    let skip_cfg =
+      { Dlink_core.Skip.default_config with quarantine_window = window }
+    in
+    let plan =
+      match plan_str with
+      | None -> P.generate ~seed ~budget ~faults ()
+      | Some s -> (
+          match P.of_string s with
+          | Ok p -> p
+          | Error e ->
+              Printf.eprintf "dlinksim: bad --plan: %s\n" e;
+              exit 2)
+    in
+    let t = F.trial ~skip_cfg ?cooldown ~workload:w ~budget plan in
+    let r = t.F.report in
+    Printf.printf "workload=%s seed=%d budget=%d cooldown=%d events=%d\n" name
+      seed budget r.O.cooldown_requests
+      (List.length plan.P.events);
+    Printf.printf "plan: %s\n" (P.to_string plan);
+    let tbl = Table.create ~headers:[ "Oracle"; "count" ] in
+    let row lbl v = Table.add_row tbl [ lbl; string_of_int v ] in
+    row "requests" (r.O.requests + r.O.cooldown_requests);
+    row "faults injected" r.O.faults_injected;
+    row "trampoline skips" r.O.skips;
+    row "mis skips" r.O.mis_skips;
+    row "lost skips" r.O.lost_skips;
+    row "unclassified" r.O.unclassified;
+    row "quarantined sets" r.O.quarantine_entries;
+    row "cooldown skips" r.O.cooldown_skips;
+    row "cooldown mis skips" r.O.cooldown_mis_skips;
+    Table.print tbl;
+    List.iter
+      (fun (d : O.divergence) ->
+        Printf.printf "%s request %d: site %s tramp %s ref->%s dut->%s\n"
+          (if d.O.mis_skip then "mis-skip" else "unclassified")
+          d.O.request
+          (Dlink_isa.Addr.to_hex d.O.site)
+          (Dlink_isa.Addr.to_hex d.O.arch_target)
+          (Dlink_isa.Addr.to_hex d.O.ref_dest)
+          (Dlink_isa.Addr.to_hex d.O.dut_dest))
+      r.O.divergences;
+    let shrunk =
+      if t.F.failures = [] then None
+      else Some (F.shrink ~skip_cfg ?cooldown ~workload:w ~budget t)
+    in
+    (match json_path with
+    | None -> ()
+    | Some path ->
+        let module J = Dlink_util.Json in
+        J.write_file path
+          (J.Obj
+             [
+               ("workload", J.String name);
+               ("seed", J.Int seed);
+               ("budget", J.Int budget);
+               ("cooldown", J.Int r.O.cooldown_requests);
+               ("plan", J.String (P.to_string plan));
+               ( "failures",
+                 J.List (List.map (fun f -> J.String f) t.F.failures) );
+               ( "minimal_plan",
+                 match shrunk with
+                 | None -> J.Null
+                 | Some s -> J.String (P.to_string s.F.plan) );
+               ("mis_skips", J.Int r.O.mis_skips);
+               ("lost_skips", J.Int r.O.lost_skips);
+               ("unclassified", J.Int r.O.unclassified);
+               ("quarantine_entries", J.Int r.O.quarantine_entries);
+               ("cooldown_skips", J.Int r.O.cooldown_skips);
+               ("cooldown_mis_skips", J.Int r.O.cooldown_mis_skips);
+               ("counters", counters_json r.O.counters);
+             ]));
+    match t.F.failures with
+    | [] ->
+        if r.O.mis_skips > 0 then
+          Printf.printf
+            "ok: %d mis-skip(s) detected, quarantined, and recovered from\n"
+            r.O.mis_skips
+        else print_endline "ok: all robustness properties hold"
+    | failures ->
+        List.iter (fun f -> Printf.printf "FAIL: %s\n" f) failures;
+        (match shrunk with
+        | Some s ->
+            Printf.printf "minimal failing plan (%d of %d events): %s\n"
+              (List.length s.F.plan.P.events)
+              (List.length plan.P.events)
+              (P.to_string s.F.plan);
+            Printf.printf "replay with: dlinksim fuzz %s --budget %d --plan '%s'\n"
+              name budget (P.to_string s.F.plan)
+        | None -> ());
+        exit 1
+  in
+  let fuzz_workload_arg =
+    Arg.(
+      value
+      & pos 0 workload_conv "synth"
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Workload name (see $(b,list)); defaults to $(b,synth).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Plan and workload seed.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "budget" ] ~docv:"N" ~doc:"Requests executed under fault injection.")
+  in
+  let faults_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "faults" ] ~docv:"N" ~doc:"Fault events drawn into the plan.")
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:"Replay an explicit fault plan (seed=S;AT:ACTION;...) instead of generating one.")
+  in
+  let cooldown_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cooldown" ] ~docv:"N"
+          ~doc:"Fault-free recovery requests after the budget (default max 50 budget/4).")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt int Dlink_core.Skip.default_config.Dlink_core.Skip.quarantine_window
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Quarantine window: skip opportunities suppressed per quarantined ABTB set.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the outcome as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Randomized fault injection checked by a differential oracle")
+    Term.(
+      const action $ fuzz_workload_arg $ seed_arg $ budget_arg $ faults_arg
+      $ plan_arg $ cooldown_arg $ window_arg $ json_arg)
+
 let list_cmd =
   let action () =
     List.iter print_endline Dlink_workloads.Registry.names
   in
   Cmd.v (Cmd.info "list" ~doc:"List available workloads") Term.(const action $ const ())
 
+let version = "0.2.0"
+
 let () =
   let doc = "Simulator for 'Architectural Support for Dynamic Linking' (ASPLOS'15)" in
-  exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "dlinksim" ~doc)
-          [
-            run_cmd;
-            compare_cmd;
-            sweep_cmd;
-            profile_cmd;
-            memsave_cmd;
-            multi_cmd;
-            dump_cmd;
-            trace_cmd;
-            list_cmd;
-          ]))
+  let group =
+    Cmd.group
+      (Cmd.info "dlinksim" ~version ~doc)
+      [
+        run_cmd;
+        compare_cmd;
+        sweep_cmd;
+        profile_cmd;
+        memsave_cmd;
+        multi_cmd;
+        fuzz_cmd;
+        dump_cmd;
+        trace_cmd;
+        list_cmd;
+      ]
+  in
+  (* No uncaught exceptions reach the user: anything a bad flag combination
+     can provoke becomes a one-line message and a non-zero exit. *)
+  let code =
+    try Cmd.eval ~catch:false group with
+    | Invalid_argument msg | Failure msg | Sys_error msg ->
+        Printf.eprintf "dlinksim: %s\n" msg;
+        2
+    | Dlink_mach.Process.Fault msg ->
+        Printf.eprintf "dlinksim: machine fault: %s\n" msg;
+        2
+    | Dlink_core.Skip.Misspeculation msg ->
+        Printf.eprintf "dlinksim: misspeculation: %s\n" msg;
+        2
+  in
+  exit code

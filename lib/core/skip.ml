@@ -14,6 +14,8 @@ type config = {
   coherence : coherence;
   filter_fallthrough : bool;
   verify_targets : bool;
+  quarantine_window : int;
+  quarantine_on_verify : bool;
 }
 
 let default_config =
@@ -26,7 +28,25 @@ let default_config =
     coherence = Bloom_guard;
     filter_fallthrough = true;
     verify_targets = false;
+    quarantine_window = 64;
+    quarantine_on_verify = false;
   }
+
+(* Abtb.create and Bloom.create validate their own geometry; the remaining
+   fields are checked here so a bad config fails at construction, not
+   mid-run. *)
+let validate_config cfg =
+  if cfg.abtb_entries <= 0 then
+    invalid_arg "Skip.create: abtb_entries must be positive";
+  (match cfg.abtb_ways with
+  | Some w when w <= 0 -> invalid_arg "Skip.create: abtb_ways must be positive"
+  | _ -> ());
+  if cfg.bloom_bits <= 0 || cfg.bloom_bits land (cfg.bloom_bits - 1) <> 0 then
+    invalid_arg "Skip.create: bloom_bits must be a positive power of two";
+  if cfg.bloom_hashes < 1 || cfg.bloom_hashes > 8 then
+    invalid_arg "Skip.create: bloom_hashes must be in [1, 8]";
+  if cfg.quarantine_window < 0 then
+    invalid_arg "Skip.create: quarantine_window must be non-negative"
 
 let bloom_key cfg a =
   match cfg.bloom_granularity with Slot -> a | Page -> Addr.page_of a
@@ -51,10 +71,20 @@ type t = {
   live_asids : (int, unit) Hashtbl.t;
   mutable asid : int;
   mutable pending_call : (Addr.t * Addr.t) option; (* (call pc, call target) *)
+  (* Graceful degradation: ABTB sets implicated in a detected mis-skip,
+     mapped to the number of further skip opportunities to suppress.  Keyed
+     by physical set index, so the window survives whole-table clears and
+     context switches like the hardware state it models. *)
+  quarantined : (int, int) Hashtbl.t;
+  (* Fault-injection hook: when set, consulted before every filter-driven
+     clear; returning [true] suppresses the clear (models a lost clear
+     pulse).  Never set outside the fault harness. *)
+  mutable clear_veto : (unit -> bool) option;
 }
 
 let create ?(config = default_config) ~counters ~btb_update ~btb_predict
     ~on_stale_prediction ~read_got () =
+  validate_config config;
   {
     cfg = config;
     abtb = Abtb.create ?ways:config.abtb_ways ~entries:config.abtb_entries ();
@@ -68,11 +98,40 @@ let create ?(config = default_config) ~counters ~btb_update ~btb_predict
     live_asids = Hashtbl.create 8;
     asid = 0;
     pending_call = None;
+    quarantined = Hashtbl.create 8;
+    clear_veto = None;
   }
 
 let abtb t = t.abtb
 let bloom t = t.bloom
 let asid t = t.asid
+let set_clear_veto t f = t.clear_veto <- f
+let quarantined_sets t = Hashtbl.length t.quarantined
+
+let veto_clears t =
+  match t.clear_veto with None -> false | Some f -> f ()
+
+let report_mis_skip t ~tramp =
+  let s = Abtb.set_index t.abtb tramp in
+  Abtb.clear_set t.abtb s;
+  if t.cfg.quarantine_window > 0 && not (Hashtbl.mem t.quarantined s) then begin
+    Hashtbl.replace t.quarantined s t.cfg.quarantine_window;
+    t.counters.Counters.quarantine_entries <-
+      t.counters.Counters.quarantine_entries + 1
+  end;
+  t.counters.Counters.mis_skips <- t.counters.Counters.mis_skips + 1
+
+(* A quarantined set falls back to architectural (trampoline) execution;
+   each suppressed skip opportunity shortens the sentence.  Inserts into the
+   set remain allowed, so service resumes with warm entries on release. *)
+let quarantine_blocks t tramp =
+  let s = Abtb.set_index t.abtb tramp in
+  match Hashtbl.find_opt t.quarantined s with
+  | None -> false
+  | Some n ->
+      if n <= 1 then Hashtbl.remove t.quarantined s
+      else Hashtbl.replace t.quarantined s (n - 1);
+      true
 
 let set_asid t asid =
   t.asid <- asid;
@@ -97,6 +156,7 @@ let clear_on_store t addr =
   if
     t.cfg.coherence = Bloom_guard
     && Bloom.mem ~asid:t.asid t.bloom (bloom_key t.cfg addr)
+    && not (veto_clears t)
   then record_clear t ~addr ~asid:t.asid
 
 let on_remote_store t addr =
@@ -114,9 +174,11 @@ let on_remote_store t addr =
   match hit_asid with
   | None -> ()
   | Some a ->
-      t.counters.Counters.coherence_invalidations <-
-        t.counters.Counters.coherence_invalidations + 1;
-      record_clear t ~addr ~asid:a
+      if not (veto_clears t) then begin
+        t.counters.Counters.coherence_invalidations <-
+          t.counters.Counters.coherence_invalidations + 1;
+        record_clear t ~addr ~asid:a
+      end
 
 (* The front end redirects through the BTB only (the hardware is an
    unmodified fetch pipeline); the ABTB confirms or corrects at resolution:
@@ -138,22 +200,42 @@ let on_fetch_call t ~pc ~arch_target =
       | Some p when p <> arch_target -> t.on_stale_prediction ()
       | Some _ | None -> ());
       arch_target
+  | Some _ when quarantine_blocks t arch_target ->
+      (* Set under quarantine after a detected mis-skip: ignore the entry
+         and take the architectural path.  The front end may still have
+         redirected on the stale BTB entry, so charge the squash. *)
+      (match predicted with
+      | Some p when p <> arch_target -> t.on_stale_prediction ()
+      | Some _ | None -> ());
+      arch_target
   | Some { Abtb.func; got_slot } -> (
       match predicted with
       | None -> arch_target (* no redirection source: architectural path *)
-      | Some _ ->
-          if t.cfg.verify_targets then begin
-            let live = t.read_got got_slot in
-            if live <> func then
+      | Some _ -> (
+          let stale =
+            t.cfg.verify_targets && t.read_got got_slot <> func
+          in
+          match stale with
+          | true when t.cfg.quarantine_on_verify ->
+              (* Degrade instead of dying: treat the detected staleness as
+                 a mis-skip caught at resolution — squash, quarantine the
+                 set, and execute the trampoline architecturally. *)
+              report_mis_skip t ~tramp:arch_target;
+              t.on_stale_prediction ();
+              arch_target
+          | true ->
               raise
                 (Misspeculation
                    (Printf.sprintf "ABTB maps %s to %s but GOT slot %s holds %s"
                       (Addr.to_hex arch_target) (Addr.to_hex func)
-                      (Addr.to_hex got_slot) (Addr.to_hex live)))
-          end;
-          t.counters.Counters.abtb_hits <- t.counters.Counters.abtb_hits + 1;
-          t.counters.Counters.tramp_skips <- t.counters.Counters.tramp_skips + 1;
-          func)
+                      (Addr.to_hex got_slot)
+                      (Addr.to_hex (t.read_got got_slot))))
+          | false ->
+              t.counters.Counters.abtb_hits <-
+                t.counters.Counters.abtb_hits + 1;
+              t.counters.Counters.tramp_skips <-
+                t.counters.Counters.tramp_skips + 1;
+              func))
 
 let on_retire t (ev : Event.t) =
   (* Coherence watch: any retired store that hits the filter clears all. *)

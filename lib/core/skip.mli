@@ -60,9 +60,21 @@ type config = {
   verify_targets : bool;
       (** paranoia mode for tests: on every skip, check the redirect target
           against the live GOT contents and raise on mismatch *)
+  quarantine_window : int;
+      (** graceful degradation: after a detected mis-skip the offending
+          ABTB set is evicted and skips from it suppressed for this many
+          subsequent opportunities (0 disables quarantine) *)
+  quarantine_on_verify : bool;
+      (** when [verify_targets] catches a stale skip, quarantine and fall
+          back to the trampoline instead of raising {!Misspeculation} *)
 }
 
 val default_config : config
+(** [quarantine_window = 64], [quarantine_on_verify = false]; see the
+    field docs for the rest.  {!create} validates the configuration
+    ([bloom_bits] a positive power of two, [bloom_hashes] in [1, 8],
+    positive table geometry, non-negative window) and raises
+    [Invalid_argument] otherwise. *)
 
 type t
 
@@ -107,6 +119,21 @@ val set_asid : t -> int -> unit
 
 val abtb : t -> Abtb.t
 val bloom : t -> Bloom.t
+
+val report_mis_skip : t -> tramp:Addr.t -> unit
+(** Told by an external oracle that a skip of [tramp] retired a stale
+    target: evict the ABTB set [tramp] maps to, place it under quarantine
+    for [quarantine_window] skip opportunities (architectural fallback),
+    and bump the [mis_skips] / [quarantine_entries] counters. *)
+
+val quarantined_sets : t -> int
+(** Sets currently serving a quarantine sentence. *)
+
+val set_clear_veto : t -> (unit -> bool) option -> unit
+(** Fault-injection hook: when the callback returns [true], a
+    filter-driven clear (local or remote) is suppressed — the fault model
+    for a lost clear pulse.  [None] (the default) restores normal
+    behaviour.  Not used by the mechanism itself. *)
 
 exception Misspeculation of string
 (** Raised only under [verify_targets] if a skip would diverge from the

@@ -1,0 +1,82 @@
+module Workload = Dlink_core.Workload
+module Skip = Dlink_core.Skip
+
+type trial = {
+  plan : Plan.t;
+  report : Oracle.report;
+  failures : string list;
+}
+
+let check ~plan (r : Oracle.report) =
+  let fail cond msg acc = if cond then msg :: acc else acc in
+  []
+  |> fail
+       ((not (Plan.has_rewrite plan)) && r.Oracle.mis_skips > 0)
+       "mis-skip without an unguarded GOT rewrite in the plan"
+  |> fail
+       (r.Oracle.mis_skips > 0 && r.Oracle.quarantine_entries = 0)
+       "mis-skip detected but no ABTB set was quarantined"
+  |> fail (r.Oracle.unclassified > 0) "unclassified retire-stream divergence"
+  |> fail
+       (r.Oracle.cooldown_mis_skips > 0)
+       "mis-skip during fault-free cooldown (no recovery)"
+  |> fail
+       (r.Oracle.cooldown_requests > 0 && r.Oracle.skips > 0
+       && r.Oracle.cooldown_skips = 0)
+       "skipping never resumed after quarantine"
+  |> List.rev
+
+let default_cooldown budget = max 50 (budget / 4)
+
+let trial ?ucfg ?skip_cfg ?cooldown ~workload ~budget plan =
+  let cooldown = Option.value cooldown ~default:(default_cooldown budget) in
+  let report =
+    Oracle.run ?ucfg ?skip_cfg ~plan ~requests:budget ~cooldown workload
+  in
+  { plan; report; failures = check ~plan report }
+
+let run ?ucfg ?skip_cfg ?cooldown ?(coherence = false) ~workload ~seed ~budget
+    ~faults () =
+  let plan = Plan.generate ~coherence ~seed ~budget ~faults () in
+  trial ?ucfg ?skip_cfg ?cooldown ~workload ~budget plan
+
+(* ddmin-style event minimisation: repeatedly try dropping contiguous
+   chunks (halving the chunk size) and keep any sub-plan that still
+   fails, until no single event can be removed. *)
+let shrink ?ucfg ?skip_cfg ?cooldown ~workload ~budget failing =
+  if failing.failures = [] then failing
+  else begin
+    let retry events =
+      let plan = { failing.plan with Plan.events } in
+      trial ?ucfg ?skip_cfg ?cooldown ~workload ~budget plan
+    in
+    let best = ref failing in
+    let continue = ref true in
+    while !continue do
+      continue := false;
+      let events = Array.of_list !best.plan.Plan.events in
+      let n = Array.length events in
+      let chunk = ref (max 1 (n / 2)) in
+      let improved = ref false in
+      while (not !improved) && !chunk >= 1 do
+        let i = ref 0 in
+        while (not !improved) && !i < n do
+          let keep =
+            Array.to_list events
+            |> List.filteri (fun j _ -> j < !i || j >= !i + !chunk)
+          in
+          if List.length keep < n then begin
+            let t = retry keep in
+            if t.failures <> [] then begin
+              best := t;
+              improved := true;
+              continue := true
+            end
+          end;
+          i := !i + !chunk
+        done;
+        if not !improved then chunk := !chunk / 2
+      done
+    done;
+    !best
+  end

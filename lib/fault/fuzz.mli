@@ -1,0 +1,64 @@
+(** Seeded randomized stress driver over the differential oracle.
+
+    One trial = generate a {!Plan.t} from a seed, run the oracle for
+    [budget] faulted requests plus a fault-free cooldown, then check the
+    robustness properties:
+
+    - a mis-skip may only occur under a plan containing [Got_rewrite]
+      (the one fault that bypasses the retire stream);
+    - every detected mis-skip must have entered quarantine;
+    - no divergence may be unclassified;
+    - the cooldown phase must be mis-skip-free (the quarantine fallback
+      recovered) and, when the faulted phase skipped at all, must skip
+      again (service resumed).
+
+    A failing trial is shrunk ddmin-style to a minimal event list that
+    still fails; {!Plan.to_string} of the shrunk plan is a complete
+    reproducer. *)
+
+module Workload = Dlink_core.Workload
+module Skip = Dlink_core.Skip
+
+type trial = {
+  plan : Plan.t;
+  report : Oracle.report;
+  failures : string list;  (** empty = all properties hold *)
+}
+
+val check : plan:Plan.t -> Oracle.report -> string list
+(** The property list above, evaluated on one report. *)
+
+val trial :
+  ?ucfg:Dlink_uarch.Config.t ->
+  ?skip_cfg:Skip.config ->
+  ?cooldown:int ->
+  workload:Workload.t ->
+  budget:int ->
+  Plan.t ->
+  trial
+(** Run one plan.  [cooldown] defaults to [max 50 (budget / 4)]. *)
+
+val run :
+  ?ucfg:Dlink_uarch.Config.t ->
+  ?skip_cfg:Skip.config ->
+  ?cooldown:int ->
+  ?coherence:bool ->
+  workload:Workload.t ->
+  seed:int ->
+  budget:int ->
+  faults:int ->
+  unit ->
+  trial
+(** Generate a plan from [seed] and run it. *)
+
+val shrink :
+  ?ucfg:Dlink_uarch.Config.t ->
+  ?skip_cfg:Skip.config ->
+  ?cooldown:int ->
+  workload:Workload.t ->
+  budget:int ->
+  trial ->
+  trial
+(** Given a failing trial, return a trial with a minimal sub-list of plan
+    events that still fails (the input itself if already minimal or
+    passing). *)

@@ -1,0 +1,93 @@
+open Dlink_uarch
+module Rng = Dlink_util.Rng
+module Skip = Dlink_core.Skip
+module Coherence = Dlink_mach.Coherence
+
+type t = {
+  plan : Plan.t;
+  skip : Skip.t;
+  counters : Counters.t;
+  bus : Coherence.t option;
+  rewrite : (Rng.t -> bool) option;
+  rng : Rng.t;
+  mutable suppress : int;
+  mutable drop : int;
+  mutable delay : int;
+}
+
+let create ?bus ?rewrite ~skip ~counters ~plan () =
+  let t =
+    {
+      plan;
+      skip;
+      counters;
+      bus;
+      rewrite;
+      rng = Rng.create plan.Plan.seed;
+      suppress = 0;
+      drop = 0;
+      delay = 0;
+    }
+  in
+  Skip.set_clear_veto skip
+    (Some
+       (fun () ->
+         if t.suppress > 0 then begin
+           t.suppress <- t.suppress - 1;
+           true
+         end
+         else false));
+  Option.iter
+    (fun bus ->
+      Coherence.set_fault bus
+        (Some
+           (fun ~src:_ _addr ->
+             if t.drop > 0 then begin
+               t.drop <- t.drop - 1;
+               Coherence.Drop
+             end
+             else if t.delay > 0 then begin
+               t.delay <- t.delay - 1;
+               Coherence.Delay
+             end
+             else Coherence.Deliver)))
+    bus;
+  t
+
+let detach t =
+  Skip.set_clear_veto t.skip None;
+  Option.iter (fun bus -> Coherence.set_fault bus None) t.bus
+
+(* Flip a set bit of the Bloom field, starting the search at a random
+   position; a no-op on an empty filter. *)
+let flip_bloom_bit t =
+  let bloom = Skip.bloom t.skip in
+  let n = Bloom.size_bits bloom in
+  if Bloom.bits_set bloom > 0 then begin
+    let start = Rng.int t.rng n in
+    let rec seek i steps =
+      if steps >= n then ()
+      else
+        let idx = (start + i) land (n - 1) in
+        (* size_bits is a power of two *)
+        let before = Bloom.bits_set bloom in
+        Bloom.clear_bit bloom idx;
+        if Bloom.bits_set bloom < before then () else seek (i + 1) (steps + 1)
+    in
+    seek 0 0
+  end
+
+let apply t action =
+  t.counters.Counters.fault_injected <- t.counters.Counters.fault_injected + 1;
+  match action with
+  | Plan.Bloom_flip -> flip_bloom_bit t
+  | Plan.Suppress_clear n -> t.suppress <- t.suppress + n
+  | Plan.Spurious_clear -> Skip.flush t.skip
+  | Plan.Got_rewrite ->
+      Option.iter (fun f -> ignore (f t.rng : bool)) t.rewrite
+  | Plan.Asid_reuse ->
+      Skip.set_asid t.skip (if Skip.asid t.skip = 0 then 1 else 0)
+  | Plan.Drop_msgs n -> t.drop <- t.drop + n
+  | Plan.Delay_msgs n -> t.delay <- t.delay + n
+
+let on_request t at = List.iter (apply t) (Plan.actions_at t.plan at)

@@ -1,0 +1,34 @@
+(** The fault-injection layer: applies a {!Plan.t} against one skip unit
+    (and optionally a coherence bus) as a workload advances.
+
+    All randomness inside the injector (which Bloom bit to flip, which
+    live ABTB entry's slot to rebind) flows from the plan's seed, so a
+    plan replays bit-identically.  Every applied action bumps the
+    [fault_injected] counter. *)
+
+open Dlink_uarch
+module Skip = Dlink_core.Skip
+module Coherence = Dlink_mach.Coherence
+
+type t
+
+val create :
+  ?bus:Coherence.t ->
+  ?rewrite:(Dlink_util.Rng.t -> bool) ->
+  skip:Skip.t ->
+  counters:Counters.t ->
+  plan:Plan.t ->
+  unit ->
+  t
+(** Arms the skip unit's clear-veto hook and (when [bus] is given) the
+    bus's fault hook.  [rewrite] performs a [Got_rewrite] action — it gets
+    the injector's RNG and reports whether a slot was actually rebound;
+    the differential oracle supplies it because only the oracle holds both
+    memories.  Without it, [Got_rewrite] events are no-ops. *)
+
+val on_request : t -> int -> unit
+(** Apply every plan action scheduled at this request index.  Call once
+    per request, before executing it. *)
+
+val detach : t -> unit
+(** Remove the veto and bus hooks, restoring fault-free behaviour. *)

@@ -1,0 +1,68 @@
+(** Differential correctness oracle for the trampoline-skip mechanism.
+
+    Runs the identical request stream through two machines sharing one
+    loaded image: a {e reference} with no skip hardware (every call takes
+    its architectural trampoline path) and a {e device under test} with
+    the full Enhanced pipeline (engine + ABTB/Bloom skip unit), optionally
+    under an injected {!Plan.t}.
+
+    Because every non-PLT retired instruction is a pure function of
+    per-site occurrence counters (see {!Dlink_mach.Process}), the two
+    runs' control-flow streams — projected to library calls and the first
+    instruction retired outside any PLT and outside the dynamic linker —
+    must be identical.  Each divergence is classified:
+
+    - {e mis-skip}: the DUT skipped a trampoline and retired a stale
+      target while the reference reached the current binding — a
+      correctness violation.  The oracle reports it to the skip unit
+      (eviction + quarantine) and resynchronises the DUT's architectural
+      state so the streams re-converge.
+    - {e lost skip}: the DUT executed a trampoline it had skipped before
+      and still reached the same destination — performance-only.
+    - anything else is {e unclassified} and counts as a property failure
+      (it would mean the projection itself broke). *)
+
+open Dlink_isa
+open Dlink_uarch
+module Skip = Dlink_core.Skip
+module Workload = Dlink_core.Workload
+
+type divergence = {
+  request : int;
+  site : Addr.t;  (** call-site PC *)
+  arch_target : Addr.t;  (** trampoline (PLT entry) address *)
+  ref_dest : Addr.t;
+  dut_dest : Addr.t;
+  mis_skip : bool;  (** [false] = unclassified *)
+}
+
+type report = {
+  requests : int;
+  mis_skips : int;
+  lost_skips : int;
+  unclassified : int;
+  quarantine_entries : int;
+  skips : int;  (** DUT trampoline skips *)
+  faults_injected : int;
+  cooldown_requests : int;
+  cooldown_mis_skips : int;
+  cooldown_skips : int;
+      (** skips retired during the fault-free cooldown phase — nonzero
+          demonstrates recovery after quarantine *)
+  counters : Counters.t;  (** full DUT counter set (fresh copy) *)
+  divergences : divergence list;
+      (** mis-skips and unclassified divergences, oldest first, capped *)
+}
+
+val run :
+  ?ucfg:Config.t ->
+  ?skip_cfg:Skip.config ->
+  ?plan:Plan.t ->
+  ?requests:int ->
+  ?cooldown:int ->
+  Workload.t ->
+  report
+(** [requests] defaults to the workload's [default_requests]; [cooldown]
+    (default 0) extra requests are executed after the plan's last event
+    with injection quiesced.  Fully deterministic: equal arguments give a
+    bit-identical report. *)

@@ -1,0 +1,128 @@
+module Rng = Dlink_util.Rng
+
+type action =
+  | Bloom_flip
+  | Suppress_clear of int
+  | Spurious_clear
+  | Got_rewrite
+  | Asid_reuse
+  | Drop_msgs of int
+  | Delay_msgs of int
+
+type event = { at : int; action : action }
+type t = { seed : int; events : event list }
+
+let empty seed = { seed; events = [] }
+
+let sort_events evs = List.stable_sort (fun a b -> compare a.at b.at) evs
+
+let generate ?(coherence = false) ~seed ~budget ~faults () =
+  if budget <= 0 then invalid_arg "Plan.generate: budget must be positive";
+  if faults < 0 then invalid_arg "Plan.generate: faults must be non-negative";
+  let rng = Rng.create seed in
+  let kinds = if coherence then 7 else 5 in
+  let events =
+    List.init faults (fun _ ->
+        let at = Rng.int rng budget in
+        let n () = 1 + Rng.int rng 3 in
+        let action =
+          match Rng.int rng kinds with
+          | 0 -> Bloom_flip
+          | 1 -> Suppress_clear (n ())
+          | 2 -> Spurious_clear
+          | 3 -> Got_rewrite
+          | 4 -> Asid_reuse
+          | 5 -> Drop_msgs (n ())
+          | _ -> Delay_msgs (n ())
+        in
+        { at; action })
+  in
+  { seed; events = sort_events events }
+
+let actions_at t at =
+  List.filter_map (fun e -> if e.at = at then Some e.action else None) t.events
+
+let has_rewrite t = List.exists (fun e -> e.action = Got_rewrite) t.events
+
+let action_to_string = function
+  | Bloom_flip -> "bloom_flip"
+  | Suppress_clear n -> Printf.sprintf "suppress_clear*%d" n
+  | Spurious_clear -> "spurious_clear"
+  | Got_rewrite -> "got_rewrite"
+  | Asid_reuse -> "asid_reuse"
+  | Drop_msgs n -> Printf.sprintf "drop_msgs*%d" n
+  | Delay_msgs n -> Printf.sprintf "delay_msgs*%d" n
+
+let to_string t =
+  String.concat ";"
+    (Printf.sprintf "seed=%d" t.seed
+    :: List.map
+         (fun e -> Printf.sprintf "%d:%s" e.at (action_to_string e.action))
+         t.events)
+
+let action_of_string s =
+  let name, count =
+    match String.index_opt s '*' with
+    | None -> (s, None)
+    | Some i ->
+        ( String.sub s 0 i,
+          int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+  in
+  let counted mk =
+    match count with
+    | Some n when n > 0 -> Ok (mk n)
+    | Some _ -> Error (Printf.sprintf "bad repeat count in %S" s)
+    | None -> Ok (mk 1)
+  in
+  let plain a =
+    match count with
+    | None -> Ok a
+    | Some _ -> Error (Printf.sprintf "%S takes no repeat count" s)
+  in
+  match name with
+  | "bloom_flip" -> plain Bloom_flip
+  | "suppress_clear" -> counted (fun n -> Suppress_clear n)
+  | "spurious_clear" -> plain Spurious_clear
+  | "got_rewrite" -> plain Got_rewrite
+  | "asid_reuse" -> plain Asid_reuse
+  | "drop_msgs" -> counted (fun n -> Drop_msgs n)
+  | "delay_msgs" -> counted (fun n -> Delay_msgs n)
+  | _ -> Error (Printf.sprintf "unknown fault action %S" name)
+
+let of_string s =
+  let parts = String.split_on_char ';' (String.trim s) in
+  match parts with
+  | [] -> Error "empty plan"
+  | seed_part :: rest -> (
+      let seed_result =
+        match String.split_on_char '=' seed_part with
+        | [ "seed"; v ] -> (
+            match int_of_string_opt v with
+            | Some seed -> Ok seed
+            | None -> Error (Printf.sprintf "bad seed %S" v))
+        | _ -> Error (Printf.sprintf "expected seed=N, got %S" seed_part)
+      in
+      match seed_result with
+      | Error _ as e -> e
+      | Ok seed ->
+          let rec parse acc = function
+            | [] -> Ok { seed; events = sort_events (List.rev acc) }
+            | "" :: rest -> parse acc rest
+            | part :: rest -> (
+                match String.index_opt part ':' with
+                | None -> Error (Printf.sprintf "expected AT:ACTION, got %S" part)
+                | Some i -> (
+                    let at_s = String.sub part 0 i in
+                    let act_s =
+                      String.sub part (i + 1) (String.length part - i - 1)
+                    in
+                    match int_of_string_opt at_s with
+                    | None -> Error (Printf.sprintf "bad request index %S" at_s)
+                    | Some at when at < 0 ->
+                        Error (Printf.sprintf "negative request index %d" at)
+                    | Some at -> (
+                        match action_of_string act_s with
+                        | Error _ as e -> e
+                        | Ok action -> parse ({ at; action } :: acc) rest)))
+          in
+          parse [] rest)

@@ -1,0 +1,60 @@
+(** Fault plans: deterministic, serializable schedules of injected faults.
+
+    A plan is a seed plus a list of (request index, action) events.  The
+    same plan always produces the same injected behaviour — the textual
+    form printed by the fuzzer is a complete reproducer.
+
+    The fault vocabulary covers every way the skip mechanism's state can
+    go wrong relative to the architectural GOT:
+
+    - [Bloom_flip]: one bit of the Bloom field is forced to zero — an SRAM
+      bit flip that can re-introduce false negatives.
+    - [Suppress_clear n]: the next [n] filter-driven ABTB clears (local or
+      remote) are silently lost.
+    - [Spurious_clear]: the ABTB and filter are cleared for no reason —
+      performance-only by construction.
+    - [Got_rewrite]: a GOT slot backing a live ABTB entry is rebound
+      directly in memory, bypassing the retire stream — the unguarded
+      rebinding the paper's filter exists to catch.  The only action that
+      can produce true mis-skips.
+    - [Asid_reuse]: the skip unit's ASID is toggled without a flush,
+      exercising tag reuse/rollover paths.
+    - [Drop_msgs n] / [Delay_msgs n]: the next [n] coherence-bus messages
+      are dropped forever / parked until the next drain (delayed messages
+      replay most-recent-first, i.e. reordered). *)
+
+type action =
+  | Bloom_flip
+  | Suppress_clear of int
+  | Spurious_clear
+  | Got_rewrite
+  | Asid_reuse
+  | Drop_msgs of int
+  | Delay_msgs of int
+
+type event = { at : int; action : action }
+(** [at] is the request index the action fires before (0-based). *)
+
+type t = { seed : int; events : event list }
+(** [events] sorted by [at] (stable). *)
+
+val empty : int -> t
+
+val generate : ?coherence:bool -> seed:int -> budget:int -> faults:int -> unit -> t
+(** [faults] random events over requests [\[0, budget)], drawn from the
+    seed.  [coherence] (default [false]) admits [Drop_msgs]/[Delay_msgs],
+    which only have an effect when a bus is attached. *)
+
+val actions_at : t -> int -> action list
+(** Actions scheduled at one request index, in plan order. *)
+
+val has_rewrite : t -> bool
+(** Whether any [Got_rewrite] is scheduled — i.e. whether true mis-skips
+    are even possible under this plan. *)
+
+val action_to_string : action -> string
+val to_string : t -> string
+(** ["seed=S;AT:ACTION;AT:ACTION*N;..."] — fully replayable. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}. *)

@@ -33,6 +33,9 @@ type options = {
 
 val default_options : options
 
+val ld_so_name : string
+(** Name of the always-mapped synthetic dynamic-linker module. *)
+
 type t = {
   opts : options;
   space : Space.t;

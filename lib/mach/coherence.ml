@@ -1,14 +1,28 @@
 open Dlink_isa
 
 type subscriber = { core : int; notify : src:int -> Addr.t -> unit }
+type fate = Deliver | Drop | Delay
 
 type t = {
   mutable subscribers : subscriber list; (* ascending core id *)
   mutable published : int;
   mutable delivered : int;
+  mutable dropped : int;
+  mutable fault : (src:int -> Addr.t -> fate) option;
+  (* Messages a fault hook chose to hold back; most-recent-first, so a
+     drain replays them out of publication order (the reorder fault). *)
+  mutable delayed : (int * Addr.t) list;
 }
 
-let create () = { subscribers = []; published = 0; delivered = 0 }
+let create () =
+  {
+    subscribers = [];
+    published = 0;
+    delivered = 0;
+    dropped = 0;
+    fault = None;
+    delayed = [];
+  }
 
 let subscribe t ~core notify =
   if List.exists (fun s -> s.core = core) t.subscribers then
@@ -18,8 +32,7 @@ let subscribe t ~core notify =
       (fun a b -> compare a.core b.core)
       ({ core; notify } :: t.subscribers)
 
-let publish t ~src addr =
-  t.published <- t.published + 1;
+let deliver t ~src addr =
   List.iter
     (fun s ->
       if s.core <> src then begin
@@ -28,5 +41,24 @@ let publish t ~src addr =
       end)
     t.subscribers
 
+let publish t ~src addr =
+  t.published <- t.published + 1;
+  let fate =
+    match t.fault with None -> Deliver | Some f -> f ~src addr
+  in
+  match fate with
+  | Deliver -> deliver t ~src addr
+  | Drop -> t.dropped <- t.dropped + 1
+  | Delay -> t.delayed <- (src, addr) :: t.delayed
+
+let drain t =
+  let held = t.delayed in
+  t.delayed <- [];
+  List.iter (fun (src, addr) -> deliver t ~src addr) held;
+  List.length held
+
+let set_fault t f = t.fault <- f
 let published t = t.published
 let delivered t = t.delivered
+let dropped t = t.dropped
+let pending t = List.length t.delayed

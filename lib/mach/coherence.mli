@@ -23,8 +23,31 @@ val subscribe : t -> core:int -> (src:int -> Addr.t -> unit) -> unit
 val publish : t -> src:int -> Addr.t -> unit
 (** Broadcast a retired GOT store to every subscriber except [src]. *)
 
+type fate = Deliver | Drop | Delay
+(** What the fault hook decides for one published message.  [Deliver] is
+    normal operation; [Drop] loses the message forever; [Delay] parks it
+    until the next {!drain} (and drains replay most-recent-first, so two
+    delayed messages also arrive reordered). *)
+
+val set_fault : t -> (src:int -> Addr.t -> fate) option -> unit
+(** Install / remove a fault hook consulted on every publish.  [None]
+    (the default) means every message is delivered.  This exists for the
+    fault-injection harness only. *)
+
+val drain : t -> int
+(** Deliver every delayed message (most-recent-first) to all subscribers
+    except its original source, returning how many were released.  The
+    scheduler calls this at quantum boundaries, bounding how long a
+    delayed invalidation can stay in flight. *)
+
 val published : t -> int
 (** Stores broadcast so far. *)
 
 val delivered : t -> int
 (** Per-remote-core deliveries so far. *)
+
+val dropped : t -> int
+(** Messages lost to an injected [Drop] fate. *)
+
+val pending : t -> int
+(** Delayed messages currently awaiting {!drain}. *)

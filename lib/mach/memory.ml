@@ -15,6 +15,10 @@ let write t a v =
 
 let copy = Hashtbl.copy
 
+let blit ~src ~dst =
+  Hashtbl.reset dst;
+  Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src
+
 let fingerprint t =
   Hashtbl.fold (fun k v acc -> acc lxor Site_hash.mix2 k v) t 0
 

@@ -13,6 +13,11 @@ val read : t -> Addr.t -> int
 val write : t -> Addr.t -> int -> unit
 val copy : t -> t
 
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst] in place with a copy of [src]'s contents.  Used to
+    resynchronise a diverged run onto its reference twin without breaking
+    aliases to [dst]. *)
+
 val fingerprint : t -> int
 (** Order-independent hash of the full memory contents (used to compare
     architectural state between base and enhanced runs). *)

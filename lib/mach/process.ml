@@ -197,3 +197,9 @@ let call t ?(fuel = 50_000_000) addr =
   done
 
 let arch_fingerprint t = Site_hash.mix2 (Memory.fingerprint t.mem) t.sp
+
+let resync_arch t ~from_ =
+  Memory.blit ~src:from_.mem ~dst:t.mem;
+  t.sp <- from_.sp;
+  t.pc <- from_.pc;
+  Array.blit from_.site_counts 0 t.site_counts 0 (Array.length t.site_counts)

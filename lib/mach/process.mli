@@ -52,3 +52,9 @@ val call : t -> ?fuel:int -> Addr.t -> unit
 val arch_fingerprint : t -> int
 (** Hash of memory contents and SP — equal fingerprints after equal call
     sequences demonstrate architectural equivalence between modes. *)
+
+val resync_arch : t -> from_:t -> unit
+(** Overwrite this process's architectural state (memory, SP, PC, per-site
+    occurrence counters) with [from_]'s.  Both must run the same loaded
+    image.  The differential oracle uses this to re-converge a run after a
+    detected mis-skip corrupted its architectural state. *)

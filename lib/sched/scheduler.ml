@@ -122,6 +122,9 @@ let run_quantum t c p =
     run_one_request c p
   done;
   p.quanta <- p.quanta + 1;
+  (* Invalidations an injected fault held back are released at the quantum
+     boundary — a delayed message can never outlive the quantum. *)
+  ignore (Coherence.drain t.bus);
   Counters.add ~into:p.counters
     (Counters.diff ~after:(Engine.counters c.engine) ~before)
 

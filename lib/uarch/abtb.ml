@@ -14,6 +14,9 @@ let entries t = t.n_entries
 let lookup ?(asid = 0) t tramp = Assoc_table.find t.table ~tag:asid tramp
 let insert ?(asid = 0) t tramp e = Assoc_table.insert t.table ~tag:asid tramp e
 let clear ?asid t = Assoc_table.clear ?tag:asid t.table
+let set_index t tramp = Assoc_table.set_of_key t.table tramp
+let clear_set t s = Assoc_table.clear_set t.table s
+let n_sets t = Assoc_table.sets t.table
 let valid_count ?asid t = Assoc_table.valid_count ?tag:asid t.table
 let storage_bytes t = 12 * t.n_entries
 let iter f t = Assoc_table.iter f t.table

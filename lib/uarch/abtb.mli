@@ -29,6 +29,14 @@ val insert : ?asid:int -> t -> Addr.t -> entry -> unit
 val clear : ?asid:int -> t -> unit
 (** [clear t] drops everything; [clear ~asid t] one address space only. *)
 
+val set_index : t -> Addr.t -> int
+(** The set a trampoline address maps to (quarantine granularity). *)
+
+val clear_set : t -> int -> unit
+(** Invalidate one set across all ASIDs — used by the graceful-degradation
+    fallback to evict a set implicated in a detected mis-skip. *)
+
+val n_sets : t -> int
 val valid_count : ?asid:int -> t -> int
 val storage_bytes : t -> int
 (** 12 bytes per entry, as estimated in the paper. *)

@@ -115,6 +115,14 @@ let clear ?tag t =
         (fun i k -> if k >= 0 && t.tags.(i) = tag then invalidate_slot t i)
         t.keys
 
+let set_of_key t key = set_of t key
+
+let clear_set t s =
+  if s < 0 || s >= t.sets then invalid_arg "Assoc_table.clear_set: no such set";
+  for w = 0 to t.ways - 1 do
+    invalidate_slot t ((s * t.ways) + w)
+  done
+
 let valid_count ?tag t =
   let counted i k =
     k >= 0 && match tag with None -> true | Some tag -> t.tags.(i) = tag

@@ -38,5 +38,12 @@ val clear : ?tag:int -> 'v t -> unit
 (** [clear t] invalidates everything; [clear ~tag t] only the entries of
     one address space. *)
 
+val set_of_key : 'v t -> int -> int
+(** Set index a key maps to (its low bits). *)
+
+val clear_set : 'v t -> int -> unit
+(** Invalidate every way of one set, all tags — the quarantine eviction
+    primitive.  Raises [Invalid_argument] for an out-of-range set. *)
+
 val valid_count : ?tag:int -> 'v t -> int
 val iter : (int -> 'v -> unit) -> 'v t -> unit

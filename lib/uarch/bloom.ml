@@ -46,6 +46,14 @@ let clear t =
   Bytes.fill t.field 0 (Bytes.length t.field) '\000';
   t.set_bits <- 0
 
+let clear_bit t i =
+  if i < 0 || i > t.mask then invalid_arg "Bloom.clear_bit: index out of range";
+  if get_bit t i then begin
+    let b = Char.code (Bytes.get t.field (i lsr 3)) in
+    Bytes.set t.field (i lsr 3) (Char.chr (b land lnot (1 lsl (i land 7))));
+    t.set_bits <- t.set_bits - 1
+  end
+
 let bits_set t = t.set_bits
 let size_bits t = t.mask + 1
 

@@ -19,6 +19,13 @@ val add : ?asid:int -> t -> Addr.t -> unit
 
 val mem : ?asid:int -> t -> Addr.t -> bool
 val clear : t -> unit
+
+val clear_bit : t -> int -> unit
+(** Fault-injection/test API: force one bit of the field to zero,
+    deliberately breaking the no-false-negative guarantee (models a bit
+    flip in the filter SRAM).  Raises [Invalid_argument] when the index is
+    outside [0, size_bits).  Never called by the mechanism itself. *)
+
 val bits_set : t -> int
 val size_bits : t -> int
 

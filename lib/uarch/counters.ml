@@ -19,6 +19,10 @@ type t = {
   mutable coherence_invalidations : int;
   mutable got_stores : int;
   mutable resolver_runs : int;
+  mutable mis_skips : int;
+  mutable lost_skips : int;
+  mutable quarantine_entries : int;
+  mutable fault_injected : int;
 }
 
 let create () =
@@ -43,6 +47,10 @@ let create () =
     coherence_invalidations = 0;
     got_stores = 0;
     resolver_runs = 0;
+    mis_skips = 0;
+    lost_skips = 0;
+    quarantine_entries = 0;
+    fault_injected = 0;
   }
 
 let reset t =
@@ -65,7 +73,11 @@ let reset t =
   t.abtb_false_clears <- 0;
   t.coherence_invalidations <- 0;
   t.got_stores <- 0;
-  t.resolver_runs <- 0
+  t.resolver_runs <- 0;
+  t.mis_skips <- 0;
+  t.lost_skips <- 0;
+  t.quarantine_entries <- 0;
+  t.fault_injected <- 0
 
 let copy t = { t with instructions = t.instructions }
 
@@ -92,6 +104,10 @@ let diff ~after ~before =
       after.coherence_invalidations - before.coherence_invalidations;
     got_stores = after.got_stores - before.got_stores;
     resolver_runs = after.resolver_runs - before.resolver_runs;
+    mis_skips = after.mis_skips - before.mis_skips;
+    lost_skips = after.lost_skips - before.lost_skips;
+    quarantine_entries = after.quarantine_entries - before.quarantine_entries;
+    fault_injected = after.fault_injected - before.fault_injected;
   }
 
 let add ~into t =
@@ -115,7 +131,11 @@ let add ~into t =
   into.coherence_invalidations <-
     into.coherence_invalidations + t.coherence_invalidations;
   into.got_stores <- into.got_stores + t.got_stores;
-  into.resolver_runs <- into.resolver_runs + t.resolver_runs
+  into.resolver_runs <- into.resolver_runs + t.resolver_runs;
+  into.mis_skips <- into.mis_skips + t.mis_skips;
+  into.lost_skips <- into.lost_skips + t.lost_skips;
+  into.quarantine_entries <- into.quarantine_entries + t.quarantine_entries;
+  into.fault_injected <- into.fault_injected + t.fault_injected
 
 let ipc_denominator t = max 1 t.instructions
 
@@ -142,9 +162,14 @@ let pp ppf t =
      abtb false clears   %d@,\
      coherence invals    %d@,\
      got stores          %d@,\
-     resolver runs       %d@]"
+     resolver runs       %d@,\
+     mis skips           %d@,\
+     lost skips          %d@,\
+     quarantined sets    %d@,\
+     faults injected     %d@]"
     t.instructions t.cycles t.icache_misses t.dcache_misses t.l2_misses
     t.itlb_misses t.dtlb_misses t.branches t.branch_mispredictions t.btb_misses
     t.tramp_instructions t.tramp_calls t.tramp_skips t.abtb_hits t.abtb_inserts
     t.abtb_clears t.abtb_false_clears t.coherence_invalidations t.got_stores
-    t.resolver_runs
+    t.resolver_runs t.mis_skips t.lost_skips t.quarantine_entries
+    t.fault_injected

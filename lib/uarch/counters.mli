@@ -26,6 +26,18 @@ type t = {
           from another core (multi-process runs only) *)
   mutable got_stores : int;
   mutable resolver_runs : int;
+  mutable mis_skips : int;
+      (** correctness violations detected by the oracle: a skip retired a
+          stale function target (forbidden by the paper's Bloom-clear
+          invariant; nonzero only under fault injection) *)
+  mutable lost_skips : int;
+      (** benign divergences: a previously-skippable trampoline executed
+          architecturally (clear, eviction, quarantine, or injected fault)
+          and reached the same function — performance-only *)
+  mutable quarantine_entries : int;
+      (** ABTB sets quarantined by the graceful-degradation fallback *)
+  mutable fault_injected : int;
+      (** fault-plan actions applied by the injection layer *)
 }
 
 val create : unit -> t

@@ -79,3 +79,170 @@ let write_file path v =
     (fun () ->
       output_string oc (to_string v);
       output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-descent parser, the emitter's inverse.  Numbers without '.',
+   'e' or 'E' become [Int]; everything else numeric becomes [Float].
+   \uXXXX escapes outside the Latin-1 range are rejected (the emitter
+   only produces them for control characters). *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> error "expected %c at offset %d, found %c" c !pos c'
+    | None -> error "expected %c at offset %d, found end of input" c !pos
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else error "bad literal at offset %d" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then error "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char b '"'
+               | '\\' -> Buffer.add_char b '\\'
+               | '/' -> Buffer.add_char b '/'
+               | 'n' -> Buffer.add_char b '\n'
+               | 'r' -> Buffer.add_char b '\r'
+               | 't' -> Buffer.add_char b '\t'
+               | 'b' -> Buffer.add_char b '\b'
+               | 'f' -> Buffer.add_char b '\012'
+               | 'u' ->
+                   if !pos + 4 >= n then error "truncated \\u escape";
+                   let hex = String.sub s (!pos + 1) 4 in
+                   let code =
+                     match int_of_string_opt ("0x" ^ hex) with
+                     | Some c -> c
+                     | None -> error "bad \\u escape %S" hex
+                   in
+                   if code > 0xff then
+                     error "\\u%s outside the supported Latin-1 range" hex;
+                   Buffer.add_char b (Char.chr code);
+                   pos := !pos + 4
+               | c -> error "bad escape \\%c" c);
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> error "bad number %S" tok
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> error "bad number %S" tok
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> error "expected , or ] at offset %d" !pos
+          in
+          List (items [])
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> error "expected , or } at offset %d" !pos
+          in
+          Obj (fields [])
+        end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> error "unexpected %c at offset %d" c !pos
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos < n then error "trailing garbage at offset %d" !pos;
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error m -> Error m

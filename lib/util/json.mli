@@ -1,4 +1,4 @@
-(** Minimal JSON emitter (no parser) for machine-readable reports.
+(** Minimal JSON emitter and parser for machine-readable reports.
 
     Deliberately tiny so the repo needs no external JSON dependency; the
     bench harness uses it for [--json FILE] output. *)
@@ -18,3 +18,10 @@ val to_string : t -> string
 
 val write_file : string -> t -> unit
 (** [write_file path v] writes [to_string v] plus a trailing newline. *)
+
+val of_string : string -> (t, string) result
+(** Parse the emitter's output back (and any plain JSON without exotic
+    escapes): [of_string (to_string v)] is [Ok v] for every value whose
+    floats are finite.  Numbers without a fraction or exponent parse as
+    [Int]; [\uXXXX] escapes above [0xff] are rejected (the emitter only
+    produces them for control characters). *)

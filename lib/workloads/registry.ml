@@ -4,6 +4,7 @@ let all =
     (Memcached.name, fun ?seed () -> Memcached.workload ?seed ());
     (Mysql.name, fun ?seed () -> Mysql.workload ?seed ());
     (Firefox.name, fun ?seed () -> Firefox.workload ?seed ());
+    (Synth.name, fun ?seed () -> Synth.workload ?seed ());
   ]
 
 let find name = List.assoc_opt name all

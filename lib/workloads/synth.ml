@@ -291,3 +291,63 @@ let build spec =
     ghz = 3.0;
     func_align = spec.Spec.func_align;
   }
+
+(* ------------------------------------------------------------------ *)
+(* A registered mid-size synthetic workload: big enough to exercise
+   multi-library chains, ifuncs, and housekeeping rebinds; small enough
+   for fuzzing loops and CI smoke runs. *)
+
+let name = "synth"
+
+let spec ?(seed = 7) () =
+  {
+    Spec.name;
+    seed;
+    libs = [ "liba"; "libb"; "libc"; "libd" ];
+    n_trampolines = 96;
+    depth_weights = [ (1, 0.45); (2, 0.35); (3, 0.20) ];
+    zipf_s = 1.6;
+    terminal_compute = (10, 30);
+    terminal_loop_mean = 1.5;
+    terminal_touch = ((1, 2), (0, 1));
+    wrapper_compute = (4, 10);
+    rtypes =
+      [
+        {
+          Spec.rname = "alpha";
+          weight = 0.5;
+          variants = 4;
+          calls = (6, 12);
+          inter_compute = (3, 8);
+          segment_loop_mean = 1.2;
+        };
+        {
+          Spec.rname = "beta";
+          weight = 0.3;
+          variants = 4;
+          calls = (4, 9);
+          inter_compute = (3, 8);
+          segment_loop_mean = 1.0;
+        };
+        {
+          Spec.rname = "gamma";
+          weight = 0.2;
+          variants = 2;
+          calls = (8, 16);
+          inter_compute = (2, 6);
+          segment_loop_mean = 1.4;
+        };
+      ];
+    housekeeping_every = 40;
+    housekeeping_chunk = 8;
+    extra_import_factor = 0.6;
+    ifunc_fraction = 0.15;
+    app_data_bytes = 32 * 1024;
+    lib_data_bytes = 8 * 1024;
+    us_scale = 1.0;
+    default_requests = 400;
+    warmup_requests = 20;
+    func_align = 64;
+  }
+
+let workload ?seed () = build (spec ?seed ())

@@ -8,3 +8,10 @@ val build : Spec.t -> Dlink_core.Workload.t
 val chain_count : Spec.t -> int
 (** Number of call chains the generator will create for this spec
     (deterministic; useful for sizing housekeeping coverage in tests). *)
+
+val name : string
+(** ["synth"] — a registered mid-size synthetic workload, sized for
+    fuzzing loops and CI smoke runs. *)
+
+val spec : ?seed:int -> unit -> Spec.t
+val workload : ?seed:int -> unit -> Dlink_core.Workload.t

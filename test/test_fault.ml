@@ -1,0 +1,277 @@
+(* Tests for Dlink_fault: fault-plan serialization, the skip unit's
+   quarantine fallback, the differential oracle, and the fuzz driver.
+
+   The invariants:
+   - a fault plan's textual form is a complete reproducer: to_string and
+     of_string are inverses and the whole pipeline is a pure function of
+     (workload, plan), so equal inputs give bit-identical reports;
+   - with no faults injected, the oracle observes zero divergences on
+     every stock workload;
+   - only [Got_rewrite] — the one fault that bypasses the retire
+     stream — can produce a mis-skip, and a detected mis-skip always
+     quarantines the offending ABTB set and recovers by cooldown;
+   - a failing trial shrinks to a minimal single-event reproducer. *)
+
+module C = Dlink_uarch.Counters
+module Abtb = Dlink_uarch.Abtb
+module Skip = Dlink_core.Skip
+module P = Dlink_fault.Plan
+module O = Dlink_fault.Oracle
+module F = Dlink_fault.Fuzz
+module Reg = Dlink_workloads.Registry
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let wl name = (Option.get (Reg.find name)) ?seed:None ()
+let synth seed = Dlink_workloads.Synth.workload ~seed ()
+
+(* ---------------- plans ---------------- *)
+
+let test_plan_round_trip () =
+  for seed = 1 to 5 do
+    let p = P.generate ~coherence:true ~seed ~budget:300 ~faults:10 () in
+    match P.of_string (P.to_string p) with
+    | Ok p' -> checkb "round trip" true (p = p')
+    | Error e -> Alcotest.failf "seed %d: %s" seed e
+  done;
+  checkb "empty plan round trips" true
+    (P.of_string (P.to_string (P.empty 7)) = Ok (P.empty 7))
+
+let test_plan_parse_errors () =
+  List.iter
+    (fun s ->
+      checkb (Printf.sprintf "%S rejected" s) true
+        (Result.is_error (P.of_string s)))
+    [
+      "";
+      "nonsense";
+      "seed=x";
+      "seed=1;zz:bloom_flip";
+      "seed=1;5:bogus";
+      "seed=1;-2:got_rewrite";
+      "seed=1;3:suppress_clear*0";
+      "seed=1;3:bloom_flip*2";
+    ]
+
+let test_plan_accessors () =
+  let p =
+    {
+      P.seed = 9;
+      events =
+        [
+          { P.at = 4; action = P.Bloom_flip };
+          { P.at = 2; action = P.Spurious_clear };
+          { P.at = 4; action = P.Suppress_clear 3 };
+        ];
+    }
+  in
+  (* Construction does not sort, but generate/of_string do — go through
+     the parser to get the canonical form. *)
+  let p = Result.get_ok (P.of_string (P.to_string p)) in
+  checkb "sorted by request index" true
+    (List.map (fun e -> e.P.at) p.P.events = [ 2; 4; 4 ]);
+  checki "two actions at request 4" 2 (List.length (P.actions_at p 4));
+  checki "none at request 3" 0 (List.length (P.actions_at p 3));
+  checkb "no rewrite scheduled" false (P.has_rewrite p);
+  checkb "rewrite detected" true
+    (P.has_rewrite
+       { P.seed = 0; events = [ { P.at = 0; action = P.Got_rewrite } ] })
+
+(* ---------------- skip unit: validation and quarantine ---------------- *)
+
+let make_skip ?(window = 2) () =
+  let counters = C.create () in
+  let btb = Hashtbl.create 8 in
+  let config = { Skip.default_config with Skip.quarantine_window = window } in
+  let skip =
+    Skip.create ~config ~counters
+      ~btb_update:(fun pc tgt -> Hashtbl.replace btb pc tgt)
+      ~btb_predict:(fun pc -> Hashtbl.find_opt btb pc)
+      ~on_stale_prediction:(fun () -> ())
+      ~read_got:(fun _ -> 0)
+      ()
+  in
+  (skip, counters, btb)
+
+let test_config_validation () =
+  let expect_invalid name config =
+    match
+      Skip.create ~config ~counters:(C.create ())
+        ~btb_update:(fun _ _ -> ())
+        ~btb_predict:(fun _ -> None)
+        ~on_stale_prediction:(fun () -> ())
+        ~read_got:(fun _ -> 0)
+        ()
+    with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  let d = Skip.default_config in
+  expect_invalid "zero entries" { d with Skip.abtb_entries = 0 };
+  expect_invalid "zero ways" { d with Skip.abtb_ways = Some 0 };
+  expect_invalid "bloom bits not a power of two" { d with Skip.bloom_bits = 3 };
+  expect_invalid "zero bloom bits" { d with Skip.bloom_bits = 0 };
+  expect_invalid "zero hashes" { d with Skip.bloom_hashes = 0 };
+  expect_invalid "nine hashes" { d with Skip.bloom_hashes = 9 };
+  expect_invalid "negative window" { d with Skip.quarantine_window = -1 }
+
+let test_quarantine_fallback_and_release () =
+  let skip, counters, btb = make_skip ~window:2 () in
+  let site = 0x100 and tramp = 0x1000 and func = 0x4000 in
+  Hashtbl.replace btb site func;
+  Abtb.insert (Skip.abtb skip) tramp { Abtb.func; got_slot = 0x9000 };
+  checki "clean skip" func (Skip.on_fetch_call skip ~pc:site ~arch_target:tramp);
+  Skip.report_mis_skip skip ~tramp;
+  checki "mis-skip counted" 1 counters.C.mis_skips;
+  checki "quarantine entry counted" 1 counters.C.quarantine_entries;
+  checki "one set serving a sentence" 1 (Skip.quarantined_sets skip);
+  checkb "offending set evicted" true
+    (Abtb.lookup (Skip.abtb skip) tramp = None);
+  (* Re-inserts are allowed during the sentence so service can resume
+     with warm entries on release — but skips stay suppressed. *)
+  Abtb.insert (Skip.abtb skip) tramp { Abtb.func; got_slot = 0x9000 };
+  checki "1st opportunity falls back to trampoline" tramp
+    (Skip.on_fetch_call skip ~pc:site ~arch_target:tramp);
+  checki "2nd opportunity falls back to trampoline" tramp
+    (Skip.on_fetch_call skip ~pc:site ~arch_target:tramp);
+  checki "released after the window" func
+    (Skip.on_fetch_call skip ~pc:site ~arch_target:tramp);
+  checki "sentence served" 0 (Skip.quarantined_sets skip);
+  (* A second report for the same set must not double-count the entry. *)
+  Skip.report_mis_skip skip ~tramp;
+  Skip.report_mis_skip skip ~tramp;
+  checki "entries counted once per sentence" 2 counters.C.quarantine_entries;
+  checki "every mis-skip counted" 3 counters.C.mis_skips
+
+let test_quarantine_disabled () =
+  let skip, counters, btb = make_skip ~window:0 () in
+  let site = 0x100 and tramp = 0x1000 and func = 0x4000 in
+  Hashtbl.replace btb site func;
+  Abtb.insert (Skip.abtb skip) tramp { Abtb.func; got_slot = 0x9000 };
+  Skip.report_mis_skip skip ~tramp;
+  checki "mis-skip still counted" 1 counters.C.mis_skips;
+  checki "no quarantine entry" 0 counters.C.quarantine_entries;
+  checki "no set quarantined" 0 (Skip.quarantined_sets skip);
+  Abtb.insert (Skip.abtb skip) tramp { Abtb.func; got_slot = 0x9000 };
+  checki "skips resume immediately" func
+    (Skip.on_fetch_call skip ~pc:site ~arch_target:tramp)
+
+(* ---------------- differential oracle ---------------- *)
+
+let test_oracle_clean_on_stock_workloads () =
+  List.iter
+    (fun name ->
+      let r = O.run ~requests:150 (wl name) in
+      checki (name ^ ": no mis-skips") 0 r.O.mis_skips;
+      checki (name ^ ": no unclassified divergences") 0 r.O.unclassified;
+      checki (name ^ ": no faults injected") 0 r.O.faults_injected;
+      checkb (name ^ ": the DUT skipped") true (r.O.skips > 0))
+    [ "apache"; "memcached"; "mysql"; "firefox"; "synth" ]
+
+let test_oracle_deterministic () =
+  let go () =
+    F.run ~workload:(synth 11) ~seed:11 ~budget:120 ~faults:5 ()
+  in
+  let a = go () and b = go () in
+  checkb "equal plans" true (a.F.plan = b.F.plan);
+  checkb "bit-identical reports" true (a.F.report = b.F.report);
+  checkb "same verdict" true (a.F.failures = b.F.failures)
+
+let test_rewrite_detected_and_recovered () =
+  (* The CI reproducer: seed 42 draws a Got_rewrite whose stale binding
+     the DUT skips to before the next natural clear. *)
+  let t = F.run ~workload:(synth 42) ~seed:42 ~budget:200 ~faults:8 () in
+  checkb "all properties hold" true (t.F.failures = []);
+  let r = t.F.report in
+  checkb "plan contains the rewrite" true (P.has_rewrite t.F.plan);
+  checkb "mis-skip detected" true (r.O.mis_skips >= 1);
+  checkb "offender quarantined" true (r.O.quarantine_entries >= 1);
+  checki "no unclassified divergences" 0 r.O.unclassified;
+  checki "cooldown is mis-skip-free" 0 r.O.cooldown_mis_skips;
+  checkb "service resumed after quarantine" true (r.O.cooldown_skips > 0);
+  (match r.O.divergences with
+  | d :: _ -> checkb "divergence classified as mis-skip" true d.O.mis_skip
+  | [] -> Alcotest.fail "expected a recorded divergence");
+  checkb "counters agree with the report" true
+    (r.O.counters.C.mis_skips = r.O.mis_skips)
+
+let test_benign_faults_stay_benign () =
+  (* Everything except Got_rewrite flows through the retire stream, so
+     none of it can make the DUT retire a stale target. *)
+  let events =
+    [
+      { P.at = 10; action = P.Bloom_flip };
+      { P.at = 25; action = P.Suppress_clear 2 };
+      { P.at = 40; action = P.Spurious_clear };
+      { P.at = 55; action = P.Asid_reuse };
+      { P.at = 70; action = P.Asid_reuse };
+    ]
+  in
+  let plan = { P.seed = 3; events } in
+  let r = O.run ~plan ~requests:120 ~cooldown:40 (synth 3) in
+  checki "faults were injected" (List.length events) r.O.faults_injected;
+  checki "no mis-skips" 0 r.O.mis_skips;
+  checki "no unclassified divergences" 0 r.O.unclassified;
+  checki "no quarantine" 0 r.O.quarantine_entries
+
+(* ---------------- fuzz driver ---------------- *)
+
+let test_fuzz_seeds_pass () =
+  for seed = 1 to 4 do
+    let t = F.run ~workload:(synth seed) ~seed ~budget:120 ~faults:5 () in
+    if t.F.failures <> [] then
+      Alcotest.failf "seed %d: %s (plan %s)" seed
+        (String.concat "; " t.F.failures)
+        (P.to_string t.F.plan)
+  done
+
+let test_shrink_to_minimal_plan () =
+  (* Disabling quarantine breaks the "every mis-skip quarantines"
+     property; the shrinker must isolate the one Got_rewrite event. *)
+  let skip_cfg = { Skip.default_config with Skip.quarantine_window = 0 } in
+  let workload () = synth 42 in
+  let t = F.run ~skip_cfg ~workload:(workload ()) ~seed:42 ~budget:200 ~faults:8 () in
+  checkb "window 0 fails a property" true (t.F.failures <> []);
+  let s = F.shrink ~skip_cfg ~workload:(workload ()) ~budget:200 t in
+  checkb "shrunk plan still fails" true (s.F.failures <> []);
+  checki "minimal plan is a single event" 1 (List.length s.F.plan.P.events);
+  checkb "the culprit is the rewrite" true (P.has_rewrite s.F.plan);
+  (* The printed form replays to the same verdict. *)
+  let replayed = Result.get_ok (P.of_string (P.to_string s.F.plan)) in
+  let r = F.trial ~skip_cfg ~workload:(workload ()) ~budget:200 replayed in
+  checkb "reproducer replays" true (r.F.failures = s.F.failures)
+
+let () =
+  Alcotest.run "dlink_fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "round trip" `Quick test_plan_round_trip;
+          Alcotest.test_case "parse errors" `Quick test_plan_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_plan_accessors;
+        ] );
+      ( "skip hardening",
+        [
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "quarantine fallback and release" `Quick
+            test_quarantine_fallback_and_release;
+          Alcotest.test_case "quarantine disabled" `Quick
+            test_quarantine_disabled;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "clean on stock workloads" `Slow
+            test_oracle_clean_on_stock_workloads;
+          Alcotest.test_case "deterministic" `Quick test_oracle_deterministic;
+          Alcotest.test_case "rewrite detected and recovered" `Quick
+            test_rewrite_detected_and_recovered;
+          Alcotest.test_case "benign faults stay benign" `Quick
+            test_benign_faults_stay_benign;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "seeds pass" `Quick test_fuzz_seeds_pass;
+          Alcotest.test_case "shrinks to a minimal plan" `Quick
+            test_shrink_to_minimal_plan;
+        ] );
+    ]

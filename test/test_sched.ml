@@ -203,6 +203,103 @@ let test_bus_delivery_order_and_self_exclusion () =
        false
      with Invalid_argument _ -> true)
 
+(* ---------------- injected bus faults ---------------- *)
+
+let test_bus_drop_and_delay_faults () =
+  let bus = Coherence.create () in
+  let seen = ref [] in
+  List.iter
+    (fun core ->
+      Coherence.subscribe bus ~core (fun ~src:_ addr -> seen := (core, addr) :: !seen))
+    [ 0; 1 ];
+  let fates = ref [ Coherence.Drop; Coherence.Delay; Coherence.Deliver ] in
+  Coherence.set_fault bus
+    (Some
+       (fun ~src:_ _ ->
+         match !fates with
+         | [] -> Coherence.Deliver
+         | f :: rest ->
+             fates := rest;
+             f));
+  Coherence.publish bus ~src:0 0xA;
+  Coherence.publish bus ~src:0 0xB;
+  Coherence.publish bus ~src:0 0xC;
+  checki "published counts all three" 3 (Coherence.published bus);
+  checki "one dropped" 1 (Coherence.dropped bus);
+  checki "one pending" 1 (Coherence.pending bus);
+  checkb "only the delivered one arrived" true (!seen = [ (1, 0xC) ]);
+  checki "drain releases the delayed one" 1 (Coherence.drain bus);
+  checkb "delayed message arrived after drain" true (List.mem (1, 0xB) !seen);
+  checkb "dropped message never arrives" false
+    (List.exists (fun (_, a) -> a = 0xA) !seen);
+  checki "nothing left pending" 0 (Coherence.pending bus);
+  Coherence.set_fault bus None;
+  Coherence.publish bus ~src:0 0xD;
+  checkb "normal delivery after hook removal" true (List.mem (1, 0xD) !seen)
+
+let test_bus_delay_reorders () =
+  let bus = Coherence.create () in
+  let seen = ref [] in
+  Coherence.subscribe bus ~core:1 (fun ~src:_ addr -> seen := addr :: !seen);
+  Coherence.set_fault bus (Some (fun ~src:_ _ -> Coherence.Delay));
+  Coherence.publish bus ~src:0 0xA;
+  Coherence.publish bus ~src:0 0xB;
+  checki "both held" 2 (Coherence.pending bus);
+  checki "both drained" 2 (Coherence.drain bus);
+  Alcotest.(check (list int))
+    "drain replays most-recent-first (reordered)" [ 0xB; 0xA ]
+    (List.rev !seen)
+
+let test_scheduler_drains_delayed_messages () =
+  (* Every coherence message is delayed by the fault hook; the scheduler's
+     quantum-boundary drain must still deliver all of them by completion. *)
+  let sched =
+    Sched.create ~requests:60 ~policy:Policy.Asid_shared_guard ~quantum:10
+      ~cores:2
+      (workloads [ "memcached"; "memcached" ])
+  in
+  Coherence.set_fault (Sched.bus sched) (Some (fun ~src:_ _ -> Coherence.Delay));
+  Sched.run sched;
+  let bus = Sched.bus sched in
+  checkb "messages were published" true (Coherence.published bus > 0);
+  checki "no message outlives a quantum" 0 (Coherence.pending bus);
+  checkb "delayed messages eventually delivered" true
+    (Coherence.delivered bus > 0);
+  checki "none dropped" 0 (Coherence.dropped bus)
+
+(* ---------------- ASID reuse / rollover ---------------- *)
+
+module Assoc = Dlink_uarch.Assoc_table
+module Tlb = Dlink_uarch.Tlb
+
+let test_assoc_tag_reuse_requires_flush () =
+  let t = Assoc.create ~sets:4 ~ways:2 in
+  Assoc.insert t ~tag:5 0x40 "old";
+  (* An ASID counter that rolled over hands tag 5 to a new address space.
+     The stale entry is still physically present — visible if software
+     skips the flush — so the reuse protocol must clear the tag first. *)
+  checkb "stale entry physically present" true
+    (Assoc.find t ~tag:5 0x40 = Some "old");
+  Assoc.clear ~tag:5 t;
+  checkb "no resurrection after rollover flush" true
+    (Assoc.find t ~tag:5 0x40 = None);
+  Assoc.insert t ~tag:5 0x40 "new";
+  checkb "new owner's entry visible" true (Assoc.find t ~tag:5 0x40 = Some "new");
+  checki "old entry gone from census" 1 (Assoc.valid_count ~tag:5 t)
+
+let test_tlb_asid_rollover () =
+  let tlb = Tlb.create ~name:"dtlb" ~entries:8 ~ways:2 in
+  ignore (Tlb.access ~asid:7 tlb 0x1000);
+  checkb "present for owner" true (Tlb.present ~asid:7 tlb 0x1000);
+  checkb "invisible to another asid" false (Tlb.present ~asid:8 tlb 0x1000);
+  Tlb.flush ~asid:7 tlb;
+  checkb "rollover flush prevents resurrection" false
+    (Tlb.present ~asid:7 tlb 0x1000);
+  (* Flushing one tag must not disturb other address spaces. *)
+  ignore (Tlb.access ~asid:3 tlb 0x2000);
+  Tlb.flush ~asid:7 tlb;
+  checkb "other asid untouched" true (Tlb.present ~asid:3 tlb 0x2000)
+
 (* ---------------- quantum sweep ---------------- *)
 
 let test_sweep_shape () =
@@ -258,6 +355,18 @@ let () =
             test_flush_policy_publishes_nothing;
           Alcotest.test_case "bus order and self-exclusion" `Quick
             test_bus_delivery_order_and_self_exclusion;
+          Alcotest.test_case "drop and delay faults" `Quick
+            test_bus_drop_and_delay_faults;
+          Alcotest.test_case "delay reorders delivery" `Quick
+            test_bus_delay_reorders;
+          Alcotest.test_case "scheduler drains delayed messages" `Quick
+            test_scheduler_drains_delayed_messages;
+        ] );
+      ( "asid reuse",
+        [
+          Alcotest.test_case "tag reuse requires flush" `Quick
+            test_assoc_tag_reuse_requires_flush;
+          Alcotest.test_case "tlb asid rollover" `Quick test_tlb_asid_rollover;
         ] );
       ( "sweep",
         [ Alcotest.test_case "shape" `Quick test_sweep_shape ] );

@@ -185,6 +185,24 @@ let test_bloom_fp_rate_reasonable () =
   done;
   checkb "few false positives" true (!fp < 10)
 
+let test_bloom_clear_bit () =
+  (* The fault injector's SRAM-bit-flip primitive: clearing every bit of
+     the field is equivalent to a full clear, and clearing an already-zero
+     bit is a no-op on the census. *)
+  let b = Bloom.create ~bits:64 ~hashes:2 in
+  Bloom.add b 0xdead;
+  let set = Bloom.bits_set b in
+  checkb "something set" true (set > 0);
+  Bloom.clear_bit b 0;
+  for i = 0 to 63 do
+    Bloom.clear_bit b i
+  done;
+  checki "all bits cleared" 0 (Bloom.bits_set b);
+  checkb "membership gone" false (Bloom.mem b 0xdead);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Bloom.clear_bit: index out of range") (fun () ->
+      Bloom.clear_bit b 64)
+
 let test_bloom_rejects_bad_args () =
   Alcotest.check_raises "bits"
     (Invalid_argument "Bloom.create: bits must be a positive power of two") (fun () ->
@@ -222,6 +240,23 @@ let test_abtb_storage_cost () =
      exactly 3KB at 12B/entry — we report the exact figure. *)
   let a = Abtb.create ~entries:256 () in
   checki "12B/entry" (256 * 12) (Abtb.storage_bytes a)
+
+let test_abtb_clear_set () =
+  (* Quarantine eviction granularity: clearing one set removes exactly its
+     occupants and nothing else. *)
+  let a = Abtb.create ~ways:1 ~entries:4 () in
+  Abtb.insert a 0 { Abtb.func = 10; got_slot = 10 };
+  Abtb.insert a 1 { Abtb.func = 11; got_slot = 11 };
+  let s0 = Abtb.set_index a 0 and s1 = Abtb.set_index a 1 in
+  checkb "direct-mapped: distinct sets" true (s0 <> s1);
+  checki "four sets" 4 (Abtb.n_sets a);
+  Abtb.clear_set a s0;
+  checkb "victim gone" true (Abtb.lookup a 0 = None);
+  checkb "other set untouched" true (Abtb.lookup a 1 <> None);
+  checki "one survivor" 1 (Abtb.valid_count a);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Assoc_table.clear_set: no such set") (fun () ->
+      Abtb.clear_set a 4)
 
 (* ---------------- Counters ---------------- *)
 
@@ -443,6 +478,7 @@ let () =
           Alcotest.test_case "membership" `Quick test_bloom_membership;
           Alcotest.test_case "clear" `Quick test_bloom_clear;
           Alcotest.test_case "fp rate" `Quick test_bloom_fp_rate_reasonable;
+          Alcotest.test_case "clear bit" `Quick test_bloom_clear_bit;
           Alcotest.test_case "bad args" `Quick test_bloom_rejects_bad_args;
         ] );
       ( "abtb",
@@ -450,6 +486,7 @@ let () =
           Alcotest.test_case "insert/lookup" `Quick test_abtb_insert_lookup;
           Alcotest.test_case "LRU capacity" `Quick test_abtb_lru_capacity;
           Alcotest.test_case "clear" `Quick test_abtb_clear;
+          Alcotest.test_case "clear set" `Quick test_abtb_clear_set;
           Alcotest.test_case "storage cost" `Quick test_abtb_storage_cost;
         ] );
       ( "counters",

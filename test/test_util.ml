@@ -238,6 +238,75 @@ let test_plot_log_scale () =
 
 (* ---------------- property tests ---------------- *)
 
+(* ---------------- Json ---------------- *)
+
+module Json = Dlink_util.Json
+
+let checks = Alcotest.(check string)
+
+let test_json_escapes_specials () =
+  checks "quote+backslash" "\"a\\\"b\\\\c\""
+    (Json.to_string (Json.String "a\"b\\c"));
+  checks "whitespace escapes" "\"x\\ny\\rz\\tw\""
+    (Json.to_string (Json.String "x\ny\rz\tw"));
+  checks "control chars" "\"\\u0001\\u001f\""
+    (Json.to_string (Json.String "\x01\x1f"))
+
+let test_json_string_roundtrip () =
+  let cases =
+    [
+      "plain";
+      "he said \"hi\"";
+      "back\\slash";
+      "line1\nline2\r\ttabbed";
+      "\x01\x02\x1f control soup";
+      "mixed \"q\" \\ \n \x03 end";
+      "";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Json.of_string (Json.to_string (Json.String s)) with
+      | Ok (Json.String s') -> checks "string round-trip" s s'
+      | Ok _ -> Alcotest.fail "parsed to non-string"
+      | Error e -> Alcotest.fail e)
+    cases
+
+let test_json_value_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("flags", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("count", Json.Int (-42));
+        ("big", Json.Int max_int);
+        ("ratio", Json.Float 1.5);
+        ("whole", Json.Float 2.0);
+        ("name", Json.String "tricky \"name\"\\\n");
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []);
+        ( "nested",
+          Json.List [ Json.Obj [ ("k", Json.List [ Json.Int 1; Json.Null ]) ] ] );
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> checkb "value round-trip" true (v = v')
+  | Error e -> Alcotest.fail e
+
+let test_json_parse_errors () =
+  let bad = [ "{"; "[1,"; "tru"; "\"open"; "1 2"; "{\"k\" 1}"; "\"\\q\"" ] in
+  List.iter
+    (fun s -> checkb s true (Result.is_error (Json.of_string s)))
+    bad;
+  (* high \u escapes are out of the emitter's range and rejected *)
+  checkb "\\u1234 rejected" true
+    (Result.is_error (Json.of_string "\"\\u1234\""))
+
+let test_json_parses_plain () =
+  checkb "ws tolerant" true
+    (Json.of_string "  { \"a\" : [ 1 , 2.5 , null ] }  "
+    = Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null ]) ]))
+
 let qcheck_tests =
   [
     QCheck.Test.make ~name:"rng int always within bound" ~count:1000
@@ -314,6 +383,19 @@ let () =
           Alcotest.test_case "fmt_pct" `Quick test_fmt_pct;
           Alcotest.test_case "plot empty" `Quick test_plot_empty_series;
           Alcotest.test_case "plot log" `Quick test_plot_log_scale;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "escapes specials" `Quick test_json_escapes_specials;
+          Alcotest.test_case "string round-trip" `Quick test_json_string_roundtrip;
+          Alcotest.test_case "value round-trip" `Quick test_json_value_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "plain json" `Quick test_json_parses_plain;
+          QCheck_alcotest.to_alcotest
+            (QCheck.Test.make ~name:"random string round-trip" ~count:500
+               QCheck.string (fun s ->
+                 Json.of_string (Json.to_string (Json.String s))
+                 = Ok (Json.String s)));
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]
