@@ -24,6 +24,10 @@ module Cow = Dlink_core.Cow
 module Sched = Dlink_sched.Scheduler
 module Policy = Dlink_sched.Policy
 module Qs = Dlink_sched.Quantum_sweep
+module Replay = Dlink_trace.Replay
+module Tcache = Dlink_trace.Cache
+module Sreplay = Dlink_trace.Sched_replay
+module Parallel = Dlink_util.Parallel
 module W = Dlink_workloads
 module Table = Dlink_util.Table
 module Plot = Dlink_util.Ascii_plot
@@ -54,6 +58,32 @@ let () =
       with Sys_error e ->
         Printf.eprintf "cannot write --json file: %s\n" e;
         exit 2)
+
+(* --jobs N: forked workers for the per-workload simulations and the
+   quantum sweep (0 = auto-detect from DLINK_JOBS / core count). *)
+let jobs =
+  let rec scan = function
+    | "--jobs" :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some 0 -> Parallel.default_jobs ()
+        | Some n when n > 0 -> n
+        | _ ->
+            Printf.eprintf "bad --jobs value: %s\n" n;
+            exit 2)
+    | _ :: rest -> scan rest
+    | [] -> 1
+  in
+  scan (Array.to_list Sys.argv)
+
+(* --only SECTION: run a single section (CI smoke); section names are
+   listed in the driver at the bottom of this file. *)
+let only =
+  let rec scan = function
+    | "--only" :: name :: _ -> Some name
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
 
 let json_acc : (string * Json.t) list ref = ref []
 let json_add key v = if json_path <> None then json_acc := (key, v) :: !json_acc
@@ -101,17 +131,51 @@ type triple = {
 
 let workload_names = [ "apache"; "firefox"; "memcached"; "mysql" ]
 
-let make_triple name =
+(* Runs go through the trace cache: Base records the packed trace,
+   Enhanced replays the very same trace (the skip decision is re-made at
+   replay time), Patched records its own (different link image).  Counters
+   are bit-identical to generate-mode runs (see test/test_trace.ml). *)
+let make_triple ?(verbose = true) name =
   let gen = Option.get (W.Registry.find name) in
   let wl = gen ?seed:None () in
-  Printf.printf "  running %-10s base ...%!" name;
-  let base = E.run ~record_stream:true ~mode:Sim.Base wl in
-  Printf.printf " enhanced ...%!";
-  let enhanced = E.run ~mode:Sim.Enhanced wl in
-  Printf.printf " patched ...%!";
-  let patched = E.run ~mode:Sim.Patched wl in
-  Printf.printf " done\n%!";
+  if verbose then Printf.printf "  running %-10s base ...%!" name;
+  let base = Replay.run ~record_stream:true ~mode:Sim.Base wl in
+  if verbose then Printf.printf " enhanced ...%!";
+  let enhanced = Replay.run ~mode:Sim.Enhanced wl in
+  if verbose then Printf.printf " patched ...%!";
+  let patched = Replay.run ~mode:Sim.Patched wl in
+  if verbose then Printf.printf " done\n%!";
   { wl; base; enhanced; patched }
+
+(* A workload value holds closures and cannot cross a pipe, so parallel
+   workers ship back only the runs and the parent rebuilds the workload. *)
+let make_triples () =
+  if jobs <= 1 then List.map (fun n -> (n, make_triple n)) workload_names
+  else begin
+    Printf.printf "  running %d workloads across %d jobs ...%!"
+      (List.length workload_names) jobs;
+    (* Record each Base trace in the parent first: forked workers inherit
+       the warm cache copy-on-write, and the sections that run after the
+       fork replay the same traces instead of re-recording them. *)
+    List.iter
+      (fun n ->
+        let wl = (Option.get (W.Registry.find n)) ?seed:None () in
+        ignore (Tcache.get ~mode:Sim.Base wl))
+      workload_names;
+    let runs =
+      Parallel.map ~jobs
+        (fun n ->
+          let tr = make_triple ~verbose:false n in
+          (n, tr.base, tr.enhanced, tr.patched))
+        workload_names
+    in
+    Printf.printf " done\n%!";
+    List.map
+      (fun (n, base, enhanced, patched) ->
+        let wl = (Option.get (W.Registry.find n)) ?seed:None () in
+        (n, { wl; base; enhanced; patched }))
+      runs
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: trampoline instructions per kilo-instruction.               *)
@@ -534,8 +598,11 @@ let ablation_abtb_organization triples =
   Table.print t;
   print_endline "  (256 ways = fully associative; 1 way = direct mapped)"
 
+(* Replays the cached trace when the skip config allows it; configs the
+   replay contract excludes (filter_fallthrough off, verify_targets on)
+   fall back to generate-mode execution inside [Replay.run]. *)
 let short_enh ?skip_cfg ?warmup ?context_switch_every ?retain_asid wl requests =
-  E.run ?skip_cfg ?warmup ?context_switch_every ?retain_asid ~requests
+  Replay.run ?skip_cfg ?warmup ?context_switch_every ?retain_asid ~requests
     ~mode:Sim.Enhanced wl
 
 let ablation_bloom () =
@@ -645,7 +712,7 @@ let ablation_link_modes () =
   in
   List.iter
     (fun mode ->
-      let run = E.run ~requests:600 ~mode wl in
+      let run = Replay.run ~requests:600 ~mode wl in
       let c = run.E.counters in
       Table.add_row t
         [
@@ -765,9 +832,9 @@ let multiprocess_scheduling () =
   let workloads =
     List.map (fun n -> (Option.get (W.Registry.find n)) ?seed:None ()) mix
   in
-  Printf.printf "  mix: %s, 200 requests each, single core\n%!"
-    (String.concat "+" mix);
-  let points = Qs.sweep ~requests:200 ~policies:Policy.all workloads in
+  Printf.printf "  mix: %s, 200 requests each, single core, %d job(s)\n%!"
+    (String.concat "+" mix) jobs;
+  let points = Sreplay.sweep ~requests:200 ~jobs ~policies:Policy.all workloads in
   Table.print (Qs.table points);
   print_string (Qs.plot points);
   print_endline
@@ -828,6 +895,59 @@ let multiprocess_scheduling () =
          ("bus_published", Json.Int (Dlink_mach.Coherence.published (Sched.bus sched)));
          ("bus_delivered", Json.Int (Dlink_mach.Coherence.delivered (Sched.bus sched)));
        ])
+
+(* ------------------------------------------------------------------ *)
+(* Simulator throughput: generate-mode execution vs packed-trace replay. *)
+
+let throughput () =
+  section "Simulator throughput: generate vs packed-trace replay";
+  let t =
+    Table.create
+      ~headers:
+        [ "workload"; "mode"; "generate Mi/s"; "replay Mi/s"; "speedup"; "equal" ]
+  in
+  let entries =
+    List.concat_map
+      (fun name ->
+        let wl = (Option.get (W.Registry.find name)) ?seed:None () in
+        List.map
+          (fun mode ->
+            (* Prime the cache so the replay timing below excludes the
+               one-off recording cost (Base and Enhanced share a trace). *)
+            ignore (Tcache.get ~mode wl);
+            let gen = E.run ~mode wl in
+            let rep = Replay.run ~mode wl in
+            let speedup = rep.E.sim_mips /. Float.max 1e-9 gen.E.sim_mips in
+            let equal = gen.E.counters = rep.E.counters in
+            Table.add_row t
+              [
+                name;
+                Sim.mode_to_string mode;
+                fmt gen.E.sim_mips;
+                fmt rep.E.sim_mips;
+                fmt speedup ^ "x";
+                (if equal then "yes" else "NO");
+              ];
+            ( name ^ "_" ^ Sim.mode_to_string mode,
+              Json.Obj
+                [
+                  ("generate_mips", Json.Float gen.E.sim_mips);
+                  ("replay_mips", Json.Float rep.E.sim_mips);
+                  ("speedup", Json.Float speedup);
+                  ("counters_equal", Json.Bool equal);
+                ] ))
+          [ Sim.Base; Sim.Enhanced ])
+      workload_names
+  in
+  Table.print t;
+  Printf.printf "  trace cache: %d hit(s), %d miss(es), %.2f MB packed\n"
+    (Tcache.hits ()) (Tcache.misses ())
+    (float_of_int (Tcache.footprint_bytes ()) /. 1048576.0);
+  print_endline
+    "  Replay drives the identical retire chain from the packed trace —\n\
+    \  counters are bit-equal — but skips request generation, linking and\n\
+    \  the architectural interpreter, and allocates nothing per event.";
+  json_add "throughput" (Json.Obj entries)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core structures.                     *)
@@ -964,7 +1084,7 @@ let microbenchmarks () =
   let tests =
     [
       Test.make ~name:"cache.access" (Staged.stage (fun () -> Dlink_uarch.Cache.access cache (next ())));
-      Test.make ~name:"tlb.access" (Staged.stage (fun () -> Dlink_uarch.Tlb.access tlb (next () * 61)));
+      Test.make ~name:"tlb.access" (Staged.stage (fun () -> Dlink_uarch.Tlb.access tlb ~asid:0 (next () * 61)));
       Test.make ~name:"btb.predict+update"
         (Staged.stage (fun () ->
              let pc = next () land 0xFFFF in
@@ -973,8 +1093,8 @@ let microbenchmarks () =
       Test.make ~name:"bloom.add+mem"
         (Staged.stage (fun () ->
              let a = next () land 0xFFFFF in
-             Dlink_uarch.Bloom.add bloom a;
-             ignore (Dlink_uarch.Bloom.mem bloom a)));
+             Dlink_uarch.Bloom.add bloom ~asid:0 a;
+             ignore (Dlink_uarch.Bloom.mem bloom ~asid:0 a)));
       Test.make ~name:"abtb.lookup"
         (Staged.stage (fun () -> ignore (Dlink_uarch.Abtb.lookup abtb (next () land 0xFFF))));
       Test.make ~name:"gshare.predict+update"
@@ -1012,41 +1132,80 @@ let microbenchmarks () =
 let () =
   print_endline
     "Reproduction harness: Architectural Support for Dynamic Linking (ASPLOS'15)";
-  section "Simulations";
-  let triples = List.map (fun n -> (n, make_triple n)) workload_names in
-  json_add "workloads"
-    (Json.Obj
-       (List.map
-          (fun (name, tr) ->
-            ( name,
-              Json.Obj
-                [
-                  ("base", json_counters tr.base.E.counters);
-                  ("enhanced", json_counters tr.enhanced.E.counters);
-                  ("patched", json_counters tr.patched.E.counters);
-                ] ))
-          triples));
-  table2 triples;
-  table3 triples;
-  figure4 triples;
-  table4 triples;
-  figure5 triples;
-  figure6 (List.assoc "apache" triples);
-  table5 (List.assoc "firefox" triples);
-  figure7 (List.assoc "memcached" triples);
-  figure8_table6 (List.assoc "mysql" triples);
-  memsave ();
-  memsave_dynamic triples;
-  ablation_abtb_organization triples;
-  ablation_bloom ();
-  ablation_fallthrough ();
-  ablation_context_switch ();
-  ablation_link_modes ();
-  ablation_dispatch_mechanisms ();
-  ablation_explicit_invalidate ();
-  multiprocess_scheduling ();
-  fault_oracle ();
-  microbenchmarks ();
+  (* The shared triples are forced on first use, so a --only section that
+     does not need them (throughput, multiprocess, fault, micro) skips the
+     full simulation pass entirely. *)
+  let triples =
+    lazy
+      (section "Simulations";
+       let triples = make_triples () in
+       json_add "workloads"
+         (Json.Obj
+            (List.map
+               (fun (name, tr) ->
+                 ( name,
+                   Json.Obj
+                     [
+                       ("base", json_counters tr.base.E.counters);
+                       ("enhanced", json_counters tr.enhanced.E.counters);
+                       ("patched", json_counters tr.patched.E.counters);
+                       ( "sim_mips",
+                         Json.Obj
+                           [
+                             ("base", Json.Float tr.base.E.sim_mips);
+                             ("enhanced", Json.Float tr.enhanced.E.sim_mips);
+                             ("patched", Json.Float tr.patched.E.sim_mips);
+                           ] );
+                     ] ))
+               triples));
+       triples)
+  in
+  let tr () = Lazy.force triples in
+  let sections =
+    [
+      ( "tables",
+        fun () ->
+          let t = tr () in
+          table2 t;
+          table3 t;
+          figure4 t;
+          table4 t;
+          figure5 t );
+      ( "latency",
+        fun () ->
+          let t = tr () in
+          figure6 (List.assoc "apache" t);
+          table5 (List.assoc "firefox" t);
+          figure7 (List.assoc "memcached" t);
+          figure8_table6 (List.assoc "mysql" t) );
+      ( "memsave",
+        fun () ->
+          memsave ();
+          memsave_dynamic (tr ()) );
+      ( "ablations",
+        fun () ->
+          ablation_abtb_organization (tr ());
+          ablation_bloom ();
+          ablation_fallthrough ();
+          ablation_context_switch ();
+          ablation_link_modes ();
+          ablation_dispatch_mechanisms ();
+          ablation_explicit_invalidate () );
+      ("multiprocess", multiprocess_scheduling);
+      ("fault", fault_oracle);
+      ("throughput", throughput);
+      ("micro", microbenchmarks);
+    ]
+  in
+  (match only with
+  | None -> List.iter (fun (_, f) -> f ()) sections
+  | Some name -> (
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown --only section %s (try: %s)\n" name
+            (String.concat ", " (List.map fst sections));
+          exit 2));
   json_flush ();
   section "Done";
   print_endline "All tables and figures regenerated; see EXPERIMENTS.md for analysis."

@@ -137,7 +137,9 @@ let counters_json (c : C.t) =
 let run_cmd =
   let action name mode requests seed =
     let w = get_workload name seed in
-    let run = E.run ?requests ~mode w in
+    (* Replays the cached packed trace (recording it on first use);
+       counters are bit-identical to generate-mode execution. *)
+    let run = Dlink_trace.Replay.run ?requests ?seed ~mode w in
     Printf.printf "workload=%s mode=%s requests=%d\n" name (Sim.mode_to_string mode)
       run.E.requests;
     print_counters run.E.counters;
@@ -164,8 +166,10 @@ let compare_cmd =
   let action name requests seed =
     let w = get_workload name seed in
     let runs =
+      (* One packed trace serves Base and Enhanced; Patched records its
+         own (different link image). *)
       List.map
-        (fun mode -> (mode, E.run ?requests ~mode w))
+        (fun mode -> (mode, Dlink_trace.Replay.run ?requests ?seed ~mode w))
         [ Sim.Base; Sim.Enhanced; Sim.Patched ]
     in
     let t =
@@ -361,7 +365,7 @@ let policy_conv =
 let multi_cmd =
   let module Sched = Dlink_sched.Scheduler in
   let module Qs = Dlink_sched.Quantum_sweep in
-  let action mix policy quantum cores requests seed sweep =
+  let action mix policy quantum cores requests seed sweep jobs =
     if quantum <= 0 then begin
       prerr_endline "dlinksim: --quantum must be positive";
       exit 2
@@ -370,10 +374,19 @@ let multi_cmd =
       prerr_endline "dlinksim: --cores must be positive";
       exit 2
     end;
+    (match jobs with
+    | Some j when j <= 0 ->
+        prerr_endline "dlinksim: --jobs must be positive";
+        exit 2
+    | _ -> ());
     let workloads = List.map (fun n -> get_workload n seed) mix in
     if sweep then begin
+      (* Each workload is recorded once, then every (quantum, policy)
+         combination replays the packed traces — across --jobs forked
+         workers when given.  Points are identical to [Qs.sweep]. *)
       let points =
-        Qs.sweep ?requests ~cores ~policies:Dlink_sched.Policy.all workloads
+        Dlink_trace.Sched_replay.sweep ?requests ?jobs ~cores
+          ~policies:Dlink_sched.Policy.all workloads
       in
       Table.print
         ~title:(Printf.sprintf "Quantum sweep: %s on %d core(s)"
@@ -456,11 +469,20 @@ let multi_cmd =
       & info [ "sweep" ]
           ~doc:"Run the flush-vs-ASID quantum sweep instead of a single run.")
   in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Forked worker processes for $(b,--sweep): each (quantum, \
+             policy) point replays the cached traces in parallel.")
+  in
   Cmd.v
     (Cmd.info "multi" ~doc:"Multi-process scheduling: flush vs ASID-tagged ABTB")
     Term.(
       const action $ mix_arg $ policy_arg $ quantum_arg $ cores_arg
-      $ requests_arg $ seed_arg $ sweep_arg)
+      $ requests_arg $ seed_arg $ sweep_arg $ jobs_arg)
 
 let fuzz_cmd =
   let module F = Dlink_fault.Fuzz in
@@ -631,7 +653,7 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List available workloads") Term.(const action $ const ())
 
-let version = "0.2.0"
+let version = "0.3.0"
 
 let () =
   let doc = "Simulator for 'Architectural Support for Dynamic Linking' (ASPLOS'15)" in

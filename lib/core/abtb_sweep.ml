@@ -11,7 +11,7 @@ let replay ~entries ?ways stream =
     (fun tramp ->
       match Abtb.lookup abtb tramp with
       | Some _ -> incr hits
-      | None -> Abtb.insert abtb tramp { Abtb.func = tramp; got_slot = tramp })
+      | None -> Abtb.insert abtb ~asid:0 tramp { Abtb.func = tramp; got_slot = tramp })
     stream;
   if Array.length stream = 0 then 0.0
   else 100.0 *. float_of_int !hits /. float_of_int (Array.length stream)

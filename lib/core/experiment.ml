@@ -10,7 +10,12 @@ type run = {
   rank_frequency : (float * float) list;
   tramp_stream : int array;
   requests : int;
+  wall_s : float;
+  sim_mips : float;
 }
+
+let mips ~instructions ~wall_s =
+  if wall_s > 0.0 then float_of_int instructions /. wall_s /. 1e6 else 0.0
 
 let run ?ucfg ?skip_cfg ?requests ?warmup ?(record_stream = false)
     ?context_switch_every ?(retain_asid = false) ~mode (w : Workload.t) =
@@ -30,6 +35,7 @@ let run ?ucfg ?skip_cfg ?requests ?warmup ?(record_stream = false)
     ignore (run_one (-1 - i))
   done;
   Sim.mark_measurement_start sim;
+  let t0 = Unix.gettimeofday () in
   let buckets = Array.map (fun _ -> ref []) w.Workload.request_type_names in
   for i = 0 to n - 1 do
     (match context_switch_every with
@@ -38,11 +44,13 @@ let run ?ucfg ?skip_cfg ?requests ?warmup ?(record_stream = false)
     let rtype, us = run_one i in
     buckets.(rtype) := us :: !(buckets.(rtype))
   done;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let counters = Sim.measured_counters sim in
   let profile = Sim.profile sim in
   {
     mode;
     workload_name = w.Workload.wname;
-    counters = Sim.measured_counters sim;
+    counters;
     latencies_us =
       Array.mapi
         (fun i name -> (name, Array.of_list (List.rev !(buckets.(i)))))
@@ -52,6 +60,8 @@ let run ?ucfg ?skip_cfg ?requests ?warmup ?(record_stream = false)
     rank_frequency = Profile.rank_frequency profile;
     tramp_stream = Profile.stream profile;
     requests = n;
+    wall_s;
+    sim_mips = mips ~instructions:counters.Counters.instructions ~wall_s;
   }
 
 let tramp_pki r = Counters.pki r.counters r.counters.Counters.tramp_instructions

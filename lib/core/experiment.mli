@@ -14,7 +14,14 @@ type run = {
   rank_frequency : (float * float) list;
   tramp_stream : int array;  (** only when [record_stream] *)
   requests : int;
+  wall_s : float;  (** host wall-clock seconds inside the measurement window *)
+  sim_mips : float;
+      (** simulator throughput: measured (simulated) instructions retired
+          per host wall-clock second, in millions *)
 }
+
+val mips : instructions:int -> wall_s:float -> float
+(** [instructions /. wall_s /. 1e6], 0 when [wall_s] is not positive. *)
 
 val run :
   ?ucfg:Config.t ->

@@ -13,6 +13,11 @@ type t
 val create : ?record_stream:bool -> is_plt_entry:(Addr.t -> bool) -> unit -> t
 val on_retire : t -> Event.t -> unit
 
+val note : t -> site:Addr.t -> Addr.t -> unit
+(** Record one trampoline call of target [t] from call site [site], exactly
+    as {!on_retire} would when it observes a qualifying call event.  Used
+    by the packed-trace replay path, which never materialises events. *)
+
 val reset : t -> unit
 (** Drop all recorded data (used to exclude a warmup phase from
     measurement). *)

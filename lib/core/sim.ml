@@ -58,7 +58,7 @@ let create ?(ucfg = Config.xeon_e5450) ?skip_cfg ?aslr_seed ?(record_stream = fa
         Some
           (Skip.create ?config:skip_cfg ~counters
              ~btb_update:(Engine.btb_update engine)
-             ~btb_predict:(Engine.btb_predict engine)
+             ~btb_predict:(Engine.btb_predict_raw engine)
              ~on_stale_prediction ~read_got ())
     | Base | Eager | Static | Patched -> None
   in

@@ -59,7 +59,7 @@ type t = {
   bloom : Bloom.t;
   counters : Counters.t;
   btb_update : Addr.t -> Addr.t -> unit;
-  btb_predict : Addr.t -> Addr.t option;
+  btb_predict : Addr.t -> Addr.t;
   on_stale_prediction : unit -> unit;
   read_got : Addr.t -> int;
   (* Exact shadow of GOT slots backing live-or-evicted entries since the
@@ -70,7 +70,11 @@ type t = {
      invalidation must probe the filter under each of them. *)
   live_asids : (int, unit) Hashtbl.t;
   mutable asid : int;
-  mutable pending_call : (Addr.t * Addr.t) option; (* (call pc, call target) *)
+  (* Half-observed call/jump idiom: pc and target of the last retired
+     eligible call, or [Addr.none] when none is pending.  Two plain ints
+     instead of an option pair keep the retire path allocation-free. *)
+  mutable pending_pc : Addr.t;
+  mutable pending_target : Addr.t;
   (* Graceful degradation: ABTB sets implicated in a detected mis-skip,
      mapped to the number of further skip opportunities to suppress.  Keyed
      by physical set index, so the window survives whole-table clears and
@@ -97,7 +101,8 @@ let create ?(config = default_config) ~counters ~btb_update ~btb_predict
     exact_slots = Hashtbl.create 64;
     live_asids = Hashtbl.create 8;
     asid = 0;
-    pending_call = None;
+    pending_pc = Addr.none;
+    pending_target = Addr.none;
     quarantined = Hashtbl.create 8;
     clear_veto = None;
   }
@@ -125,6 +130,8 @@ let report_mis_skip t ~tramp =
    each suppressed skip opportunity shortens the sentence.  Inserts into the
    set remain allowed, so service resumes with warm entries on release. *)
 let quarantine_blocks t tramp =
+  Hashtbl.length t.quarantined > 0
+  &&
   let s = Abtb.set_index t.abtb tramp in
   match Hashtbl.find_opt t.quarantined s with
   | None -> false
@@ -136,14 +143,16 @@ let quarantine_blocks t tramp =
 let set_asid t asid =
   t.asid <- asid;
   (* The idiom window never spans a context switch. *)
-  t.pending_call <- None
+  t.pending_pc <- Addr.none
 
 let flush t =
   Abtb.clear t.abtb;
   Bloom.clear t.bloom;
-  Hashtbl.reset t.exact_slots;
-  Hashtbl.reset t.live_asids;
-  t.pending_call <- None
+  (* [Hashtbl.clear], not [reset]: clears happen on every guarded GOT
+     store, and [reset] would reallocate the bucket array each time. *)
+  Hashtbl.clear t.exact_slots;
+  Hashtbl.clear t.live_asids;
+  t.pending_pc <- Addr.none
 
 let record_clear t ~addr ~asid =
   t.counters.Counters.abtb_clears <- t.counters.Counters.abtb_clears + 1;
@@ -194,73 +203,79 @@ let on_remote_store t addr =
      reported through [on_stale_prediction]. *)
 let on_fetch_call t ~pc ~arch_target =
   let predicted = t.btb_predict pc in
-  match Abtb.lookup ~asid:t.asid t.abtb arch_target with
-  | None ->
-      (match predicted with
-      | Some p when p <> arch_target -> t.on_stale_prediction ()
-      | Some _ | None -> ());
-      arch_target
-  | Some _ when quarantine_blocks t arch_target ->
-      (* Set under quarantine after a detected mis-skip: ignore the entry
-         and take the architectural path.  The front end may still have
-         redirected on the stale BTB entry, so charge the squash. *)
-      (match predicted with
-      | Some p when p <> arch_target -> t.on_stale_prediction ()
-      | Some _ | None -> ());
-      arch_target
-  | Some { Abtb.func; got_slot } -> (
-      match predicted with
-      | None -> arch_target (* no redirection source: architectural path *)
-      | Some _ -> (
-          let stale =
-            t.cfg.verify_targets && t.read_got got_slot <> func
-          in
-          match stale with
-          | true when t.cfg.quarantine_on_verify ->
-              (* Degrade instead of dying: treat the detected staleness as
-                 a mis-skip caught at resolution — squash, quarantine the
-                 set, and execute the trampoline architecturally. *)
-              report_mis_skip t ~tramp:arch_target;
-              t.on_stale_prediction ();
-              arch_target
-          | true ->
-              raise
-                (Misspeculation
-                   (Printf.sprintf "ABTB maps %s to %s but GOT slot %s holds %s"
-                      (Addr.to_hex arch_target) (Addr.to_hex func)
-                      (Addr.to_hex got_slot)
-                      (Addr.to_hex (t.read_got got_slot))))
-          | false ->
-              t.counters.Counters.abtb_hits <-
-                t.counters.Counters.abtb_hits + 1;
-              t.counters.Counters.tramp_skips <-
-                t.counters.Counters.tramp_skips + 1;
-              func))
+  let entry = Abtb.lookup_default ~asid:t.asid t.abtb arch_target in
+  if entry == Abtb.no_entry then begin
+    if predicted <> Addr.none && predicted <> arch_target then
+      t.on_stale_prediction ();
+    arch_target
+  end
+  else if quarantine_blocks t arch_target then begin
+    (* Set under quarantine after a detected mis-skip: ignore the entry
+       and take the architectural path.  The front end may still have
+       redirected on the stale BTB entry, so charge the squash. *)
+    if predicted <> Addr.none && predicted <> arch_target then
+      t.on_stale_prediction ();
+    arch_target
+  end
+  else if predicted = Addr.none then
+    arch_target (* no redirection source: architectural path *)
+  else begin
+    let { Abtb.func; got_slot } = entry in
+    let stale = t.cfg.verify_targets && t.read_got got_slot <> func in
+    if stale then
+      if t.cfg.quarantine_on_verify then begin
+        (* Degrade instead of dying: treat the detected staleness as a
+           mis-skip caught at resolution — squash, quarantine the set, and
+           execute the trampoline architecturally. *)
+        report_mis_skip t ~tramp:arch_target;
+        t.on_stale_prediction ();
+        arch_target
+      end
+      else
+        raise
+          (Misspeculation
+             (Printf.sprintf "ABTB maps %s to %s but GOT slot %s holds %s"
+                (Addr.to_hex arch_target) (Addr.to_hex func)
+                (Addr.to_hex got_slot)
+                (Addr.to_hex (t.read_got got_slot))))
+    else begin
+      t.counters.Counters.abtb_hits <- t.counters.Counters.abtb_hits + 1;
+      t.counters.Counters.tramp_skips <- t.counters.Counters.tramp_skips + 1;
+      func
+    end
+  end
+
+let on_retire_packed t ~pc ~size ~store ~kind ~target ~aux =
+  (* Coherence watch: any retired store that hits the filter clears all. *)
+  if store >= 0 then clear_on_store t store;
+  (* Idiom detection: call retired, next retired instruction is a
+     memory-indirect jump ([aux] carries its GOT slot). *)
+  if t.pending_pc <> Addr.none && kind = Event.Kind.jump_indirect then begin
+    let fallthrough = pc + size in
+    if not (t.cfg.filter_fallthrough && target = fallthrough) then begin
+      Abtb.insert t.abtb ~asid:t.asid t.pending_target
+        { Abtb.func = target; got_slot = aux };
+      Bloom.add ~asid:t.asid t.bloom (bloom_key t.cfg aux);
+      Hashtbl.replace t.exact_slots (t.asid, aux) ();
+      Hashtbl.replace t.live_asids t.asid ();
+      t.counters.Counters.abtb_inserts <- t.counters.Counters.abtb_inserts + 1;
+      (* Retrain the call site so the very next fetch goes straight to
+         the function (§3.2, front-end update rule). *)
+      t.btb_update t.pending_pc target
+    end
+  end;
+  (* Only unredirected direct calls (target = architectural target) can be
+     followed by a trampoline; indirect calls always qualify. *)
+  if
+    (kind = Event.Kind.call_direct && target = aux)
+    || kind = Event.Kind.call_indirect
+  then begin
+    t.pending_pc <- pc;
+    t.pending_target <- target
+  end
+  else t.pending_pc <- Addr.none
 
 let on_retire t (ev : Event.t) =
-  (* Coherence watch: any retired store that hits the filter clears all. *)
-  (match ev.store with Some a -> clear_on_store t a | None -> ());
-  (* Idiom detection: call retired, next retired instruction is a
-     memory-indirect jump. *)
-  (match (t.pending_call, ev.branch) with
-  | Some (call_pc, call_target), Some (Event.Jump_indirect { target; slot }) ->
-      let fallthrough = ev.pc + ev.size in
-      if not (t.cfg.filter_fallthrough && target = fallthrough) then begin
-        Abtb.insert ~asid:t.asid t.abtb call_target
-          { Abtb.func = target; got_slot = slot };
-        Bloom.add ~asid:t.asid t.bloom (bloom_key t.cfg slot);
-        Hashtbl.replace t.exact_slots (t.asid, slot) ();
-        Hashtbl.replace t.live_asids t.asid ();
-        t.counters.Counters.abtb_inserts <- t.counters.Counters.abtb_inserts + 1;
-        (* Retrain the call site so the very next fetch goes straight to
-           the function (§3.2, front-end update rule). *)
-        t.btb_update call_pc target
-      end
-  | _ -> ());
-  t.pending_call <-
-    (match ev.branch with
-    | Some (Event.Call_direct { target; arch_target }) when target = arch_target ->
-        (* Only unredirected calls can be followed by a trampoline. *)
-        Some (ev.pc, target)
-    | Some (Event.Call_indirect { target; _ }) -> Some (ev.pc, target)
-    | _ -> None)
+  let store = match ev.store with Some a -> a | None -> Addr.none in
+  let kind, target, aux, _taken = Event.pack_branch ev.branch in
+  on_retire_packed t ~pc:ev.pc ~size:ev.size ~store ~kind ~target ~aux

@@ -82,7 +82,7 @@ val create :
   ?config:config ->
   counters:Counters.t ->
   btb_update:(Addr.t -> Addr.t -> unit) ->
-  btb_predict:(Addr.t -> Addr.t option) ->
+  btb_predict:(Addr.t -> Addr.t) ->
   on_stale_prediction:(unit -> unit) ->
   read_got:(Addr.t -> int) ->
   unit ->
@@ -90,6 +90,8 @@ val create :
 (** [btb_predict] is the front end's only redirection source: a trampoline
     is skipped when the call site's BTB entry holds the function address
     (trained at pair-retire) {e and} the ABTB confirms it at resolution.
+    It returns {!Dlink_isa.Addr.none} on a BTB miss (sentinel rather than
+    an option, keeping the per-call fetch path allocation-free).
     [on_stale_prediction] is invoked when the BTB still holds a function
     address but the ABTB entry is gone (cleared/evicted) — in hardware the
     front end fetched the stale target and resolution must squash, a
@@ -101,6 +103,21 @@ val on_fetch_call : t -> pc:Addr.t -> arch_target:Addr.t -> Addr.t
     otherwise). *)
 
 val on_retire : t -> Event.t -> unit
+
+val on_retire_packed :
+  t ->
+  pc:Addr.t ->
+  size:int ->
+  store:Addr.t ->
+  kind:int ->
+  target:Addr.t ->
+  aux:Addr.t ->
+  unit
+(** Allocation-free {!on_retire} on packed operands: [store] is
+    {!Dlink_isa.Addr.none} when the instruction stores nothing, [kind] is
+    an {!Dlink_mach.Event.Kind} code, and [aux] is the architectural target
+    of a direct call or the GOT slot of an indirect branch (as produced by
+    {!Dlink_mach.Event.pack_branch}). *)
 
 val on_remote_store : t -> Addr.t -> unit
 (** A GOT store retired by {e another} core, delivered over the

@@ -146,7 +146,7 @@ let run ?(ucfg = Config.xeon_e5450) ?skip_cfg ?plan ?requests ?(cooldown = 0)
   let skip =
     Skip.create ?config:skip_cfg ~counters
       ~btb_update:(Engine.btb_update engine)
-      ~btb_predict:(Engine.btb_predict engine)
+      ~btb_predict:(Engine.btb_predict_raw engine)
       ~on_stale_prediction ~read_got ()
   in
   let dut_on_retire ev =

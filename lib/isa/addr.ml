@@ -1,5 +1,6 @@
 type t = int
 
+let none = -1
 let cache_line_bytes = 64
 let page_bytes = 4096
 let line_of a = a / cache_line_bytes

@@ -5,6 +5,10 @@
 
 type t = int
 
+val none : t
+(** [-1]: the "no address" sentinel used by packed (allocation-free)
+    interfaces in place of [None].  Never a valid address. *)
+
 val cache_line_bytes : int
 (** 64, as on x86-64. *)
 

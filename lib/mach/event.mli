@@ -33,4 +33,29 @@ type t = {
 val branch_target : branch -> Addr.t
 val is_indirect : branch -> bool
 
+(** Packed branch kinds (three bits), the allocation-free mirror of
+    {!branch} shared by the engine's packed retire path and the trace
+    subsystem. *)
+module Kind : sig
+  val none : int
+  val call_direct : int
+  val call_indirect : int
+  val jump_direct : int
+  val jump_indirect : int
+  val jump_resolver : int
+  val cond_branch : int
+  val return : int
+end
+
+val pack_branch : branch option -> int * Addr.t * Addr.t * bool
+(** [(kind, target, aux, taken)].  [aux] is the architectural target of a
+    direct call or the GOT slot of an indirect branch, {!Addr.none}
+    otherwise. *)
+
+val unpack_branch :
+  kind:int -> target:Addr.t -> aux:Addr.t -> taken:bool -> branch option
+(** Inverse of {!pack_branch}; [aux = Addr.none] on a direct call means
+    "unredirected" ([arch_target = target]).  Raises [Invalid_argument] on
+    an out-of-range kind. *)
+
 val pp : Format.formatter -> t -> unit

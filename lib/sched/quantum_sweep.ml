@@ -33,21 +33,23 @@ let point_of_run sched =
     switches = Scheduler.switches sched;
   }
 
-let sweep ?ucfg ?skip_cfg ?mode ?requests ?(cores = 1)
+let sweep ?ucfg ?skip_cfg ?mode ?requests ?(cores = 1) ?jobs
     ?(policies = [ Policy.Flush; Policy.Asid ]) ?(quanta = default_quanta)
     workloads =
-  List.concat_map
-    (fun quantum ->
-      List.map
-        (fun policy ->
-          let sched =
-            Scheduler.create ?ucfg ?skip_cfg ?mode ?requests ~policy ~quantum
-              ~cores workloads
-          in
-          Scheduler.run sched;
-          point_of_run sched)
-        policies)
-    quanta
+  let combos =
+    List.concat_map
+      (fun quantum -> List.map (fun policy -> (quantum, policy)) policies)
+      quanta
+  in
+  Dlink_util.Parallel.map ?jobs
+    (fun (quantum, policy) ->
+      let sched =
+        Scheduler.create ?ucfg ?skip_cfg ?mode ?requests ~policy ~quantum
+          ~cores workloads
+      in
+      Scheduler.run sched;
+      point_of_run sched)
+    combos
 
 let table points =
   let t =

@@ -26,6 +26,7 @@ val sweep :
   ?mode:Dlink_core.Sim.mode ->
   ?requests:int ->
   ?cores:int ->
+  ?jobs:int ->
   ?policies:Policy.t list ->
   ?quanta:int list ->
   Dlink_core.Workload.t list ->
@@ -33,7 +34,8 @@ val sweep :
 (** Cartesian product of [quanta] x [policies] (defaults: {!default_quanta}
     x [[Flush; Asid]]), each combination simulated independently with one
     core unless [cores] is given.  Points are ordered by quantum, then
-    policy. *)
+    policy — deterministically, even with [jobs > 1], which forks that many
+    worker processes via {!Dlink_util.Parallel.map}. *)
 
 val table : point list -> Dlink_util.Table.t
 val plot : point list -> string

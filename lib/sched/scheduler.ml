@@ -218,7 +218,7 @@ let create ?(ucfg = Config.xeon_e5450) ?skip_cfg ?(mode = Sim.Enhanced)
               Some
                 (Skip.create ?config:skip_cfg ~counters
                    ~btb_update:(Engine.btb_update engine)
-                   ~btb_predict:(Engine.btb_predict engine)
+                   ~btb_predict:(Engine.btb_predict_raw engine)
                    ~on_stale_prediction ~read_got ())
           | Sim.Base | Sim.Eager | Sim.Static | Sim.Patched -> None
         in

@@ -1,0 +1,58 @@
+module Sim = Dlink_core.Sim
+module Workload = Dlink_core.Workload
+
+(* The architectural stream is fully determined by these fields plus the
+   request indices, and measured requests are generated from index 0
+   upwards in every run — so a cached trace serves any run wanting the
+   same key and at most as many measured requests (prefix property).
+   Warmup must match exactly: warmup requests use negative generator
+   indices derived from the warmup count. *)
+type key = {
+  wname : string;
+  seed : int option;
+  aslr_seed : int option;
+  lmode : Dlink_linker.Mode.t;
+  func_align : int;
+  warmup : int;
+}
+
+let table : (key, Trace.t) Hashtbl.t = Hashtbl.create 16
+let hit_count = ref 0
+let miss_count = ref 0
+
+let hits () = !hit_count
+let misses () = !miss_count
+let clear () = Hashtbl.reset table
+
+let get ?seed ?aslr_seed ?warmup ?requests ~mode (w : Workload.t) =
+  let warmup = Option.value warmup ~default:w.Workload.warmup_requests in
+  let n = Option.value requests ~default:w.Workload.default_requests in
+  let key =
+    {
+      wname = w.Workload.wname;
+      seed;
+      aslr_seed;
+      lmode = Sim.link_mode (Record.record_mode mode);
+      func_align = w.Workload.func_align;
+      warmup;
+    }
+  in
+  match Hashtbl.find_opt table key with
+  | Some tr when Trace.measured_requests tr >= n ->
+      incr hit_count;
+      tr
+  | cached ->
+      (* Miss, or a cached trace too short for this run: re-record with
+         the larger request count and replace. *)
+      let n =
+        match cached with
+        | Some tr -> max n (Trace.measured_requests tr)
+        | None -> n
+      in
+      incr miss_count;
+      let tr = Record.record ?aslr_seed ~warmup ~requests:n ~mode w in
+      Hashtbl.replace table key tr;
+      tr
+
+let footprint_bytes () =
+  Hashtbl.fold (fun _ tr acc -> acc + Trace.storage_bytes tr) table 0

@@ -1,0 +1,28 @@
+(** Process-wide trace cache.
+
+    Keyed by everything the architectural stream depends on — workload
+    name, workload seed, ASLR seed, link mode, function alignment, warmup
+    count.  Measured requests are generated from index 0 upwards, so a
+    cached trace serves any request count up to its own (prefix property);
+    asking for more re-records at the larger count and replaces the entry.
+
+    [seed] is a cache-key component only: callers constructing a workload
+    from a non-default seed must pass the same seed here, or traces of
+    differently-seeded workloads sharing a name would collide. *)
+
+val get :
+  ?seed:int ->
+  ?aslr_seed:int ->
+  ?warmup:int ->
+  ?requests:int ->
+  mode:Dlink_core.Sim.mode ->
+  Dlink_core.Workload.t ->
+  Trace.t
+(** Return a trace with at least [requests] measured requests (defaults:
+    the workload's own counts), recording one on a miss.  Base and
+    Enhanced share an entry. *)
+
+val hits : unit -> int
+val misses : unit -> int
+val clear : unit -> unit
+val footprint_bytes : unit -> int

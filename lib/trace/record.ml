@@ -1,0 +1,63 @@
+module Sim = Dlink_core.Sim
+module Workload = Dlink_core.Workload
+module Loader = Dlink_linker.Loader
+module Process = Dlink_mach.Process
+module Event = Dlink_mach.Event
+
+(* Base and Enhanced share one architectural stream: Enhanced's redirects
+   are applied (and trampoline events dropped) at replay time, so both
+   replay the lazy-binding recording. *)
+let record_mode = function Sim.Enhanced -> Sim.Base | m -> m
+
+let record ?aslr_seed ?warmup ?requests ~mode (w : Workload.t) =
+  let mode = record_mode mode in
+  let opts =
+    {
+      Loader.default_options with
+      mode = Sim.link_mode mode;
+      aslr_seed;
+      func_align = w.Workload.func_align;
+    }
+  in
+  let linked = Loader.load_exn ~opts w.Workload.objs in
+  let is_plt_entry = Loader.is_plt_entry linked in
+  let writer = Trace.Writer.create () in
+  let on_retire (ev : Event.t) =
+    let plt_call =
+      match ev.Event.branch with
+      | Some (Event.Call_direct { arch_target; _ }) -> is_plt_entry arch_target
+      | Some (Event.Call_indirect { target; _ }) -> is_plt_entry target
+      | _ -> false
+    in
+    let got_store =
+      match ev.Event.store with
+      | Some a -> Loader.in_any_got linked a
+      | None -> false
+    in
+    Trace.Writer.add writer ~plt_call ~got_store ev
+  in
+  let hooks =
+    { Process.on_fetch_call = (fun ~pc:_ ~arch_target -> arch_target); on_retire }
+  in
+  let process = Process.create ~hooks linked in
+  let run_request i =
+    let req = w.Workload.gen_request i in
+    Trace.Writer.start_request writer ~rtype:req.Workload.rtype;
+    match
+      Loader.func_addr linked ~mname:req.Workload.mname ~fname:req.Workload.fname
+    with
+    | Some a -> Process.call process a
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Record.record: %s.%s not found" req.Workload.mname
+             req.Workload.fname)
+  in
+  let warmup = Option.value warmup ~default:w.Workload.warmup_requests in
+  let n = Option.value requests ~default:w.Workload.default_requests in
+  for i = 0 to warmup - 1 do
+    run_request (-1 - i)
+  done;
+  for i = 0 to n - 1 do
+    run_request i
+  done;
+  Trace.Writer.finish writer ~warmup

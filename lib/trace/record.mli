@@ -1,0 +1,24 @@
+(** Trace compiler: run a workload's generator once through the
+    architectural interpreter and pack the retire stream.
+
+    The recording executes under an identity fetch hook and no
+    microarchitecture — the architectural stream is a pure function of
+    (objects, link mode, aslr seed, function alignment, request sequence),
+    which is exactly the cache key {!Cache} uses. *)
+
+val record_mode : Dlink_core.Sim.mode -> Dlink_core.Sim.mode
+(** The mode actually recorded: [Enhanced] collapses to [Base] (same
+    architectural stream — redirects are a replay-time decision); the
+    other modes record as themselves. *)
+
+val record :
+  ?aslr_seed:int ->
+  ?warmup:int ->
+  ?requests:int ->
+  mode:Dlink_core.Sim.mode ->
+  Dlink_core.Workload.t ->
+  Trace.t
+(** Record [warmup] warmup requests (generator indices [-1, -2, ...]) and
+    [requests] measured requests (indices [0, 1, ...]), defaulting to the
+    workload's own counts.  Raises [Invalid_argument] on link errors or
+    unknown request functions. *)

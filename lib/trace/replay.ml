@@ -1,0 +1,209 @@
+module Sim = Dlink_core.Sim
+module Skip = Dlink_core.Skip
+module Profile = Dlink_core.Profile
+module Workload = Dlink_core.Workload
+module Experiment = Dlink_core.Experiment
+module Engine = Dlink_uarch.Engine
+module Config = Dlink_uarch.Config
+module Counters = Dlink_uarch.Counters
+module Kind = Dlink_mach.Event.Kind
+
+(* Replay-compatibility: the packed trace records the lazy-binding
+   architectural stream, and the enhanced replay relies on two invariants —
+   an ABTB entry implies its GOT slot is bound (so the traced continuation
+   after a redirected call is exactly one in_plt indirect jump), and skips
+   are never verified against live GOT contents (replay has none).
+   [filter_fallthrough = false] breaks the first (the resolver's first
+   execution inserts an entry mapping the trampoline to its own unbound
+   fall-through), [verify_targets] the second.  Non-enhanced modes replay
+   unconditionally. *)
+let compatible ?skip_cfg ~mode () =
+  match mode with
+  | Sim.Enhanced ->
+      let cfg = Option.value skip_cfg ~default:Skip.default_config in
+      cfg.Skip.filter_fallthrough && not cfg.Skip.verify_targets
+  | Sim.Base | Sim.Eager | Sim.Static | Sim.Patched -> true
+
+type machine = {
+  engine : Engine.t;
+  counters : Counters.t;
+  skip : Skip.t option;
+}
+
+let make_machine ?(ucfg = Config.xeon_e5450) ?skip_cfg ~mode () =
+  let engine = Engine.create ucfg in
+  let counters = Engine.counters engine in
+  let on_stale_prediction () =
+    counters.Counters.branch_mispredictions <-
+      counters.Counters.branch_mispredictions + 1;
+    counters.Counters.cycles <-
+      counters.Counters.cycles + ucfg.Config.penalties.mispredict
+  in
+  let skip =
+    match mode with
+    | Sim.Enhanced ->
+        Some
+          (Skip.create ?config:skip_cfg ~counters
+             ~btb_update:(Engine.btb_update engine)
+             ~btb_predict:(Engine.btb_predict_raw engine)
+             ~on_stale_prediction
+             ~read_got:(fun _ -> 0)
+             ())
+    | Sim.Base | Sim.Eager | Sim.Static | Sim.Patched -> None
+  in
+  { engine; counters; skip }
+
+let context_switch ?(retain_asid = false) m =
+  Engine.context_switch ~retain_asid m.engine;
+  if not retain_asid then Option.iter Skip.flush m.skip
+
+(* One retired event, mirroring the retire chain Sim.create wires up:
+   opportunity counters, engine accounting, skip-controller population,
+   cross-core publication, profiling.  [target]/[aux] are passed explicitly
+   because an enhanced redirect retires the call with the function address
+   while the cursor still holds the recorded (architectural) operands. *)
+let retire_event m on_got_store profile (c : Trace.Cursor.t) ~target ~aux =
+  if c.Trace.Cursor.plt_call && c.Trace.Cursor.kind = Kind.call_direct then
+    m.counters.Counters.tramp_calls <- m.counters.Counters.tramp_calls + 1;
+  if c.Trace.Cursor.kind = Kind.jump_resolver then
+    m.counters.Counters.resolver_runs <- m.counters.Counters.resolver_runs + 1;
+  if c.Trace.Cursor.got_store then
+    m.counters.Counters.got_stores <- m.counters.Counters.got_stores + 1;
+  Engine.retire_packed m.engine ~pc:c.Trace.Cursor.pc ~size:c.Trace.Cursor.size
+    ~in_plt:c.Trace.Cursor.in_plt ~load:c.Trace.Cursor.load
+    ~load2:c.Trace.Cursor.load2 ~store:c.Trace.Cursor.store
+    ~kind:c.Trace.Cursor.kind ~target ~aux ~taken:c.Trace.Cursor.taken;
+  (match m.skip with
+  | Some s ->
+      Skip.on_retire_packed s ~pc:c.Trace.Cursor.pc ~size:c.Trace.Cursor.size
+        ~store:c.Trace.Cursor.store ~kind:c.Trace.Cursor.kind ~target ~aux
+  | None -> ());
+  (match on_got_store with
+  | Some f when c.Trace.Cursor.got_store -> f c.Trace.Cursor.store
+  | _ -> ());
+  match profile with
+  | Some p when c.Trace.Cursor.plt_call ->
+      Profile.note p ~site:c.Trace.Cursor.pc
+        (if c.Trace.Cursor.kind = Kind.call_direct then aux else target)
+  | _ -> ()
+
+(* Replay events until [stop] (an event index, normally the next request
+   boundary).  Enhanced machines consult the skip controller on every
+   direct call, exactly as the interpreter's fetch hook does; a redirect
+   retires the call at the function address and drops the trampoline's
+   in_plt continuation without retiring it. *)
+let replay_events m ?on_got_store ?profile (c : Trace.Cursor.t) ~stop =
+  while c.Trace.Cursor.i < stop do
+    Trace.Cursor.advance c;
+    match m.skip with
+    | Some s when c.Trace.Cursor.kind = Kind.call_direct ->
+        let arch = c.Trace.Cursor.aux in
+        let actual = Skip.on_fetch_call s ~pc:c.Trace.Cursor.pc ~arch_target:arch in
+        if actual <> arch then begin
+          retire_event m on_got_store profile c ~target:actual ~aux:arch;
+          while c.Trace.Cursor.i < stop && Trace.Cursor.peek_in_plt c do
+            Trace.Cursor.advance c
+          done
+        end
+        else
+          retire_event m on_got_store profile c ~target:c.Trace.Cursor.target
+            ~aux:c.Trace.Cursor.aux
+    | _ ->
+        retire_event m on_got_store profile c ~target:c.Trace.Cursor.target
+          ~aux:c.Trace.Cursor.aux
+  done
+
+let replay_request m ?on_got_store ?profile c r =
+  Trace.Cursor.seek_request c r;
+  replay_events m ?on_got_store ?profile c
+    ~stop:c.Trace.Cursor.trace.Trace.req_start.(r + 1)
+
+let check_requests tr n =
+  if n > Trace.measured_requests tr then
+    invalid_arg
+      (Printf.sprintf "Replay: trace has %d measured requests, %d wanted"
+         (Trace.measured_requests tr) n)
+
+(* Counters-only replay: no profile, no latency buckets — the
+   allocation-free inner loop used by the throughput microbenchmark and
+   the GC spot-check. *)
+let replay_counters ?ucfg ?skip_cfg ~mode ~requests:n tr =
+  check_requests tr n;
+  let m = make_machine ?ucfg ?skip_cfg ~mode () in
+  let c = Trace.Cursor.create tr in
+  let warmup = Trace.warmup tr in
+  for r = 0 to warmup - 1 do
+    replay_request m c r
+  done;
+  let snapshot = Counters.copy m.counters in
+  for i = 0 to n - 1 do
+    replay_request m c (warmup + i)
+  done;
+  Counters.diff ~after:m.counters ~before:snapshot
+
+(* Full replay producing the same Experiment.run a generate-mode run
+   would. *)
+let replay ?ucfg ?skip_cfg ?(record_stream = false) ?context_switch_every
+    ?(retain_asid = false) ~mode ~requests:n (w : Workload.t) tr =
+  check_requests tr n;
+  let m = make_machine ?ucfg ?skip_cfg ~mode () in
+  let profile =
+    Profile.create ~record_stream ~is_plt_entry:(fun _ -> false) ()
+  in
+  let c = Trace.Cursor.create tr in
+  let warmup = Trace.warmup tr in
+  for r = 0 to warmup - 1 do
+    replay_request m c r
+  done;
+  let snapshot = Counters.copy m.counters in
+  let t0 = Unix.gettimeofday () in
+  let buckets = Array.map (fun _ -> ref []) w.Workload.request_type_names in
+  for i = 0 to n - 1 do
+    (match context_switch_every with
+    | Some k when k > 0 && i > 0 && i mod k = 0 -> context_switch ~retain_asid m
+    | _ -> ());
+    let before = m.counters.Counters.cycles in
+    let r = warmup + i in
+    replay_request m ~profile c r;
+    let us = Workload.cycles_to_us w (m.counters.Counters.cycles - before) in
+    let b = buckets.(Trace.request_rtype tr r) in
+    b := us :: !b
+  done;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let counters = Counters.diff ~after:m.counters ~before:snapshot in
+  {
+    Experiment.mode;
+    workload_name = w.Workload.wname;
+    counters;
+    latencies_us =
+      Array.mapi
+        (fun i name -> (name, Array.of_list (List.rev !(buckets.(i)))))
+        w.Workload.request_type_names;
+    tramp_calls = Profile.tramp_calls profile;
+    distinct_trampolines = Profile.distinct_trampolines profile;
+    rank_frequency = Profile.rank_frequency profile;
+    tramp_stream = Profile.stream profile;
+    requests = n;
+    wall_s;
+    sim_mips =
+      Experiment.mips ~instructions:counters.Counters.instructions ~wall_s;
+  }
+
+(* Drop-in Experiment.run replacement: fetch (or record) the cached trace
+   and replay it; fall back to generate-mode execution for configurations
+   the replay invariants exclude. *)
+let run ?ucfg ?skip_cfg ?requests ?warmup ?(record_stream = false)
+    ?context_switch_every ?(retain_asid = false) ?seed ?aslr_seed ~mode
+    (w : Workload.t) =
+  if not (compatible ?skip_cfg ~mode ()) then begin
+    if aslr_seed <> None then
+      invalid_arg "Replay.run: aslr_seed requires a replay-compatible config";
+    Experiment.run ?ucfg ?skip_cfg ?requests ?warmup ~record_stream
+      ?context_switch_every ~retain_asid ~mode w
+  end
+  else begin
+    let n = Option.value requests ~default:w.Workload.default_requests in
+    let tr = Cache.get ?seed ?aslr_seed ?warmup ~requests:n ~mode w in
+    replay ?ucfg ?skip_cfg ~record_stream ?context_switch_every ~retain_asid
+      ~mode ~requests:n w tr
+  end

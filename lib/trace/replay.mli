@@ -1,0 +1,107 @@
+(** Replay-mode execution: drive the microarchitecture (and, for Enhanced
+    mode, the skip controller) from a packed trace instead of the
+    architectural interpreter.
+
+    Equivalence contract: for replay-compatible configurations (see
+    {!compatible}) the counters, latencies, and profile of a replayed run
+    are bit-identical to the event-path run, because every decision the
+    retire chain makes is a function of data the trace carries.  The
+    enhanced replay re-makes the skip decision per call — redirects are
+    NOT baked into the trace — so BTB/ABTB/Bloom state evolves exactly as
+    in generate mode. *)
+
+open Dlink_isa
+module Sim = Dlink_core.Sim
+module Skip = Dlink_core.Skip
+module Profile = Dlink_core.Profile
+module Experiment = Dlink_core.Experiment
+module Counters = Dlink_uarch.Counters
+
+val compatible : ?skip_cfg:Skip.config -> mode:Sim.mode -> unit -> bool
+(** Whether (mode, skip_cfg) can be replayed: everything except Enhanced
+    with [filter_fallthrough = false] (resolver-transient ABTB entries
+    would redirect into a continuation the trace doesn't hold) or with
+    [verify_targets] (replay has no GOT to verify against). *)
+
+type machine = {
+  engine : Dlink_uarch.Engine.t;
+  counters : Counters.t;
+  skip : Skip.t option;
+}
+(** One core's replay state: engine + counters + (Enhanced) skip unit,
+    wired exactly as [Sim.create] wires them.  Exposed so the scheduler
+    replay can run several machines against interleaved cursors. *)
+
+val make_machine :
+  ?ucfg:Dlink_uarch.Config.t -> ?skip_cfg:Skip.config -> mode:Sim.mode ->
+  unit -> machine
+
+val context_switch : ?retain_asid:bool -> machine -> unit
+(** Mirror of [Sim.context_switch]. *)
+
+val replay_events :
+  machine ->
+  ?on_got_store:(Addr.t -> unit) ->
+  ?profile:Profile.t ->
+  Trace.Cursor.t ->
+  stop:int ->
+  unit
+(** Retire events until the cursor reaches event index [stop], applying
+    the full retire chain per event.  [on_got_store] fires after the skip
+    controller sees a GOT store (the scheduler's cross-core publication
+    point).  Allocation-free when [profile] is absent. *)
+
+val replay_request :
+  machine ->
+  ?on_got_store:(Addr.t -> unit) ->
+  ?profile:Profile.t ->
+  Trace.Cursor.t ->
+  int ->
+  unit
+(** Seek to the given request index and replay it to its boundary. *)
+
+val replay_counters :
+  ?ucfg:Dlink_uarch.Config.t ->
+  ?skip_cfg:Skip.config ->
+  mode:Sim.mode ->
+  requests:int ->
+  Trace.t ->
+  Counters.t
+(** Counters-only replay of warmup plus [requests] measured requests: the
+    allocation-free fast path (no profile, no latencies), returning the
+    measurement-window counter deltas. *)
+
+val replay :
+  ?ucfg:Dlink_uarch.Config.t ->
+  ?skip_cfg:Skip.config ->
+  ?record_stream:bool ->
+  ?context_switch_every:int ->
+  ?retain_asid:bool ->
+  mode:Sim.mode ->
+  requests:int ->
+  Dlink_core.Workload.t ->
+  Trace.t ->
+  Experiment.run
+(** Full replay of a specific trace, producing the same [Experiment.run]
+    (counters, per-type latencies, profile, throughput) a generate-mode
+    run would.  Raises [Invalid_argument] if the trace holds fewer than
+    [requests] measured requests. *)
+
+val run :
+  ?ucfg:Dlink_uarch.Config.t ->
+  ?skip_cfg:Skip.config ->
+  ?requests:int ->
+  ?warmup:int ->
+  ?record_stream:bool ->
+  ?context_switch_every:int ->
+  ?retain_asid:bool ->
+  ?seed:int ->
+  ?aslr_seed:int ->
+  mode:Sim.mode ->
+  Dlink_core.Workload.t ->
+  Experiment.run
+(** Drop-in replacement for [Experiment.run]: replays the cached trace
+    (recording it on first use), falling back to generate-mode execution
+    for incompatible configurations.  [seed] is the workload's seed, used
+    only as a cache-key component; [aslr_seed] is forwarded to the
+    recorder and must be [None] when falling back. *)

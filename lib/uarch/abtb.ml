@@ -11,8 +11,15 @@ let create ?ways ~entries () =
   { table = Assoc_table.create ~sets:(entries / ways) ~ways; n_entries = entries }
 
 let entries t = t.n_entries
+
+(* Physical sentinel for allocation-free lookups: compare with [==]. *)
+let no_entry = { func = Addr.none; got_slot = Addr.none }
+
 let lookup ?(asid = 0) t tramp = Assoc_table.find t.table ~tag:asid tramp
-let insert ?(asid = 0) t tramp e = Assoc_table.insert t.table ~tag:asid tramp e
+
+let lookup_default t ~asid tramp =
+  Assoc_table.find_default t.table ~tag:asid tramp ~default:no_entry
+let insert t ~asid tramp e = Assoc_table.insert t.table ~tag:asid tramp e
 let clear ?asid t = Assoc_table.clear ?tag:asid t.table
 let set_index t tramp = Assoc_table.set_of_key t.table tramp
 let clear_set t s = Assoc_table.clear_set t.table s

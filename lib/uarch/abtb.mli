@@ -25,7 +25,14 @@ val entries : t -> int
 val lookup : ?asid:int -> t -> Addr.t -> entry option
 (** Keyed by trampoline address (and ASID tag); refreshes LRU. *)
 
-val insert : ?asid:int -> t -> Addr.t -> entry -> unit
+val no_entry : entry
+(** Physical miss sentinel returned by {!lookup_default}; test with [==]. *)
+
+val lookup_default : t -> asid:int -> Addr.t -> entry
+(** Allocation-free {!lookup}: returns {!no_entry} (physically) on a
+    miss. *)
+
+val insert : t -> asid:int -> Addr.t -> entry -> unit
 val clear : ?asid:int -> t -> unit
 (** [clear t] drops everything; [clear ~asid t] one address space only. *)
 

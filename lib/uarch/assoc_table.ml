@@ -1,11 +1,21 @@
 module Site_hash = Dlink_util.Site_hash
 
+(* Values live in a plain ['v array]: validity is carried entirely by the
+   companion [keys] array (-1 = invalid), so [insert]/[find] never allocate
+   a [Some] cell on the hot path.  Invalid slots hold [dummy], an unboxed
+   placeholder never returned to callers.  This is safe because every
+   access to [values] happens at the polymorphic type ['v] inside this
+   module (the compiler emits dynamically-checked array primitives), and
+   the array is created from an immediate so it is never a flat float
+   array. *)
+
 type 'v t = {
   sets : int;
   ways : int;
   keys : int array; (* sets*ways; -1 = invalid *)
   tags : int array; (* address-space id of each entry; 0 when untagged *)
-  values : 'v option array;
+  values : 'v array;
+  dummy : 'v; (* placeholder stored in invalid slots *)
   stamps : int array; (* LRU recency; larger = more recent *)
   mutable tick : int;
 }
@@ -15,12 +25,14 @@ let create ~sets ~ways =
   if sets land (sets - 1) <> 0 then
     invalid_arg "Assoc_table.create: sets must be a power of two";
   let n = sets * ways in
+  let dummy : 'v = Obj.magic 0 in
   {
     sets;
     ways;
     keys = Array.make n (-1);
     tags = Array.make n 0;
-    values = Array.make n None;
+    values = Array.make n dummy;
+    dummy;
     stamps = Array.make n 0;
     tick = 0;
   }
@@ -39,18 +51,28 @@ let next_tick t =
   t.tick <- t.tick + 1;
   t.tick
 
+(* The scans are top-level functions rather than local closures: a local
+   [let rec] capturing its environment is heap-allocated per call, which
+   would put ~7 words on every cache/TLB/BTB access of the replay loop. *)
+let rec scan_slot keys tags base ways w key tag =
+  if w >= ways then -1
+  else if keys.(base + w) = key && tags.(base + w) = tag then base + w
+  else scan_slot keys tags base ways (w + 1) key tag
+
 let find_slot t key tag =
-  let base = set_of t key * t.ways in
-  let rec scan w =
-    if w >= t.ways then -1
-    else if t.keys.(base + w) = key && t.tags.(base + w) = tag then base + w
-    else scan (w + 1)
-  in
-  scan 0
+  scan_slot t.keys t.tags (set_of t key * t.ways) t.ways 0 key tag
 
 let find t ?(tag = 0) key =
   let i = find_slot t key tag in
   if i < 0 then None
+  else begin
+    t.stamps.(i) <- next_tick t;
+    Some t.values.(i)
+  end
+
+let find_default t ~tag key ~default =
+  let i = find_slot t key tag in
+  if i < 0 then default
   else begin
     t.stamps.(i) <- next_tick t;
     t.values.(i)
@@ -58,48 +80,54 @@ let find t ?(tag = 0) key =
 
 let probe t ?(tag = 0) key =
   let i = find_slot t key tag in
-  if i < 0 then None else t.values.(i)
+  if i < 0 then None else Some t.values.(i)
 
+let probe_default t ?(tag = 0) key ~default =
+  let i = find_slot t key tag in
+  if i < 0 then default else t.values.(i)
+
+let rec first_invalid keys base ways w =
+  if w >= ways then -1
+  else if keys.(base + w) = -1 then base + w
+  else first_invalid keys base ways (w + 1)
+
+let rec lru_slot stamps base ways w best =
+  if w >= ways then best
+  else
+    lru_slot stamps base ways (w + 1)
+      (if stamps.(base + w) < stamps.(best) then base + w else best)
+
+(* First invalid way, otherwise the least recently used. *)
 let victim_slot t key =
   let base = set_of t key * t.ways in
-  (* First invalid way, otherwise the least recently used. *)
-  let rec invalid w =
-    if w >= t.ways then None
-    else if t.keys.(base + w) = -1 then Some (base + w)
-    else invalid (w + 1)
-  in
-  match invalid 0 with
-  | Some i -> i
-  | None ->
-      let best = ref base in
-      for w = 1 to t.ways - 1 do
-        if t.stamps.(base + w) < t.stamps.(!best) then best := base + w
-      done;
-      !best
+  let i = first_invalid t.keys base t.ways 0 in
+  if i >= 0 then i else lru_slot t.stamps base t.ways 1 base
 
-let insert t ?(tag = 0) key v =
+let insert_slot t tag key v =
   let i = find_slot t key tag in
   let i = if i >= 0 then i else victim_slot t key in
   t.keys.(i) <- key;
   t.tags.(i) <- tag;
-  t.values.(i) <- Some v;
+  t.values.(i) <- v;
   t.stamps.(i) <- next_tick t
 
-let touch t ?(tag = 0) key v =
+let insert t ~tag key v = insert_slot t tag key v
+
+let touch t ~tag key v =
   let i = find_slot t key tag in
   if i >= 0 then begin
     t.stamps.(i) <- next_tick t;
     true
   end
   else begin
-    insert t ~tag key v;
+    insert_slot t tag key v;
     false
   end
 
 let invalidate_slot t i =
   t.keys.(i) <- -1;
   t.tags.(i) <- 0;
-  t.values.(i) <- None;
+  t.values.(i) <- t.dummy;
   t.stamps.(i) <- 0
 
 let clear ?tag t =
@@ -107,7 +135,7 @@ let clear ?tag t =
   | None ->
       Array.fill t.keys 0 (Array.length t.keys) (-1);
       Array.fill t.tags 0 (Array.length t.tags) 0;
-      Array.fill t.values 0 (Array.length t.values) None;
+      Array.fill t.values 0 (Array.length t.values) t.dummy;
       Array.fill t.stamps 0 (Array.length t.stamps) 0;
       t.tick <- 0
   | Some tag ->
@@ -132,7 +160,4 @@ let valid_count ?tag t =
   !n
 
 let iter f t =
-  Array.iteri
-    (fun i k ->
-      if k >= 0 then match t.values.(i) with Some v -> f k v | None -> ())
-    t.keys
+  Array.iteri (fun i k -> if k >= 0 then f k t.values.(i)) t.keys

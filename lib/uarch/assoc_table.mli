@@ -26,13 +26,26 @@ val find : 'v t -> ?tag:int -> int -> 'v option
 val probe : 'v t -> ?tag:int -> int -> 'v option
 (** Lookup without touching LRU state. *)
 
-val insert : 'v t -> ?tag:int -> int -> 'v -> unit
-(** Insert or overwrite; evicts the set's LRU victim when full. *)
+val find_default : 'v t -> tag:int -> int -> default:'v -> 'v
+(** Allocation-free {!find}: returns [default] on a miss instead of
+    wrapping the hit in an option.  The hot-path lookup used by the packed
+    replay loop.  [tag] is a mandatory label — passing a value to an
+    optional argument boxes it in [Some], which would put an allocation on
+    every lookup. *)
 
-val touch : 'v t -> ?tag:int -> int -> 'v -> bool
+val probe_default : 'v t -> ?tag:int -> int -> default:'v -> 'v
+(** Allocation-free {!probe}. *)
+
+val insert : 'v t -> tag:int -> int -> 'v -> unit
+(** Insert or overwrite; evicts the set's LRU victim when full.  [tag] is
+    mandatory for the same allocation-freedom reason as {!find_default}
+    (the BTB updates on every retired indirect branch). *)
+
+val touch : 'v t -> tag:int -> int -> 'v -> bool
 (** Combined lookup-or-insert: returns [true] on hit (LRU refreshed), and
     inserts the given value on miss returning [false].  This is the
-    cache/TLB access pattern. *)
+    cache/TLB access pattern.  [tag] is mandatory for the same
+    allocation-freedom reason as {!find_default}. *)
 
 val clear : ?tag:int -> 'v t -> unit
 (** [clear t] invalidates everything; [clear ~tag t] only the entries of

@@ -1,5 +1,4 @@
 open Dlink_isa
-module Site_hash = Dlink_util.Site_hash
 
 type t = {
   field : Bytes.t;
@@ -14,13 +13,26 @@ let create ~bits ~hashes =
   if hashes < 1 || hashes > 8 then invalid_arg "Bloom.create: hashes out of range";
   { field = Bytes.make ((bits + 7) / 8) '\000'; mask = bits - 1; hashes; set_bits = 0 }
 
+(* Native-int xorshift-multiply mixer.  [Site_hash.mix2] goes through
+   boxed [Int64] arithmetic, which would allocate on every membership
+   test — and [mem] runs once per retired store.  Only self-consistency
+   between [add] and [mem] matters here, not any particular bit pattern. *)
+let mix x =
+  let x = x lxor (x lsr 30) in
+  let x = x * 0x4be98134a5976fd3 in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x3bbf2a98b9367f05 in
+  (x lxor (x lsr 32)) land max_int
+
+let mix2 a b = mix (a + (b * 0x1e3779b97f4a7c15))
+
 (* The ASID is folded into the hashed value, so tagged entries from
    different address spaces occupy (probabilistically) disjoint bit sets;
    membership queries are then per-address-space.  Clearing remains global —
    a bit field cannot be selectively erased, which matches the hardware. *)
 let bit_pos t ~asid (a : Addr.t) k =
-  let v = if asid = 0 then a else Site_hash.mix2 a asid in
-  Site_hash.mix2 v (k + 1) land t.mask
+  let v = if asid = 0 then a else mix2 a asid in
+  mix2 v (k + 1) land t.mask
 
 let get_bit t i = Char.code (Bytes.get t.field (i lsr 3)) land (1 lsl (i land 7)) <> 0
 
@@ -31,16 +43,17 @@ let set_bit t i =
     t.set_bits <- t.set_bits + 1
   end
 
-let add ?(asid = 0) t a =
+let add t ~asid a =
   for k = 0 to t.hashes - 1 do
     set_bit t (bit_pos t ~asid a k)
   done
 
-let mem ?(asid = 0) t a =
-  let rec check k =
-    k >= t.hashes || (get_bit t (bit_pos t ~asid a k) && check (k + 1))
-  in
-  check 0
+(* Top-level recursion, not a local closure: [mem] runs per retired store
+   and a captured-environment closure would allocate on each call. *)
+let rec mem_from t ~asid a k =
+  k >= t.hashes || (get_bit t (bit_pos t ~asid a k) && mem_from t ~asid a (k + 1))
+
+let mem t ~asid a = mem_from t ~asid a 0
 
 let clear t =
   Bytes.fill t.field 0 (Bytes.length t.field) '\000';

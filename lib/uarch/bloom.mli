@@ -12,12 +12,14 @@ type t
 val create : bits:int -> hashes:int -> t
 (** [bits] must be a positive power of two; [hashes] in [\[1, 8\]]. *)
 
-val add : ?asid:int -> t -> Addr.t -> unit
-(** The optional address-space id (default 0) is folded into the hash, so
+val add : t -> asid:int -> Addr.t -> unit
+(** The address-space id (0 = untagged) is folded into the hash, so
     co-resident address spaces keep probabilistically disjoint entries and
-    [mem] becomes a per-address-space query.  Clearing is always global. *)
+    [mem] becomes a per-address-space query.  Clearing is always global.
+    The label is mandatory because [mem] runs per retired store: an
+    optional argument would allocate a [Some] per call. *)
 
-val mem : ?asid:int -> t -> Addr.t -> bool
+val mem : t -> asid:int -> Addr.t -> bool
 val clear : t -> unit
 
 val clear_bit : t -> int -> unit

@@ -9,6 +9,10 @@ type t
 
 val create : sets:int -> ways:int -> t
 val predict : t -> Addr.t -> Addr.t option
+
+val predict_default : t -> Addr.t -> Addr.t
+(** Allocation-free {!predict}: {!Addr.none} on a miss. *)
+
 val update : t -> Addr.t -> Addr.t -> unit
 val flush : t -> unit
 val valid_count : t -> int

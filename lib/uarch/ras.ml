@@ -26,6 +26,14 @@ let pop t =
     Some t.slots.(t.top)
   end
 
+let pop_default t =
+  if t.count = 0 then Addr.none
+  else begin
+    t.top <- (t.top + depth t - 1) mod depth t;
+    t.count <- t.count - 1;
+    t.slots.(t.top)
+  end
+
 let flush t =
   t.top <- 0;
   t.count <- 0

@@ -9,7 +9,7 @@ let create ~name ~entries ~ways =
 
 let name t = t.tname
 let entries t = Assoc_table.capacity t.table
-let access ?(asid = 0) t a = Assoc_table.touch t.table ~tag:asid (Addr.page_of a) ()
+let access t ~asid a = Assoc_table.touch t.table ~tag:asid (Addr.page_of a) ()
 let present ?(asid = 0) t a =
   Assoc_table.probe t.table ~tag:asid (Addr.page_of a) <> None
 let flush ?asid t = Assoc_table.clear ?tag:asid t.table

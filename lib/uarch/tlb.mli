@@ -13,8 +13,11 @@ val create : name:string -> entries:int -> ways:int -> t
 val name : t -> string
 val entries : t -> int
 
-val access : ?asid:int -> t -> Addr.t -> bool
-(** [true] on hit; fills on miss. *)
+val access : t -> asid:int -> Addr.t -> bool
+(** [true] on hit; fills on miss.  [asid] is a mandatory label: the engine
+    calls this per retired instruction, and passing a value to an optional
+    argument would box it in [Some] on every access.  Pass [~asid:0] when
+    untagged. *)
 
 val present : ?asid:int -> t -> Addr.t -> bool
 val flush : ?asid:int -> t -> unit

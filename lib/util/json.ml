@@ -72,13 +72,21 @@ let to_string v =
   emit b 0 v;
   Buffer.contents b
 
+(* Atomic: emit to a sibling temp file and rename over the target, so a
+   crash mid-write never leaves a truncated JSON document behind. *)
 let write_file path v =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_string v);
-      output_char oc '\n')
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc (to_string v);
+         output_char oc '\n')
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 (* ------------------------------------------------------------------ *)
 (* Recursive-descent parser, the emitter's inverse.  Numbers without '.',

@@ -1,0 +1,110 @@
+(* Fork-based worker pool.  OCaml's runtime lock makes threads useless for
+   CPU-bound sweeps, and the simulators mutate large heaps, so plain
+   [Unix.fork] with copy-on-write sharing of the parent's state (loaded
+   objects, cached traces) is the cheapest parallelism available.  Each
+   worker computes a strided slice of the item list and streams the
+   results back over a pipe with [Marshal]; the parent merges by index, so
+   the output order is deterministic regardless of worker scheduling. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "DLINK_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1)
+  | None -> ( try Domain.recommended_domain_count () with _ -> 1)
+
+type 'b reply = (int * ('b, string) result) list
+
+let forked_map jobs f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let jobs = min jobs n in
+  (* Workers inherit the parent's buffered output; flush now so nothing is
+     emitted twice. *)
+  flush stdout;
+  flush stderr;
+  let pipes = Array.init jobs (fun _ -> Unix.pipe ~cloexec:false ()) in
+  let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  let spawn w =
+    match Unix.fork () with
+    | 0 ->
+        (* Child: keep only the write end of our own pipe.  Closing every
+           other write end matters — an inherited copy would keep a
+           sibling's pipe open and hang the parent's read-to-EOF. *)
+        Array.iteri
+          (fun i (r, wfd) ->
+            close_quietly r;
+            if i <> w then close_quietly wfd)
+          pipes;
+        let _, wfd = pipes.(w) in
+        let status =
+          try
+            let out = ref [] in
+            for i = n - 1 downto 0 do
+              if i mod jobs = w then
+                let r =
+                  try Ok (f arr.(i))
+                  with e -> Error (Printexc.to_string e)
+                in
+                out := (i, r) :: !out
+            done;
+            let oc = Unix.out_channel_of_descr wfd in
+            Marshal.to_channel oc (!out : _ reply) [];
+            flush oc;
+            0
+          with _ -> 1
+        in
+        close_quietly wfd;
+        Unix._exit status
+    | pid -> pid
+  in
+  let pids = Array.init jobs spawn in
+  Array.iter (fun (_, wfd) -> Unix.close wfd) pipes;
+  let replies =
+    Array.mapi
+      (fun w (rfd, _) ->
+        let ic = Unix.in_channel_of_descr rfd in
+        let reply =
+          try Ok (Marshal.from_channel ic : _ reply)
+          with End_of_file | Failure _ ->
+            Error (Printf.sprintf "Parallel.map: worker %d died" w)
+        in
+        close_in ic;
+        reply)
+      pipes
+  in
+  let failures = ref [] in
+  Array.iter
+    (fun pid ->
+      match snd (Unix.waitpid [] pid) with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED c -> failures := Printf.sprintf "exit %d" c :: !failures
+      | Unix.WSIGNALED s -> failures := Printf.sprintf "signal %d" s :: !failures
+      | Unix.WSTOPPED s -> failures := Printf.sprintf "stopped %d" s :: !failures)
+    pids;
+  let out = Array.make n None in
+  Array.iter
+    (fun reply ->
+      match reply with
+      | Error msg -> failwith msg
+      | Ok l ->
+          List.iter
+            (fun (i, r) ->
+              match r with
+              | Ok v -> out.(i) <- Some v
+              | Error msg ->
+                  failwith (Printf.sprintf "Parallel.map: item %d raised: %s" i msg))
+            l)
+    replies;
+  (match !failures with
+  | [] -> ()
+  | f :: _ -> failwith ("Parallel.map: worker " ^ f));
+  Array.to_list
+    (Array.mapi
+       (fun i v ->
+         match v with
+         | Some v -> v
+         | None -> failwith (Printf.sprintf "Parallel.map: item %d missing" i))
+       out)
+
+let map ?(jobs = 1) f items =
+  if jobs <= 1 || (not Sys.unix) || List.length items <= 1 then List.map f items
+  else forked_map jobs f items

@@ -1,0 +1,22 @@
+(** Deterministic fork-based parallel map for CPU-bound sweeps.
+
+    [map ~jobs f items] computes [List.map f items], splitting the work
+    across [jobs] forked worker processes when [jobs > 1].  Results come
+    back over pipes via [Marshal] and are merged by item index, so the
+    output is identical to the sequential map — workers only buy
+    wall-clock time.  Each worker inherits the parent's heap copy-on-write
+    (loaded objects, cached traces); mutations made by [f] are invisible
+    to the parent and to the other items' computations, so [f] must return
+    everything the caller needs, as a marshal-safe value (no closures,
+    no custom blocks).
+
+    If any application of [f] raises, or a worker dies, [map] raises
+    [Failure] after all workers have been reaped. *)
+
+val default_jobs : unit -> int
+(** [DLINK_JOBS] when set to a positive integer, else the runtime's
+    recommended domain count (≈ core count), else 1. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Sequential [List.map] when [jobs <= 1], on non-Unix platforms, or for
+    lists of at most one element. *)

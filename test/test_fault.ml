@@ -14,6 +14,7 @@
 
 module C = Dlink_uarch.Counters
 module Abtb = Dlink_uarch.Abtb
+module Addr = Dlink_isa.Addr
 module Skip = Dlink_core.Skip
 module P = Dlink_fault.Plan
 module O = Dlink_fault.Oracle
@@ -86,7 +87,8 @@ let make_skip ?(window = 2) () =
   let skip =
     Skip.create ~config ~counters
       ~btb_update:(fun pc tgt -> Hashtbl.replace btb pc tgt)
-      ~btb_predict:(fun pc -> Hashtbl.find_opt btb pc)
+      ~btb_predict:(fun pc ->
+        match Hashtbl.find_opt btb pc with Some t -> t | None -> Addr.none)
       ~on_stale_prediction:(fun () -> ())
       ~read_got:(fun _ -> 0)
       ()
@@ -98,7 +100,7 @@ let test_config_validation () =
     match
       Skip.create ~config ~counters:(C.create ())
         ~btb_update:(fun _ _ -> ())
-        ~btb_predict:(fun _ -> None)
+        ~btb_predict:(fun _ -> Addr.none)
         ~on_stale_prediction:(fun () -> ())
         ~read_got:(fun _ -> 0)
         ()
@@ -119,7 +121,7 @@ let test_quarantine_fallback_and_release () =
   let skip, counters, btb = make_skip ~window:2 () in
   let site = 0x100 and tramp = 0x1000 and func = 0x4000 in
   Hashtbl.replace btb site func;
-  Abtb.insert (Skip.abtb skip) tramp { Abtb.func; got_slot = 0x9000 };
+  Abtb.insert (Skip.abtb skip) ~asid:0 tramp { Abtb.func; got_slot = 0x9000 };
   checki "clean skip" func (Skip.on_fetch_call skip ~pc:site ~arch_target:tramp);
   Skip.report_mis_skip skip ~tramp;
   checki "mis-skip counted" 1 counters.C.mis_skips;
@@ -129,7 +131,7 @@ let test_quarantine_fallback_and_release () =
     (Abtb.lookup (Skip.abtb skip) tramp = None);
   (* Re-inserts are allowed during the sentence so service can resume
      with warm entries on release — but skips stay suppressed. *)
-  Abtb.insert (Skip.abtb skip) tramp { Abtb.func; got_slot = 0x9000 };
+  Abtb.insert (Skip.abtb skip) ~asid:0 tramp { Abtb.func; got_slot = 0x9000 };
   checki "1st opportunity falls back to trampoline" tramp
     (Skip.on_fetch_call skip ~pc:site ~arch_target:tramp);
   checki "2nd opportunity falls back to trampoline" tramp
@@ -147,12 +149,12 @@ let test_quarantine_disabled () =
   let skip, counters, btb = make_skip ~window:0 () in
   let site = 0x100 and tramp = 0x1000 and func = 0x4000 in
   Hashtbl.replace btb site func;
-  Abtb.insert (Skip.abtb skip) tramp { Abtb.func; got_slot = 0x9000 };
+  Abtb.insert (Skip.abtb skip) ~asid:0 tramp { Abtb.func; got_slot = 0x9000 };
   Skip.report_mis_skip skip ~tramp;
   checki "mis-skip still counted" 1 counters.C.mis_skips;
   checki "no quarantine entry" 0 counters.C.quarantine_entries;
   checki "no set quarantined" 0 (Skip.quarantined_sets skip);
-  Abtb.insert (Skip.abtb skip) tramp { Abtb.func; got_slot = 0x9000 };
+  Abtb.insert (Skip.abtb skip) ~asid:0 tramp { Abtb.func; got_slot = 0x9000 };
   checki "skips resume immediately" func
     (Skip.on_fetch_call skip ~pc:site ~arch_target:tramp)
 

@@ -11,52 +11,52 @@ let checki = Alcotest.(check int)
 
 let test_assoc_hit_after_insert () =
   let t = Assoc_table.create ~sets:4 ~ways:2 in
-  Assoc_table.insert t 10 "a";
+  Assoc_table.insert t ~tag:0 10 "a";
   Alcotest.(check (option string)) "hit" (Some "a") (Assoc_table.find t 10)
 
 let test_assoc_lru_eviction_order () =
   (* One set, two ways: the least recently used key is evicted. *)
   let t = Assoc_table.create ~sets:1 ~ways:2 in
-  Assoc_table.insert t 1 ();
-  Assoc_table.insert t 2 ();
+  Assoc_table.insert t ~tag:0 1 ();
+  Assoc_table.insert t ~tag:0 2 ();
   ignore (Assoc_table.find t 1);
   (* 2 is now LRU *)
-  Assoc_table.insert t 3 ();
+  Assoc_table.insert t ~tag:0 3 ();
   checkb "1 kept" true (Assoc_table.probe t 1 <> None);
   checkb "2 evicted" true (Assoc_table.probe t 2 = None);
   checkb "3 present" true (Assoc_table.probe t 3 <> None)
 
 let test_assoc_probe_does_not_refresh () =
   let t = Assoc_table.create ~sets:1 ~ways:2 in
-  Assoc_table.insert t 1 ();
-  Assoc_table.insert t 2 ();
+  Assoc_table.insert t ~tag:0 1 ();
+  Assoc_table.insert t ~tag:0 2 ();
   ignore (Assoc_table.probe t 1);
   (* probe must NOT refresh: 1 is still LRU *)
-  Assoc_table.insert t 3 ();
+  Assoc_table.insert t ~tag:0 3 ();
   checkb "1 evicted" true (Assoc_table.probe t 1 = None)
 
 let test_assoc_set_isolation () =
   (* Keys in different sets never evict each other. *)
   let t = Assoc_table.create ~sets:2 ~ways:1 in
-  Assoc_table.insert t 0 ();
-  Assoc_table.insert t 1 ();
+  Assoc_table.insert t ~tag:0 0 ();
+  Assoc_table.insert t ~tag:0 1 ();
   checkb "both live" true (Assoc_table.probe t 0 <> None && Assoc_table.probe t 1 <> None)
 
 let test_assoc_touch () =
   let t = Assoc_table.create ~sets:2 ~ways:2 in
-  checkb "miss inserts" false (Assoc_table.touch t 5 ());
-  checkb "hit" true (Assoc_table.touch t 5 ())
+  checkb "miss inserts" false (Assoc_table.touch t ~tag:0 5 ());
+  checkb "hit" true (Assoc_table.touch t ~tag:0 5 ())
 
 let test_assoc_overwrite () =
   let t = Assoc_table.create ~sets:2 ~ways:2 in
-  Assoc_table.insert t 5 "a";
-  Assoc_table.insert t 5 "b";
+  Assoc_table.insert t ~tag:0 5 "a";
+  Assoc_table.insert t ~tag:0 5 "b";
   Alcotest.(check (option string)) "overwritten" (Some "b") (Assoc_table.find t 5);
   checki "single entry" 1 (Assoc_table.valid_count t)
 
 let test_assoc_clear () =
   let t = Assoc_table.create ~sets:2 ~ways:2 in
-  Assoc_table.insert t 5 ();
+  Assoc_table.insert t ~tag:0 5 ();
   Assoc_table.clear t;
   checki "empty" 0 (Assoc_table.valid_count t)
 
@@ -91,18 +91,18 @@ let test_cache_flush () =
 
 let test_tlb_page_granularity () =
   let t = Tlb.create ~name:"t" ~entries:8 ~ways:2 in
-  ignore (Tlb.access t 0x1000);
-  checkb "same page hits" true (Tlb.access t 0x1FFF);
-  checkb "next page misses" false (Tlb.access t 0x2000)
+  ignore (Tlb.access t ~asid:0 0x1000);
+  checkb "same page hits" true (Tlb.access t ~asid:0 0x1FFF);
+  checkb "next page misses" false (Tlb.access t ~asid:0 0x2000)
 
 let test_tlb_capacity () =
   let t = Tlb.create ~name:"t" ~entries:4 ~ways:4 in
   for i = 0 to 3 do
-    ignore (Tlb.access t (i * 4096 * 4))
+    ignore (Tlb.access t ~asid:0 (i * 4096 * 4))
   done;
   (* All four entries map to set 0 region...: fully assoc when ways=4, sets=1 *)
-  ignore (Tlb.access t (100 * 4096));
-  checkb "evicted oldest" false (Tlb.access t 0)
+  ignore (Tlb.access t ~asid:0 (100 * 4096));
+  checkb "evicted oldest" false (Tlb.access t ~asid:0 0)
 
 (* ---------------- Btb / Direction / Ras ---------------- *)
 
@@ -163,25 +163,25 @@ let test_ras_overflow_wraps () =
 
 let test_bloom_membership () =
   let b = Bloom.create ~bits:1024 ~hashes:2 in
-  checkb "empty" false (Bloom.mem b 0x1234);
-  Bloom.add b 0x1234;
-  checkb "added" true (Bloom.mem b 0x1234)
+  checkb "empty" false (Bloom.mem b ~asid:0 0x1234);
+  Bloom.add b ~asid:0 0x1234;
+  checkb "added" true (Bloom.mem b ~asid:0 0x1234)
 
 let test_bloom_clear () =
   let b = Bloom.create ~bits:1024 ~hashes:2 in
-  Bloom.add b 0x10;
+  Bloom.add b ~asid:0 0x10;
   Bloom.clear b;
-  checkb "cleared" false (Bloom.mem b 0x10);
+  checkb "cleared" false (Bloom.mem b ~asid:0 0x10);
   checki "no bits" 0 (Bloom.bits_set b)
 
 let test_bloom_fp_rate_reasonable () =
   let b = Bloom.create ~bits:4096 ~hashes:2 in
   for i = 1 to 20 do
-    Bloom.add b (i * 8192)
+    Bloom.add b ~asid:0 (i * 8192)
   done;
   let fp = ref 0 in
   for i = 1000 to 2000 do
-    if Bloom.mem b (i * 7919) then incr fp
+    if Bloom.mem b ~asid:0 (i * 7919) then incr fp
   done;
   checkb "few false positives" true (!fp < 10)
 
@@ -190,7 +190,7 @@ let test_bloom_clear_bit () =
      the field is equivalent to a full clear, and clearing an already-zero
      bit is a no-op on the census. *)
   let b = Bloom.create ~bits:64 ~hashes:2 in
-  Bloom.add b 0xdead;
+  Bloom.add b ~asid:0 0xdead;
   let set = Bloom.bits_set b in
   checkb "something set" true (set > 0);
   Bloom.clear_bit b 0;
@@ -198,7 +198,7 @@ let test_bloom_clear_bit () =
     Bloom.clear_bit b i
   done;
   checki "all bits cleared" 0 (Bloom.bits_set b);
-  checkb "membership gone" false (Bloom.mem b 0xdead);
+  checkb "membership gone" false (Bloom.mem b ~asid:0 0xdead);
   Alcotest.check_raises "out of range"
     (Invalid_argument "Bloom.clear_bit: index out of range") (fun () ->
       Bloom.clear_bit b 64)
@@ -212,7 +212,7 @@ let test_bloom_rejects_bad_args () =
 
 let test_abtb_insert_lookup () =
   let a = Abtb.create ~entries:4 () in
-  Abtb.insert a 0x100 { Abtb.func = 0x200; got_slot = 0x300 };
+  Abtb.insert a ~asid:0 0x100 { Abtb.func = 0x200; got_slot = 0x300 };
   (match Abtb.lookup a 0x100 with
   | Some { Abtb.func; got_slot } ->
       checki "func" 0x200 func;
@@ -222,16 +222,16 @@ let test_abtb_insert_lookup () =
 
 let test_abtb_lru_capacity () =
   let a = Abtb.create ~entries:2 () in
-  Abtb.insert a 1 { Abtb.func = 1; got_slot = 1 };
-  Abtb.insert a 2 { Abtb.func = 2; got_slot = 2 };
+  Abtb.insert a ~asid:0 1 { Abtb.func = 1; got_slot = 1 };
+  Abtb.insert a ~asid:0 2 { Abtb.func = 2; got_slot = 2 };
   ignore (Abtb.lookup a 1);
-  Abtb.insert a 3 { Abtb.func = 3; got_slot = 3 };
+  Abtb.insert a ~asid:0 3 { Abtb.func = 3; got_slot = 3 };
   checkb "2 evicted" true (Abtb.lookup a 2 = None);
   checkb "1 retained" true (Abtb.lookup a 1 <> None)
 
 let test_abtb_clear () =
   let a = Abtb.create ~entries:4 () in
-  Abtb.insert a 1 { Abtb.func = 1; got_slot = 1 };
+  Abtb.insert a ~asid:0 1 { Abtb.func = 1; got_slot = 1 };
   Abtb.clear a;
   checki "empty" 0 (Abtb.valid_count a)
 
@@ -245,8 +245,8 @@ let test_abtb_clear_set () =
   (* Quarantine eviction granularity: clearing one set removes exactly its
      occupants and nothing else. *)
   let a = Abtb.create ~ways:1 ~entries:4 () in
-  Abtb.insert a 0 { Abtb.func = 10; got_slot = 10 };
-  Abtb.insert a 1 { Abtb.func = 11; got_slot = 11 };
+  Abtb.insert a ~asid:0 0 { Abtb.func = 10; got_slot = 10 };
+  Abtb.insert a ~asid:0 1 { Abtb.func = 11; got_slot = 11 };
   let s0 = Abtb.set_index a 0 and s1 = Abtb.set_index a 1 in
   checkb "direct-mapped: distinct sets" true (s0 <> s1);
   checki "four sets" 4 (Abtb.n_sets a);
@@ -406,19 +406,19 @@ let qcheck_tests =
       QCheck.(list_of_size (QCheck.Gen.int_range 1 64) (int_range 0 1_000_000))
       (fun addrs ->
         let b = Bloom.create ~bits:4096 ~hashes:3 in
-        List.iter (Bloom.add b) addrs;
-        List.for_all (Bloom.mem b) addrs);
+        List.iter (Bloom.add b ~asid:0) addrs;
+        List.for_all (Bloom.mem b ~asid:0) addrs);
     QCheck.Test.make ~name:"assoc table holds at most capacity" ~count:200
       QCheck.(list_of_size (QCheck.Gen.int_range 1 100) (int_range 0 1000))
       (fun keys ->
         let t = Assoc_table.create ~sets:4 ~ways:2 in
-        List.iter (fun k -> Assoc_table.insert t k ()) keys;
+        List.iter (fun k -> Assoc_table.insert t ~tag:0 k ()) keys;
         Assoc_table.valid_count t <= Assoc_table.capacity t);
     QCheck.Test.make ~name:"most recent key always present" ~count:200
       QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (int_range 0 1000))
       (fun keys ->
         let t = Assoc_table.create ~sets:2 ~ways:2 in
-        List.iter (fun k -> Assoc_table.insert t k ()) keys;
+        List.iter (fun k -> Assoc_table.insert t ~tag:0 k ()) keys;
         match List.rev keys with
         | last :: _ -> Assoc_table.probe t last <> None
         | [] -> true);
