@@ -16,10 +16,10 @@ module C = Dlink_uarch.Counters
 module Cfg = Dlink_uarch.Config
 module E = Dlink_core.Experiment
 module Sim = Dlink_core.Sim
-module Skip = Dlink_core.Skip
+module Skip = Dlink_pipeline.Skip
 module Sweep = Dlink_core.Abtb_sweep
 module Memsave = Dlink_core.Memory_savings
-module Profile = Dlink_core.Profile
+module Profile = Dlink_pipeline.Profile
 module Cow = Dlink_core.Cow
 module Sched = Dlink_sched.Scheduler
 module Policy = Dlink_sched.Policy
@@ -75,11 +75,35 @@ let jobs =
   in
   scan (Array.to_list Sys.argv)
 
-(* --only SECTION: run a single section (CI smoke); section names are
-   listed in the driver at the bottom of this file. *)
+(* --only SECTION: run a single section (CI smoke).  The names here must
+   match the driver's section list at the bottom of this file (the driver
+   asserts they do); validating at parse time means a typo fails fast,
+   before any benchmarking starts. *)
+let known_sections =
+  [
+    "tables";
+    "latency";
+    "memsave";
+    "ablations";
+    "multiprocess";
+    "fault";
+    "throughput";
+    "micro";
+  ]
+
 let only =
   let rec scan = function
-    | "--only" :: name :: _ -> Some name
+    | [ "--only" ] ->
+        Printf.eprintf "--only requires a section name (try: %s)\n"
+          (String.concat ", " known_sections);
+        exit 2
+    | "--only" :: name :: _ ->
+        if not (List.mem name known_sections) then begin
+          Printf.eprintf "unknown --only section %s (try: %s)\n" name
+            (String.concat ", " known_sections);
+          exit 2
+        end;
+        Some name
     | _ :: rest -> scan rest
     | [] -> None
   in
@@ -1197,15 +1221,10 @@ let () =
       ("micro", microbenchmarks);
     ]
   in
+  assert (List.map fst sections = known_sections);
   (match only with
   | None -> List.iter (fun (_, f) -> f ()) sections
-  | Some name -> (
-      match List.assoc_opt name sections with
-      | Some f -> f ()
-      | None ->
-          Printf.eprintf "unknown --only section %s (try: %s)\n" name
-            (String.concat ", " (List.map fst sections));
-          exit 2));
+  | Some name -> (List.assoc name sections) ());
   json_flush ();
   section "Done";
   print_endline "All tables and figures regenerated; see EXPERIMENTS.md for analysis."

@@ -503,7 +503,7 @@ let fuzz_cmd =
     end;
     let w = get_workload name (Some seed) in
     let skip_cfg =
-      { Dlink_core.Skip.default_config with quarantine_window = window }
+      { Dlink_pipeline.Skip.default_config with quarantine_window = window }
     in
     let plan =
       match plan_str with
@@ -588,8 +588,18 @@ let fuzz_cmd =
               (List.length s.F.plan.P.events)
               (List.length plan.P.events)
               (P.to_string s.F.plan);
-            Printf.printf "replay with: dlinksim fuzz %s --budget %d --plan '%s'\n"
-              name budget (P.to_string s.F.plan)
+            let window_flag =
+              if
+                window
+                = Dlink_pipeline.Skip.default_config
+                    .Dlink_pipeline.Skip.quarantine_window
+              then ""
+              else Printf.sprintf " --window %d" window
+            in
+            Printf.printf
+              "replay with: dlinksim fuzz %s --budget %d%s --plan '%s'\n" name
+              budget window_flag
+              (P.to_string s.F.plan)
         | None -> ());
         exit 1
   in
@@ -630,7 +640,7 @@ let fuzz_cmd =
   let window_arg =
     Arg.(
       value
-      & opt int Dlink_core.Skip.default_config.Dlink_core.Skip.quarantine_window
+      & opt int Dlink_pipeline.Skip.default_config.Dlink_pipeline.Skip.quarantine_window
       & info [ "window" ] ~docv:"N"
           ~doc:"Quarantine window: skip opportunities suppressed per quarantined ABTB set.")
   in
@@ -653,7 +663,7 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List available workloads") Term.(const action $ const ())
 
-let version = "0.3.0"
+let version = "0.4.0"
 
 let () =
   let doc = "Simulator for 'Architectural Support for Dynamic Linking' (ASPLOS'15)" in
@@ -683,7 +693,7 @@ let () =
     | Dlink_mach.Process.Fault msg ->
         Printf.eprintf "dlinksim: machine fault: %s\n" msg;
         2
-    | Dlink_core.Skip.Misspeculation msg ->
+    | Dlink_pipeline.Skip.Misspeculation msg ->
         Printf.eprintf "dlinksim: misspeculation: %s\n" msg;
         2
   in

@@ -66,7 +66,7 @@ let run () =
   Sim.call sim ~mname:"app" ~fname:"main";
   let abtb_entries =
     match Sim.skip sim with
-    | Some skip -> Dlink_uarch.Abtb.valid_count (Dlink_core.Skip.abtb skip)
+    | Some skip -> Dlink_uarch.Abtb.valid_count (Dlink_pipeline.Skip.abtb skip)
     | None -> 0
   in
   (Sim.counters sim, abtb_entries)

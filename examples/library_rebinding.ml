@@ -22,7 +22,7 @@ module Memory = Dlink_mach.Memory
 module Process = Dlink_mach.Process
 module C = Dlink_uarch.Counters
 module Sim = Dlink_core.Sim
-module Skip = Dlink_core.Skip
+module Skip = Dlink_pipeline.Skip
 
 let app =
   Objfile.create_exn ~name:"app"

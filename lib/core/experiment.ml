@@ -1,4 +1,6 @@
 open Dlink_uarch
+module Skip = Dlink_pipeline.Skip
+module Profile = Dlink_pipeline.Profile
 
 type run = {
   mode : Sim.mode;

@@ -2,6 +2,7 @@
     everything the paper's tables and figures need. *)
 
 open Dlink_uarch
+module Skip = Dlink_pipeline.Skip
 
 type run = {
   mode : Sim.mode;

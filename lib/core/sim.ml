@@ -1,6 +1,9 @@
 open Dlink_mach
 open Dlink_uarch
 open Dlink_linker
+module Kernel = Dlink_pipeline.Kernel
+module Skip = Dlink_pipeline.Skip
+module Profile = Dlink_pipeline.Profile
 
 type mode = Base | Enhanced | Eager | Static | Patched
 
@@ -21,90 +24,37 @@ type t = {
   smode : mode;
   linked : Loader.t;
   process : Process.t;
-  engine : Engine.t;
-  skip : Skip.t option;
+  kernel : Kernel.t;
   profile : Profile.t;
   mutable snapshot : Counters.t;
 }
 
-let create ?(ucfg = Config.xeon_e5450) ?skip_cfg ?aslr_seed ?(record_stream = false)
+let create ?ucfg ?skip_cfg ?aslr_seed ?(record_stream = false)
     ?(func_align = 16) ~mode objs =
   let opts =
     { Loader.default_options with mode = link_mode mode; aslr_seed; func_align }
   in
   let linked = Loader.load_exn ~opts objs in
-  let engine = Engine.create ucfg in
-  let counters = Engine.counters engine in
-  let profile =
-    Profile.create ~record_stream ~is_plt_entry:(Loader.is_plt_entry linked) ()
-  in
-  (* The process is created after the hook closures, so route through a
-     mutable cell. *)
-  let process_cell = ref None in
-  let read_got slot =
-    match !process_cell with
-    | Some p -> Memory.read (Process.memory p) slot
-    | None -> 0
-  in
-  let on_stale_prediction () =
-    counters.Counters.branch_mispredictions <-
-      counters.Counters.branch_mispredictions + 1;
-    counters.Counters.cycles <-
-      counters.Counters.cycles + ucfg.Config.penalties.mispredict
-  in
-  let skip =
-    match mode with
-    | Enhanced ->
-        Some
-          (Skip.create ?config:skip_cfg ~counters
-             ~btb_update:(Engine.btb_update engine)
-             ~btb_predict:(Engine.btb_predict_raw engine)
-             ~on_stale_prediction ~read_got ())
-    | Base | Eager | Static | Patched -> None
-  in
+  let kernel = Kernel.create ?ucfg ?skip_cfg ~with_skip:(mode = Enhanced) () in
   let is_plt_entry = Loader.is_plt_entry linked in
-  let on_retire ev =
-    (match ev.Event.branch with
-    | Some (Event.Call_direct { arch_target; _ }) when is_plt_entry arch_target ->
-        counters.Counters.tramp_calls <- counters.Counters.tramp_calls + 1
-    | _ -> ());
-    (match ev.Event.branch with
-    | Some (Event.Jump_resolver _) ->
-        counters.Counters.resolver_runs <- counters.Counters.resolver_runs + 1
-    | _ -> ());
-    (match ev.Event.store with
-    | Some a when Loader.in_any_got linked a ->
-        counters.Counters.got_stores <- counters.Counters.got_stores + 1
-    | _ -> ());
-    Engine.retire engine ev;
-    (match skip with Some s -> Skip.on_retire s ev | None -> ());
-    Profile.on_retire profile ev
+  let profile = Profile.create ~record_stream ~is_plt_entry () in
+  Kernel.set_profile kernel (Some profile);
+  let hooks =
+    Kernel.process_hooks kernel ~is_plt_entry ~in_got:(Loader.in_any_got linked)
   in
-  let on_fetch_call ~pc ~arch_target =
-    match skip with
-    | Some s -> Skip.on_fetch_call s ~pc ~arch_target
-    | None -> arch_target
-  in
-  let hooks = { Process.on_fetch_call; on_retire } in
   let process = Process.create ~hooks linked in
-  process_cell := Some process;
-  {
-    smode = mode;
-    linked;
-    process;
-    engine;
-    skip;
-    profile;
-    snapshot = Counters.create ();
-  }
+  Kernel.set_read_got kernel (fun slot ->
+      Memory.read (Process.memory process) slot);
+  { smode = mode; linked; process; kernel; profile; snapshot = Counters.create () }
 
 let mode t = t.smode
 let linked t = t.linked
 let process t = t.process
-let engine t = t.engine
-let counters t = Engine.counters t.engine
+let kernel t = t.kernel
+let engine t = Kernel.engine t.kernel
+let counters t = Kernel.counters t.kernel
 let profile t = t.profile
-let skip t = t.skip
+let skip t = Kernel.skip t.kernel
 
 let func_addr t ~mname ~fname =
   match Loader.func_addr t.linked ~mname ~fname with
@@ -116,8 +66,7 @@ let call_addr t addr = Process.call t.process addr
 let call t ~mname ~fname = call_addr t (func_addr t ~mname ~fname)
 
 let context_switch ?(retain_asid = false) t =
-  Engine.context_switch ~retain_asid t.engine;
-  if not retain_asid then Option.iter Skip.flush t.skip
+  Kernel.context_switch ~retain_asid t.kernel
 
 let mark_measurement_start t =
   Profile.reset t.profile;

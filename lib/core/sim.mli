@@ -14,6 +14,9 @@ open Dlink_isa
 open Dlink_mach
 open Dlink_uarch
 open Dlink_linker
+module Kernel = Dlink_pipeline.Kernel
+module Skip = Dlink_pipeline.Skip
+module Profile = Dlink_pipeline.Profile
 
 type mode = Base | Enhanced | Eager | Static | Patched
 
@@ -38,6 +41,10 @@ val create :
 val mode : t -> mode
 val linked : t -> Loader.t
 val process : t -> Process.t
+
+val kernel : t -> Kernel.t
+(** The underlying retire-pipeline kernel this simulator drives. *)
+
 val engine : t -> Engine.t
 val counters : t -> Counters.t
 val profile : t -> Profile.t

@@ -17,7 +17,7 @@
     reproducer. *)
 
 module Workload = Dlink_core.Workload
-module Skip = Dlink_core.Skip
+module Skip = Dlink_pipeline.Skip
 
 type trial = {
   plan : Plan.t;

@@ -1,6 +1,6 @@
 open Dlink_uarch
 module Rng = Dlink_util.Rng
-module Skip = Dlink_core.Skip
+module Skip = Dlink_pipeline.Skip
 module Coherence = Dlink_mach.Coherence
 
 type t = {

@@ -7,7 +7,7 @@
     [fault_injected] counter. *)
 
 open Dlink_uarch
-module Skip = Dlink_core.Skip
+module Skip = Dlink_pipeline.Skip
 module Coherence = Dlink_mach.Coherence
 
 type t

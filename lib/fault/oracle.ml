@@ -3,7 +3,8 @@ open Dlink_mach
 open Dlink_uarch
 open Dlink_linker
 module Rng = Dlink_util.Rng
-module Skip = Dlink_core.Skip
+module Skip = Dlink_pipeline.Skip
+module Kernel = Dlink_pipeline.Kernel
 module Workload = Dlink_core.Workload
 
 type divergence = {
@@ -127,55 +128,21 @@ let run ?(ucfg = Config.xeon_e5450) ?skip_cfg ?plan ?requests ?(cooldown = 0)
   in
   let ref_p = Process.create ~hooks:ref_hooks linked in
 
-  (* Device under test: the Enhanced pipeline, wired as in Sim.create. *)
-  let engine = Engine.create ucfg in
-  let counters = Engine.counters engine in
+  (* Device under test: the Enhanced pipeline — the same kernel every
+     other execution path drives, with the oracle's projected control-flow
+     collector attached as the kernel's boxed-event tap. *)
+  let kernel = Kernel.create ~ucfg ?skip_cfg ~with_skip:true () in
+  let counters = Kernel.counters kernel in
+  let skip = Option.get (Kernel.skip kernel) in
   let dut_col = make_collector () in
-  let process_cell = ref None in
-  let read_got slot =
-    match !process_cell with
-    | Some p -> Memory.read (Process.memory p) slot
-    | None -> 0
-  in
-  let on_stale_prediction () =
-    counters.Counters.branch_mispredictions <-
-      counters.Counters.branch_mispredictions + 1;
-    counters.Counters.cycles <-
-      counters.Counters.cycles + ucfg.Config.penalties.mispredict
-  in
-  let skip =
-    Skip.create ?config:skip_cfg ~counters
-      ~btb_update:(Engine.btb_update engine)
-      ~btb_predict:(Engine.btb_predict_raw engine)
-      ~on_stale_prediction ~read_got ()
-  in
-  let dut_on_retire ev =
-    (match ev.Event.branch with
-    | Some (Event.Call_direct { arch_target; _ }) when is_plt_entry arch_target
-      ->
-        counters.Counters.tramp_calls <- counters.Counters.tramp_calls + 1
-    | _ -> ());
-    (match ev.Event.branch with
-    | Some (Event.Jump_resolver _) ->
-        counters.Counters.resolver_runs <- counters.Counters.resolver_runs + 1
-    | _ -> ());
-    (match ev.Event.store with
-    | Some a when Loader.in_any_got linked a ->
-        counters.Counters.got_stores <- counters.Counters.got_stores + 1
-    | _ -> ());
-    Engine.retire engine ev;
-    Skip.on_retire skip ev;
-    collector_on_retire ~is_plt_entry ~in_ld_so dut_col ev
-  in
+  Kernel.set_tap kernel
+    (Some (fun ev -> collector_on_retire ~is_plt_entry ~in_ld_so dut_col ev));
   let dut_hooks =
-    {
-      Process.on_fetch_call =
-        (fun ~pc ~arch_target -> Skip.on_fetch_call skip ~pc ~arch_target);
-      on_retire = dut_on_retire;
-    }
+    Kernel.process_hooks kernel ~is_plt_entry ~in_got:(Loader.in_any_got linked)
   in
   let dut_p = Process.create ~hooks:dut_hooks linked in
-  process_cell := Some dut_p;
+  Kernel.set_read_got kernel (fun slot ->
+      Memory.read (Process.memory dut_p) slot);
 
   (* Got_rewrite: rebind the GOT slot behind a live ABTB entry in BOTH
      memories, bypassing both retire streams — the unguarded rebinding

@@ -24,7 +24,7 @@
 
 open Dlink_isa
 open Dlink_uarch
-module Skip = Dlink_core.Skip
+module Skip = Dlink_pipeline.Skip
 module Workload = Dlink_core.Workload
 
 type divergence = {

@@ -1,0 +1,15 @@
+type t = Flush | Asid | Asid_shared_guard
+
+let all = [ Flush; Asid; Asid_shared_guard ]
+
+let to_string = function
+  | Flush -> "flush"
+  | Asid -> "asid"
+  | Asid_shared_guard -> "asid-shared-guard"
+
+let of_string = function
+  | "flush" -> Some Flush
+  | "asid" -> Some Asid
+  | "asid-shared-guard" | "asid_shared_guard" | "shared-guard" ->
+      Some Asid_shared_guard
+  | _ -> None

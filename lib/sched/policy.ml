@@ -1,15 +1,4 @@
-type t = Flush | Asid | Asid_shared_guard
-
-let all = [ Flush; Asid; Asid_shared_guard ]
-
-let to_string = function
-  | Flush -> "flush"
-  | Asid -> "asid"
-  | Asid_shared_guard -> "asid-shared-guard"
-
-let of_string = function
-  | "flush" -> Some Flush
-  | "asid" -> Some Asid
-  | "asid-shared-guard" | "asid_shared_guard" | "shared-guard" ->
-      Some Asid_shared_guard
-  | _ -> None
+(* Compatibility alias: the policy axis moved into the pipeline kernel
+   library ([Dlink_pipeline.Policy]) so the topology layer can consume it;
+   [include] keeps [Dlink_sched.Policy] type-equal for existing users. *)
+include Dlink_pipeline.Policy

@@ -22,7 +22,7 @@ val default_quanta : int list
 
 val sweep :
   ?ucfg:Dlink_uarch.Config.t ->
-  ?skip_cfg:Dlink_core.Skip.config ->
+  ?skip_cfg:Dlink_pipeline.Skip.config ->
   ?mode:Dlink_core.Sim.mode ->
   ?requests:int ->
   ?cores:int ->

@@ -1,49 +1,35 @@
 open Dlink_mach
-open Dlink_uarch
 module Loader = Dlink_linker.Loader
 module Sim = Dlink_core.Sim
-module Skip = Dlink_core.Skip
+module Skip = Dlink_pipeline.Skip
 module Workload = Dlink_core.Workload
+module Kernel = Dlink_pipeline.Kernel
+module Multi = Dlink_pipeline.Multi
+
+(* Thin generate-mode driver over the pipeline kernel's multi-core
+   topology: this module owns what is specific to live workloads — loaded
+   address spaces, interpreter processes, request generation — while
+   dispatch, ASID switching, quantum accounting, and coherence live in
+   [Dlink_pipeline.Multi]. *)
 
 type proc = {
   pid : int;
-  asid : int;
   pname : string;
   workload : Workload.t;
   linked : Loader.t;
   process : Process.t;
-  core_id : int;
-  counters : Counters.t;
-  mutable next_request : int;
-  mutable remaining : int;
-  mutable requests_done : int;
-  mutable quanta : int;
-  mutable lat_us_rev : float list;
+  m : Multi.t;
 }
 
-type core = {
-  core_id : int;
-  engine : Engine.t;
-  cskip : Skip.t option;
-  mutable runq : proc list; (* pids assigned here, scheduling order *)
-  mutable running : proc option;
-  mutable switches : int;
-}
+type core = Multi.core
 
-type t = {
-  policy : Policy.t;
-  quantum : int;
-  smode : Sim.mode;
-  cores : core array;
-  procs : proc array;
-  bus : Coherence.t;
-}
+type t = { m : Multi.t; smode : Sim.mode; procs : proc array }
 
-let policy t = t.policy
-let quantum t = t.quantum
+let policy t = Multi.policy t.m
+let quantum t = Multi.quantum t.m
 let mode t = t.smode
-let bus t = t.bus
-let n_cores t = Array.length t.cores
+let bus t = Multi.bus t.m
+let n_cores t = Multi.n_cores t.m
 let procs t = Array.to_list t.procs
 
 let proc t pid =
@@ -51,49 +37,27 @@ let proc t pid =
     invalid_arg (Printf.sprintf "Scheduler.proc: no pid %d" pid);
   t.procs.(pid)
 
-let pid p = p.pid
-let name p = p.pname
-let proc_counters p = p.counters
-let requests_done p = p.requests_done
-let quanta p = p.quanta
-let proc_linked p = p.linked
-let proc_process p = p.process
-let latencies_us p = Array.of_list (List.rev p.lat_us_rev)
+let pid (p : proc) = p.pid
+let name (p : proc) = p.pname
+let proc_counters (p : proc) = Multi.proc_counters p.m p.pid
+let requests_done (p : proc) = Multi.requests_done p.m p.pid
+let quanta (p : proc) = Multi.quanta p.m p.pid
+let proc_linked (p : proc) = p.linked
+let proc_process (p : proc) = p.process
+let latencies_us (p : proc) = Multi.latencies_us p.m p.pid
 
 let core t i =
-  if i < 0 || i >= Array.length t.cores then
+  if i < 0 || i >= Multi.n_cores t.m then
     invalid_arg (Printf.sprintf "Scheduler.core: no core %d" i);
-  t.cores.(i)
+  Multi.core t.m i
 
-let core_counters c = Engine.counters c.engine
-let core_skip c = c.cskip
-let core_switches c = c.switches
-
-let switches t = Array.fold_left (fun acc c -> acc + c.switches) 0 t.cores
-
-let system_counters t =
-  let sum = Counters.create () in
-  Array.iter (fun c -> Counters.add ~into:sum (Engine.counters c.engine)) t.cores;
-  sum
+let core_counters c = Kernel.counters (Multi.kernel c)
+let core_skip c = Kernel.skip (Multi.kernel c)
+let core_switches c = Multi.core_switches c
+let switches t = Multi.switches t.m
+let system_counters t = Multi.system_counters t.m
 
 (* ------------------------------------------------------------------ *)
-
-let dispatch t c p =
-  match c.running with
-  | Some q when q.pid = p.pid -> ()
-  | prev ->
-      if prev <> None then begin
-        c.switches <- c.switches + 1;
-        match t.policy with
-        | Policy.Flush ->
-            Engine.context_switch c.engine;
-            Option.iter Skip.flush c.cskip
-        | Policy.Asid | Policy.Asid_shared_guard ->
-            Engine.context_switch ~retain_asid:true c.engine
-      end;
-      Engine.set_asid c.engine p.asid;
-      Option.iter (fun s -> Skip.set_asid s p.asid) c.cskip;
-      c.running <- Some p
 
 let func_addr_exn linked ~mname ~fname =
   match Loader.func_addr linked ~mname ~fname with
@@ -101,139 +65,41 @@ let func_addr_exn linked ~mname ~fname =
   | None ->
       invalid_arg (Printf.sprintf "Scheduler: %s.%s not found" mname fname)
 
-let run_one_request c p =
-  let req = p.workload.Workload.gen_request p.next_request in
-  p.next_request <- p.next_request + 1;
-  let addr =
-    func_addr_exn p.linked ~mname:req.Workload.mname ~fname:req.Workload.fname
-  in
-  let cycles_before = (Engine.counters c.engine).Counters.cycles in
-  Process.call p.process addr;
-  let cycles = (Engine.counters c.engine).Counters.cycles - cycles_before in
-  p.lat_us_rev <- Workload.cycles_to_us p.workload cycles :: p.lat_us_rev;
-  p.remaining <- p.remaining - 1;
-  p.requests_done <- p.requests_done + 1
-
-let run_quantum t c p =
-  dispatch t c p;
-  let before = Counters.copy (Engine.counters c.engine) in
-  let n = min t.quantum p.remaining in
-  for _ = 1 to n do
-    run_one_request c p
-  done;
-  p.quanta <- p.quanta + 1;
-  (* Invalidations an injected fault held back are released at the quantum
-     boundary — a delayed message can never outlive the quantum. *)
-  ignore (Coherence.drain t.bus);
-  Counters.add ~into:p.counters
-    (Counters.diff ~after:(Engine.counters c.engine) ~before)
-
-(* Rotate to the next runnable process on the core, if any.  The selected
-   process moves to the back of the queue, so siblings run between its
-   quanta — exactly the destructive-interference pattern under study. *)
-let next_runnable c =
-  let n = List.length c.runq in
-  let rec go i =
-    if i >= n then None
-    else
-      match c.runq with
-      | [] -> None
-      | p :: rest ->
-          c.runq <- rest @ [ p ];
-          if p.remaining > 0 then Some p else go (i + 1)
-  in
-  go 0
-
-let step t =
-  let progressed = ref false in
-  Array.iter
-    (fun c ->
-      match next_runnable c with
-      | Some p ->
-          progressed := true;
-          run_quantum t c p
-      | None -> ())
-    t.cores;
-  !progressed
+let step t = Multi.step t.m
 
 let run t =
   while step t do
     ()
   done
 
-let finished t = Array.for_all (fun p -> p.remaining = 0) t.procs
-
-(* ------------------------------------------------------------------ *)
+let finished t = Multi.finished t.m
 
 let retire_got_store t ~pid addr =
-  let p = proc t pid in
-  let c = t.cores.(p.core_id) in
-  dispatch t c p;
-  Option.iter
-    (fun s ->
-      Skip.on_retire s
-        {
-          Event.pc = 0;
-          size = 4;
-          in_plt = false;
-          load = None;
-          load2 = None;
-          store = Some addr;
-          branch = None;
-        })
-    c.cskip;
-  if t.policy = Policy.Asid_shared_guard then
-    Coherence.publish t.bus ~src:c.core_id addr
+  ignore (proc t pid);
+  Multi.retire_got_store t.m ~pid addr
 
 (* ------------------------------------------------------------------ *)
 
-let create ?(ucfg = Config.xeon_e5450) ?skip_cfg ?(mode = Sim.Enhanced)
-    ?requests ~policy ~quantum ~cores workloads =
+let create ?ucfg ?skip_cfg ?(mode = Sim.Enhanced) ?requests ~policy ~quantum
+    ~cores workloads =
   if quantum <= 0 then invalid_arg "Scheduler.create: quantum must be positive";
   if cores <= 0 then invalid_arg "Scheduler.create: cores must be positive";
   if workloads = [] then invalid_arg "Scheduler.create: no workloads";
-  let bus = Coherence.create () in
-  let n_cores = min cores (List.length workloads) in
-  let cores_arr =
-    Array.init n_cores (fun core_id ->
-        let engine = Engine.create ucfg in
-        let counters = Engine.counters engine in
-        (* The skip unit is shared by every process on the core, so its GOT
-           reads must go through whichever process is currently running. *)
-        let core_cell = ref None in
-        let read_got slot =
-          match !core_cell with
-          | Some { running = Some p; _ } -> Memory.read (Process.memory p.process) slot
-          | _ -> 0
-        in
-        let on_stale_prediction () =
-          counters.Counters.branch_mispredictions <-
-            counters.Counters.branch_mispredictions + 1;
-          counters.Counters.cycles <-
-            counters.Counters.cycles + ucfg.Config.penalties.mispredict
-        in
-        let cskip =
-          match mode with
-          | Sim.Enhanced ->
-              Some
-                (Skip.create ?config:skip_cfg ~counters
-                   ~btb_update:(Engine.btb_update engine)
-                   ~btb_predict:(Engine.btb_predict_raw engine)
-                   ~on_stale_prediction ~read_got ())
-          | Sim.Base | Sim.Eager | Sim.Static | Sim.Patched -> None
-        in
-        let c =
-          { core_id; engine; cskip; runq = []; running = None; switches = 0 }
-        in
-        core_cell := Some c;
-        (match cskip with
-        | Some s ->
-            Coherence.subscribe bus ~core:core_id (fun ~src:_ addr ->
-                Skip.on_remote_store s addr)
-        | None -> ());
-        c)
+  let specs =
+    List.mapi
+      (fun pid (w : Workload.t) ->
+        {
+          Multi.asid = pid + 1;
+          requests = Option.value requests ~default:w.Workload.default_requests;
+          cycles_to_us = Workload.cycles_to_us w;
+        })
+      workloads
   in
-  let shared_policy = policy in
+  let m =
+    Multi.create ?ucfg ?skip_cfg
+      ~with_skip:(mode = Sim.Enhanced)
+      ~policy ~quantum ~cores specs
+  in
   let procs =
     Array.of_list
       (List.mapi
@@ -246,64 +112,30 @@ let create ?(ucfg = Config.xeon_e5450) ?skip_cfg ?(mode = Sim.Enhanced)
              }
            in
            let linked = Loader.load_exn ~opts w.Workload.objs in
-           let core_id = pid mod n_cores in
-           let c = cores_arr.(core_id) in
-           let counters = Engine.counters c.engine in
-           let is_plt_entry = Loader.is_plt_entry linked in
-           let on_retire ev =
-             (match ev.Event.branch with
-             | Some (Event.Call_direct { arch_target; _ })
-               when is_plt_entry arch_target ->
-                 counters.Counters.tramp_calls <- counters.Counters.tramp_calls + 1
-             | _ -> ());
-             (match ev.Event.branch with
-             | Some (Event.Jump_resolver _) ->
-                 counters.Counters.resolver_runs <-
-                   counters.Counters.resolver_runs + 1
-             | _ -> ());
-             (match ev.Event.store with
-             | Some a when Loader.in_any_got linked a ->
-                 counters.Counters.got_stores <- counters.Counters.got_stores + 1
-             | _ -> ());
-             Engine.retire c.engine ev;
-             (match c.cskip with Some s -> Skip.on_retire s ev | None -> ());
-             (* Cross-core visibility: a GOT store retired here is snooped
-                by every other core's skip unit. *)
-             match ev.Event.store with
-             | Some a
-               when shared_policy = Policy.Asid_shared_guard
-                    && Loader.in_any_got linked a ->
-                 Coherence.publish bus ~src:core_id a
-             | _ -> ()
+           let kernel = Multi.kernel (Multi.core_of m pid) in
+           let hooks =
+             Kernel.process_hooks kernel
+               ~is_plt_entry:(Loader.is_plt_entry linked)
+               ~in_got:(Loader.in_any_got linked)
            in
-           let on_fetch_call ~pc ~arch_target =
-             match c.cskip with
-             | Some s -> Skip.on_fetch_call s ~pc ~arch_target
-             | None -> arch_target
-           in
-           let process =
-             Process.create ~hooks:{ Process.on_fetch_call; on_retire } linked
-           in
-           {
-             pid;
-             asid = pid + 1;
-             pname = w.Workload.wname;
-             workload = w;
-             linked;
-             process;
-             core_id;
-             counters = Counters.create ();
-             next_request = 0;
-             remaining = Option.value requests ~default:w.Workload.default_requests;
-             requests_done = 0;
-             quanta = 0;
-             lat_us_rev = [];
-           })
+           let process = Process.create ~hooks linked in
+           { pid; pname = w.Workload.wname; workload = w; linked; process; m })
          workloads)
   in
-  Array.iter
-    (fun (p : proc) ->
-      let c = cores_arr.(p.core_id) in
-      c.runq <- c.runq @ [ p ])
-    procs;
-  { policy; quantum; smode = mode; cores = cores_arr; procs; bus }
+  (* The skip unit is shared by every process on the core, so its GOT
+     reads must go through whichever process is currently running. *)
+  for i = 0 to Multi.n_cores m - 1 do
+    let c = Multi.core m i in
+    Kernel.set_read_got (Multi.kernel c) (fun slot ->
+        match Multi.running c with
+        | -1 -> 0
+        | rpid -> Memory.read (Process.memory procs.(rpid).process) slot)
+  done;
+  Multi.set_exec m (fun _c ~pid ~req ->
+      let p = procs.(pid) in
+      let rq = p.workload.Workload.gen_request req in
+      let addr =
+        func_addr_exn p.linked ~mname:rq.Workload.mname ~fname:rq.Workload.fname
+      in
+      Process.call p.process addr);
+  { m; smode = mode; procs }

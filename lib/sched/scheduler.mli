@@ -27,7 +27,7 @@ open Dlink_isa
 open Dlink_mach
 open Dlink_uarch
 module Sim = Dlink_core.Sim
-module Skip = Dlink_core.Skip
+module Skip = Dlink_pipeline.Skip
 module Workload = Dlink_core.Workload
 
 type t

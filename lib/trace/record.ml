@@ -3,6 +3,7 @@ module Workload = Dlink_core.Workload
 module Loader = Dlink_linker.Loader
 module Process = Dlink_mach.Process
 module Event = Dlink_mach.Event
+module Kernel = Dlink_pipeline.Kernel
 
 (* Base and Enhanced share one architectural stream: Enhanced's redirects
    are applied (and trampoline events dropped) at replay time, so both
@@ -22,19 +23,15 @@ let record ?aslr_seed ?warmup ?requests ~mode (w : Workload.t) =
   let linked = Loader.load_exn ~opts w.Workload.objs in
   let is_plt_entry = Loader.is_plt_entry linked in
   let writer = Trace.Writer.create () in
+  (* Classify with the kernel's own predicates, so the flag bits a replay
+     consumes are by construction the bits the unified retire path would
+     compute live. *)
+  let in_got = Loader.in_any_got linked in
   let on_retire (ev : Event.t) =
-    let plt_call =
-      match ev.Event.branch with
-      | Some (Event.Call_direct { arch_target; _ }) -> is_plt_entry arch_target
-      | Some (Event.Call_indirect { target; _ }) -> is_plt_entry target
-      | _ -> false
-    in
-    let got_store =
-      match ev.Event.store with
-      | Some a -> Loader.in_any_got linked a
-      | None -> false
-    in
-    Trace.Writer.add writer ~plt_call ~got_store ev
+    Trace.Writer.add writer
+      ~plt_call:(Kernel.plt_call_of ~is_plt_entry ev)
+      ~got_store:(Kernel.got_store_of ~in_got ev)
+      ev
   in
   let hooks =
     { Process.on_fetch_call = (fun ~pc:_ ~arch_target -> arch_target); on_retire }

@@ -1,12 +1,11 @@
 module Sim = Dlink_core.Sim
-module Skip = Dlink_core.Skip
-module Profile = Dlink_core.Profile
+module Skip = Dlink_pipeline.Skip
+module Profile = Dlink_pipeline.Profile
+module Kernel = Dlink_pipeline.Kernel
 module Workload = Dlink_core.Workload
 module Experiment = Dlink_core.Experiment
-module Engine = Dlink_uarch.Engine
 module Config = Dlink_uarch.Config
 module Counters = Dlink_uarch.Counters
-module Kind = Dlink_mach.Event.Kind
 
 (* Replay-compatibility: the packed trace records the lazy-binding
    architectural stream, and the enhanced replay relies on two invariants —
@@ -24,99 +23,13 @@ let compatible ?skip_cfg ~mode () =
       cfg.Skip.filter_fallthrough && not cfg.Skip.verify_targets
   | Sim.Base | Sim.Eager | Sim.Static | Sim.Patched -> true
 
-type machine = {
-  engine : Engine.t;
-  counters : Counters.t;
-  skip : Skip.t option;
-}
+(* One core's replay state is simply a pipeline kernel driven by the
+   cursor event source; GOT reads resolve to 0 (the replay convention —
+   see [compatible]). *)
+type machine = Kernel.t
 
-let make_machine ?(ucfg = Config.xeon_e5450) ?skip_cfg ~mode () =
-  let engine = Engine.create ucfg in
-  let counters = Engine.counters engine in
-  let on_stale_prediction () =
-    counters.Counters.branch_mispredictions <-
-      counters.Counters.branch_mispredictions + 1;
-    counters.Counters.cycles <-
-      counters.Counters.cycles + ucfg.Config.penalties.mispredict
-  in
-  let skip =
-    match mode with
-    | Sim.Enhanced ->
-        Some
-          (Skip.create ?config:skip_cfg ~counters
-             ~btb_update:(Engine.btb_update engine)
-             ~btb_predict:(Engine.btb_predict_raw engine)
-             ~on_stale_prediction
-             ~read_got:(fun _ -> 0)
-             ())
-    | Sim.Base | Sim.Eager | Sim.Static | Sim.Patched -> None
-  in
-  { engine; counters; skip }
-
-let context_switch ?(retain_asid = false) m =
-  Engine.context_switch ~retain_asid m.engine;
-  if not retain_asid then Option.iter Skip.flush m.skip
-
-(* One retired event, mirroring the retire chain Sim.create wires up:
-   opportunity counters, engine accounting, skip-controller population,
-   cross-core publication, profiling.  [target]/[aux] are passed explicitly
-   because an enhanced redirect retires the call with the function address
-   while the cursor still holds the recorded (architectural) operands. *)
-let retire_event m on_got_store profile (c : Trace.Cursor.t) ~target ~aux =
-  if c.Trace.Cursor.plt_call && c.Trace.Cursor.kind = Kind.call_direct then
-    m.counters.Counters.tramp_calls <- m.counters.Counters.tramp_calls + 1;
-  if c.Trace.Cursor.kind = Kind.jump_resolver then
-    m.counters.Counters.resolver_runs <- m.counters.Counters.resolver_runs + 1;
-  if c.Trace.Cursor.got_store then
-    m.counters.Counters.got_stores <- m.counters.Counters.got_stores + 1;
-  Engine.retire_packed m.engine ~pc:c.Trace.Cursor.pc ~size:c.Trace.Cursor.size
-    ~in_plt:c.Trace.Cursor.in_plt ~load:c.Trace.Cursor.load
-    ~load2:c.Trace.Cursor.load2 ~store:c.Trace.Cursor.store
-    ~kind:c.Trace.Cursor.kind ~target ~aux ~taken:c.Trace.Cursor.taken;
-  (match m.skip with
-  | Some s ->
-      Skip.on_retire_packed s ~pc:c.Trace.Cursor.pc ~size:c.Trace.Cursor.size
-        ~store:c.Trace.Cursor.store ~kind:c.Trace.Cursor.kind ~target ~aux
-  | None -> ());
-  (match on_got_store with
-  | Some f when c.Trace.Cursor.got_store -> f c.Trace.Cursor.store
-  | _ -> ());
-  match profile with
-  | Some p when c.Trace.Cursor.plt_call ->
-      Profile.note p ~site:c.Trace.Cursor.pc
-        (if c.Trace.Cursor.kind = Kind.call_direct then aux else target)
-  | _ -> ()
-
-(* Replay events until [stop] (an event index, normally the next request
-   boundary).  Enhanced machines consult the skip controller on every
-   direct call, exactly as the interpreter's fetch hook does; a redirect
-   retires the call at the function address and drops the trampoline's
-   in_plt continuation without retiring it. *)
-let replay_events m ?on_got_store ?profile (c : Trace.Cursor.t) ~stop =
-  while c.Trace.Cursor.i < stop do
-    Trace.Cursor.advance c;
-    match m.skip with
-    | Some s when c.Trace.Cursor.kind = Kind.call_direct ->
-        let arch = c.Trace.Cursor.aux in
-        let actual = Skip.on_fetch_call s ~pc:c.Trace.Cursor.pc ~arch_target:arch in
-        if actual <> arch then begin
-          retire_event m on_got_store profile c ~target:actual ~aux:arch;
-          while c.Trace.Cursor.i < stop && Trace.Cursor.peek_in_plt c do
-            Trace.Cursor.advance c
-          done
-        end
-        else
-          retire_event m on_got_store profile c ~target:c.Trace.Cursor.target
-            ~aux:c.Trace.Cursor.aux
-    | _ ->
-        retire_event m on_got_store profile c ~target:c.Trace.Cursor.target
-          ~aux:c.Trace.Cursor.aux
-  done
-
-let replay_request m ?on_got_store ?profile c r =
-  Trace.Cursor.seek_request c r;
-  replay_events m ?on_got_store ?profile c
-    ~stop:c.Trace.Cursor.trace.Trace.req_start.(r + 1)
+let make_machine ?ucfg ?skip_cfg ~mode () =
+  Kernel.create ?ucfg ?skip_cfg ~with_skip:(mode = Sim.Enhanced) ()
 
 let check_requests tr n =
   if n > Trace.measured_requests tr then
@@ -133,16 +46,17 @@ let replay_counters ?ucfg ?skip_cfg ~mode ~requests:n tr =
   let c = Trace.Cursor.create tr in
   let warmup = Trace.warmup tr in
   for r = 0 to warmup - 1 do
-    replay_request m c r
+    Kernel.replay_request m c r
   done;
-  let snapshot = Counters.copy m.counters in
+  let snapshot = Counters.copy (Kernel.counters m) in
   for i = 0 to n - 1 do
-    replay_request m c (warmup + i)
+    Kernel.replay_request m c (warmup + i)
   done;
-  Counters.diff ~after:m.counters ~before:snapshot
+  Counters.diff ~after:(Kernel.counters m) ~before:snapshot
 
 (* Full replay producing the same Experiment.run a generate-mode run
-   would. *)
+   would.  The profile attaches to the kernel only after warmup, matching
+   [Sim.mark_measurement_start]'s reset. *)
 let replay ?ucfg ?skip_cfg ?(record_stream = false) ?context_switch_every
     ?(retain_asid = false) ~mode ~requests:n (w : Workload.t) tr =
   check_requests tr n;
@@ -153,24 +67,27 @@ let replay ?ucfg ?skip_cfg ?(record_stream = false) ?context_switch_every
   let c = Trace.Cursor.create tr in
   let warmup = Trace.warmup tr in
   for r = 0 to warmup - 1 do
-    replay_request m c r
+    Kernel.replay_request m c r
   done;
-  let snapshot = Counters.copy m.counters in
+  Kernel.set_profile m (Some profile);
+  let counters = Kernel.counters m in
+  let snapshot = Counters.copy counters in
   let t0 = Unix.gettimeofday () in
   let buckets = Array.map (fun _ -> ref []) w.Workload.request_type_names in
   for i = 0 to n - 1 do
     (match context_switch_every with
-    | Some k when k > 0 && i > 0 && i mod k = 0 -> context_switch ~retain_asid m
+    | Some k when k > 0 && i > 0 && i mod k = 0 ->
+        Kernel.context_switch ~retain_asid m
     | _ -> ());
-    let before = m.counters.Counters.cycles in
+    let before = counters.Counters.cycles in
     let r = warmup + i in
-    replay_request m ~profile c r;
-    let us = Workload.cycles_to_us w (m.counters.Counters.cycles - before) in
+    Kernel.replay_request m c r;
+    let us = Workload.cycles_to_us w (counters.Counters.cycles - before) in
     let b = buckets.(Trace.request_rtype tr r) in
     b := us :: !b
   done;
   let wall_s = Unix.gettimeofday () -. t0 in
-  let counters = Counters.diff ~after:m.counters ~before:snapshot in
+  let counters = Counters.diff ~after:counters ~before:snapshot in
   {
     Experiment.mode;
     workload_name = w.Workload.wname;

@@ -1,19 +1,18 @@
-(** Replay-mode execution: drive the microarchitecture (and, for Enhanced
-    mode, the skip controller) from a packed trace instead of the
-    architectural interpreter.
+(** Replay-mode execution: drive the pipeline kernel from a packed trace
+    instead of the architectural interpreter.
 
     Equivalence contract: for replay-compatible configurations (see
     {!compatible}) the counters, latencies, and profile of a replayed run
-    are bit-identical to the event-path run, because every decision the
+    are bit-identical to the event-path run, because both paths retire
+    through the same {!Dlink_pipeline.Kernel} and every decision the
     retire chain makes is a function of data the trace carries.  The
     enhanced replay re-makes the skip decision per call — redirects are
     NOT baked into the trace — so BTB/ABTB/Bloom state evolves exactly as
     in generate mode. *)
 
-open Dlink_isa
 module Sim = Dlink_core.Sim
-module Skip = Dlink_core.Skip
-module Profile = Dlink_core.Profile
+module Skip = Dlink_pipeline.Skip
+module Kernel = Dlink_pipeline.Kernel
 module Experiment = Dlink_core.Experiment
 module Counters = Dlink_uarch.Counters
 
@@ -23,42 +22,16 @@ val compatible : ?skip_cfg:Skip.config -> mode:Sim.mode -> unit -> bool
     would redirect into a continuation the trace doesn't hold) or with
     [verify_targets] (replay has no GOT to verify against). *)
 
-type machine = {
-  engine : Dlink_uarch.Engine.t;
-  counters : Counters.t;
-  skip : Skip.t option;
-}
-(** One core's replay state: engine + counters + (Enhanced) skip unit,
-    wired exactly as [Sim.create] wires them.  Exposed so the scheduler
-    replay can run several machines against interleaved cursors. *)
+type machine = Kernel.t
+(** One core's replay state is simply a pipeline kernel driven by the
+    cursor event source ({!Kernel.replay_request}); GOT reads resolve
+    to 0. *)
 
 val make_machine :
   ?ucfg:Dlink_uarch.Config.t -> ?skip_cfg:Skip.config -> mode:Sim.mode ->
   unit -> machine
-
-val context_switch : ?retain_asid:bool -> machine -> unit
-(** Mirror of [Sim.context_switch]. *)
-
-val replay_events :
-  machine ->
-  ?on_got_store:(Addr.t -> unit) ->
-  ?profile:Profile.t ->
-  Trace.Cursor.t ->
-  stop:int ->
-  unit
-(** Retire events until the cursor reaches event index [stop], applying
-    the full retire chain per event.  [on_got_store] fires after the skip
-    controller sees a GOT store (the scheduler's cross-core publication
-    point).  Allocation-free when [profile] is absent. *)
-
-val replay_request :
-  machine ->
-  ?on_got_store:(Addr.t -> unit) ->
-  ?profile:Profile.t ->
-  Trace.Cursor.t ->
-  int ->
-  unit
-(** Seek to the given request index and replay it to its boundary. *)
+(** [Kernel.create] specialized to the replay convention: the skip
+    controller is present exactly in Enhanced mode. *)
 
 val replay_counters :
   ?ucfg:Dlink_uarch.Config.t ->

@@ -1,50 +1,23 @@
 module Sim = Dlink_core.Sim
-module Skip = Dlink_core.Skip
+module Skip = Dlink_pipeline.Skip
 module Workload = Dlink_core.Workload
-module Engine = Dlink_uarch.Engine
 module Counters = Dlink_uarch.Counters
-module Config = Dlink_uarch.Config
-module Coherence = Dlink_mach.Coherence
+module Kernel = Dlink_pipeline.Kernel
+module Multi = Dlink_pipeline.Multi
 module Policy = Dlink_sched.Policy
 module Quantum_sweep = Dlink_sched.Quantum_sweep
 module Parallel = Dlink_util.Parallel
 
 (* Replay mirror of Dlink_sched.Scheduler: per-process cursors into
-   single-process traces, per-core replay machines, and the same
-   dispatch/quantum/rotation/coherence logic.  Each process's
-   architectural stream is independent of scheduling (processes share no
-   memory), so the interleaving is purely a replay-order decision — which
-   is why one recording per workload serves every (quantum, policy)
-   combination of a sweep. *)
+   single-process traces driving the same multi-core kernel topology
+   ([Dlink_pipeline.Multi]) the live scheduler uses — dispatch, ASID
+   switching, quantum accounting, and coherence are literally the same
+   code.  Each process's architectural stream is independent of scheduling
+   (processes share no memory), so the interleaving is purely a
+   replay-order decision — which is why one recording per workload serves
+   every (quantum, policy) combination of a sweep. *)
 
-type rproc = {
-  pid : int;
-  asid : int;
-  pname : string;
-  workload : Workload.t;
-  cursor : Trace.Cursor.t;
-  core_id : int;
-  counters : Counters.t;
-  mutable next_request : int;
-  mutable remaining : int;
-  mutable lat_us_rev : float list;
-}
-
-type rcore = {
-  core_id : int;
-  machine : Replay.machine;
-  mutable runq : rproc list;
-  mutable running : int; (* pid, -1 = none *)
-  mutable switches : int;
-}
-
-type t = {
-  policy : Policy.t;
-  quantum : int;
-  cores : rcore array;
-  procs : rproc array;
-  bus : Coherence.t;
-}
+type t = { m : Multi.t; names : string array }
 
 type result = {
   system : Counters.t;
@@ -52,137 +25,58 @@ type result = {
   per_proc : (string * Counters.t * float array) list;
 }
 
-let create ?(ucfg = Config.xeon_e5450) ?skip_cfg ?(mode = Sim.Enhanced)
-    ?requests ~policy ~quantum ~cores (pairs : (Workload.t * Trace.t) list) =
+let create ?ucfg ?skip_cfg ?(mode = Sim.Enhanced) ?requests ~policy ~quantum
+    ~cores (pairs : (Workload.t * Trace.t) list) =
   if quantum <= 0 then
     invalid_arg "Sched_replay.create: quantum must be positive";
   if cores <= 0 then invalid_arg "Sched_replay.create: cores must be positive";
   if pairs = [] then invalid_arg "Sched_replay.create: no workloads";
   if not (Replay.compatible ?skip_cfg ~mode ()) then
     invalid_arg "Sched_replay.create: configuration is not replay-compatible";
-  let bus = Coherence.create () in
-  let n_cores = min cores (List.length pairs) in
-  let cores_arr =
-    Array.init n_cores (fun core_id ->
-        let machine = Replay.make_machine ~ucfg ?skip_cfg ~mode () in
-        (match machine.Replay.skip with
-        | Some s ->
-            Coherence.subscribe bus ~core:core_id (fun ~src:_ addr ->
-                Skip.on_remote_store s addr)
-        | None -> ());
-        { core_id; machine; runq = []; running = -1; switches = 0 })
+  let specs =
+    List.mapi
+      (fun pid ((w : Workload.t), tr) ->
+        if Trace.warmup tr <> 0 then
+          invalid_arg "Sched_replay.create: scheduler traces use warmup 0";
+        let requests =
+          Option.value requests ~default:w.Workload.default_requests
+        in
+        if requests > Trace.measured_requests tr then
+          invalid_arg "Sched_replay.create: trace shorter than run";
+        {
+          Multi.asid = pid + 1;
+          requests;
+          cycles_to_us = Workload.cycles_to_us w;
+        })
+      pairs
   in
-  let procs =
-    Array.of_list
-      (List.mapi
-         (fun pid ((w : Workload.t), tr) ->
-           if Trace.warmup tr <> 0 then
-             invalid_arg "Sched_replay.create: scheduler traces use warmup 0";
-           let remaining =
-             Option.value requests ~default:w.Workload.default_requests
-           in
-           if remaining > Trace.measured_requests tr then
-             invalid_arg "Sched_replay.create: trace shorter than run";
-           {
-             pid;
-             asid = pid + 1;
-             pname = w.Workload.wname;
-             workload = w;
-             cursor = Trace.Cursor.create tr;
-             core_id = pid mod n_cores;
-             counters = Counters.create ();
-             next_request = 0;
-             remaining;
-             lat_us_rev = [];
-           })
-         pairs)
+  let m =
+    Multi.create ?ucfg ?skip_cfg
+      ~with_skip:(mode = Sim.Enhanced)
+      ~policy ~quantum ~cores specs
   in
-  Array.iter
-    (fun (p : rproc) ->
-      let c = cores_arr.(p.core_id) in
-      c.runq <- c.runq @ [ p ])
-    procs;
-  { policy; quantum; cores = cores_arr; procs; bus }
-
-let dispatch t c p =
-  if c.running <> p.pid then begin
-    if c.running >= 0 then begin
-      c.switches <- c.switches + 1;
-      match t.policy with
-      | Policy.Flush -> Replay.context_switch c.machine
-      | Policy.Asid | Policy.Asid_shared_guard ->
-          Replay.context_switch ~retain_asid:true c.machine
-    end;
-    Engine.set_asid c.machine.Replay.engine p.asid;
-    Option.iter (fun s -> Skip.set_asid s p.asid) c.machine.Replay.skip;
-    c.running <- p.pid
-  end
-
-let run_quantum t c p =
-  dispatch t c p;
-  let counters = c.machine.Replay.counters in
-  let before = Counters.copy counters in
-  let publish =
-    if t.policy = Policy.Asid_shared_guard then
-      Some (fun addr -> Coherence.publish t.bus ~src:c.core_id addr)
-    else None
+  let cursors =
+    Array.of_list (List.map (fun (_, tr) -> Trace.Cursor.create tr) pairs)
   in
-  let n = min t.quantum p.remaining in
-  for _ = 1 to n do
-    let cycles_before = counters.Counters.cycles in
-    Replay.replay_request c.machine ?on_got_store:publish p.cursor
-      p.next_request;
-    p.next_request <- p.next_request + 1;
-    let cycles = counters.Counters.cycles - cycles_before in
-    p.lat_us_rev <- Workload.cycles_to_us p.workload cycles :: p.lat_us_rev;
-    p.remaining <- p.remaining - 1
-  done;
-  ignore (Coherence.drain t.bus);
-  Counters.add ~into:p.counters (Counters.diff ~after:counters ~before)
-
-let next_runnable c =
-  let n = List.length c.runq in
-  let rec go i =
-    if i >= n then None
-    else
-      match c.runq with
-      | [] -> None
-      | p :: rest ->
-          c.runq <- rest @ [ p ];
-          if p.remaining > 0 then Some p else go (i + 1)
-  in
-  go 0
-
-let step t =
-  let progressed = ref false in
-  Array.iter
-    (fun c ->
-      match next_runnable c with
-      | Some p ->
-          progressed := true;
-          run_quantum t c p
-      | None -> ())
-    t.cores;
-  !progressed
+  Multi.set_exec m (fun c ~pid ~req ->
+      Kernel.replay_request (Multi.kernel c) cursors.(pid) req);
+  {
+    m;
+    names =
+      Array.of_list (List.map (fun ((w : Workload.t), _) -> w.Workload.wname) pairs);
+  }
 
 let run_to_completion t =
-  while step t do
-    ()
-  done;
-  let system = Counters.create () in
-  Array.iter
-    (fun c -> Counters.add ~into:system c.machine.Replay.counters)
-    t.cores;
+  Multi.run t.m;
   {
-    system;
-    switches =
-      Array.fold_left (fun acc (c : rcore) -> acc + c.switches) 0 t.cores;
+    system = Multi.system_counters t.m;
+    switches = Multi.switches t.m;
     per_proc =
       Array.to_list
-        (Array.map
-           (fun p ->
-             (p.pname, p.counters, Array.of_list (List.rev p.lat_us_rev)))
-           t.procs);
+        (Array.mapi
+           (fun pid name ->
+             (name, Multi.proc_counters t.m pid, Multi.latencies_us t.m pid))
+           t.names);
   }
 
 let run ?ucfg ?skip_cfg ?mode ?requests ~policy ~quantum ~cores pairs =

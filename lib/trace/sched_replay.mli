@@ -11,7 +11,7 @@
     [Scheduler] run of the same configuration. *)
 
 module Sim = Dlink_core.Sim
-module Skip = Dlink_core.Skip
+module Skip = Dlink_pipeline.Skip
 module Workload = Dlink_core.Workload
 module Counters = Dlink_uarch.Counters
 module Policy = Dlink_sched.Policy

@@ -19,6 +19,8 @@ module Process = Dlink_mach.Process
 module C = Dlink_uarch.Counters
 module Config = Dlink_uarch.Config
 open Dlink_core
+module Skip = Dlink_pipeline.Skip
+module Profile = Dlink_pipeline.Profile
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)

@@ -11,6 +11,7 @@ module Memory = Dlink_mach.Memory
 module Process = Dlink_mach.Process
 module C = Dlink_uarch.Counters
 open Dlink_core
+module Skip = Dlink_pipeline.Skip
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)

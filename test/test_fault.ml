@@ -15,7 +15,7 @@
 module C = Dlink_uarch.Counters
 module Abtb = Dlink_uarch.Abtb
 module Addr = Dlink_isa.Addr
-module Skip = Dlink_core.Skip
+module Skip = Dlink_pipeline.Skip
 module P = Dlink_fault.Plan
 module O = Dlink_fault.Oracle
 module F = Dlink_fault.Fuzz
@@ -243,6 +243,25 @@ let test_shrink_to_minimal_plan () =
   let r = F.trial ~skip_cfg ~workload:(workload ()) ~budget:200 replayed in
   checkb "reproducer replays" true (r.F.failures = s.F.failures)
 
+let test_saved_reproducer_replays () =
+  (* Regression pin for the unified pipeline kernel: this is the ddmin
+     output of [test_shrink_to_minimal_plan], saved as the textual
+     reproducer a bug report would carry.  Replaying it must keep
+     producing the identical mis-skip/lost-skip classification, because
+     the differential run drives the same kernel generate mode does — if
+     the classification drifts, the kernel and the oracle have diverged. *)
+  let saved = "seed=42;101:got_rewrite" in
+  let plan = Result.get_ok (P.of_string saved) in
+  let skip_cfg = { Skip.default_config with Skip.quarantine_window = 0 } in
+  let t = F.trial ~skip_cfg ~workload:(synth 42) ~budget:200 plan in
+  checkb "still fails the quarantine property" true
+    (List.mem "mis-skip detected but no ABTB set was quarantined" t.F.failures);
+  checki "exactly one mis-skip" 1 t.F.report.O.mis_skips;
+  checki "lost-skip classification is stable" 248 t.F.report.O.lost_skips;
+  checki "no unclassified divergences" 0 t.F.report.O.unclassified;
+  checki "the one fault fired" 1 t.F.report.O.faults_injected;
+  checki "cooldown is mis-skip-free" 0 t.F.report.O.cooldown_mis_skips
+
 let () =
   Alcotest.run "dlink_fault"
     [
@@ -275,5 +294,7 @@ let () =
           Alcotest.test_case "seeds pass" `Quick test_fuzz_seeds_pass;
           Alcotest.test_case "shrinks to a minimal plan" `Quick
             test_shrink_to_minimal_plan;
+          Alcotest.test_case "saved reproducer replays" `Quick
+            test_saved_reproducer_replays;
         ] );
     ]

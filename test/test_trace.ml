@@ -1,23 +1,18 @@
-(* Tests for the packed trace subsystem: format round-trips, the golden
-   equivalence contract (replay bit-identical to generate-mode execution),
-   scheduler replay, the trace cache, the parallel map, and the
-   zero-allocation property of the replay fast path. *)
+(* Tests for the packed trace subsystem: format round-trips, the trace
+   cache, the parallel map, and the zero-allocation property of the
+   replay fast path.  The generate/replay golden-equivalence contract
+   lives in test_pipeline.ml as one matrix over event source and
+   topology. *)
 
 module Addr = Dlink_isa.Addr
 module Event = Dlink_mach.Event
 module Kind = Dlink_mach.Event.Kind
 module Counters = Dlink_uarch.Counters
 module Sim = Dlink_core.Sim
-module Skip = Dlink_core.Skip
-module Experiment = Dlink_core.Experiment
 module Registry = Dlink_workloads.Registry
-module Scheduler = Dlink_sched.Scheduler
-module Policy = Dlink_sched.Policy
-module Quantum_sweep = Dlink_sched.Quantum_sweep
 module Trace = Dlink_trace.Trace
 module Tcache = Dlink_trace.Cache
 module Replay = Dlink_trace.Replay
-module Sched_replay = Dlink_trace.Sched_replay
 module Parallel = Dlink_util.Parallel
 module Json = Dlink_util.Json
 
@@ -25,44 +20,6 @@ let wl name =
   match Registry.find name with
   | Some f -> f ()
   | None -> Alcotest.failf "unknown workload %s" name
-
-let mode_name = function
-  | Sim.Base -> "base"
-  | Sim.Enhanced -> "enhanced"
-  | Sim.Eager -> "eager"
-  | Sim.Static -> "static"
-  | Sim.Patched -> "patched"
-
-let all_modes = [ Sim.Base; Sim.Enhanced; Sim.Eager; Sim.Static; Sim.Patched ]
-
-let check_counters msg (a : Counters.t) (b : Counters.t) =
-  if a <> b then
-    Alcotest.failf "%s: counters differ@.generate: %a@.replay:   %a" msg
-      Counters.pp a Counters.pp b
-
-(* Everything in an [Experiment.run] except host wall-clock throughput
-   must be bit-identical between generate and replay. *)
-let check_run msg (a : Experiment.run) (b : Experiment.run) =
-  let open Experiment in
-  check_counters msg a.counters b.counters;
-  Alcotest.(check string) (msg ^ ": workload") a.workload_name b.workload_name;
-  Alcotest.(check int) (msg ^ ": requests") a.requests b.requests;
-  Alcotest.(check int) (msg ^ ": tramp_calls") a.tramp_calls b.tramp_calls;
-  Alcotest.(check int)
-    (msg ^ ": distinct_trampolines")
-    a.distinct_trampolines b.distinct_trampolines;
-  Alcotest.(check bool)
-    (msg ^ ": rank_frequency")
-    true
-    (a.rank_frequency = b.rank_frequency);
-  Alcotest.(check bool)
-    (msg ^ ": tramp_stream")
-    true
-    (a.tramp_stream = b.tramp_stream);
-  Alcotest.(check bool)
-    (msg ^ ": latencies_us")
-    true
-    (a.latencies_us = b.latencies_us)
 
 (* --- format round-trips ------------------------------------------------ *)
 
@@ -217,146 +174,6 @@ let qcheck_tests =
              (List.init (List.length reqs) Fun.id));
   ]
 
-(* --- golden equivalence ------------------------------------------------ *)
-
-let equivalence name () =
-  Tcache.clear ();
-  let w = wl name in
-  List.iter
-    (fun mode ->
-      let gen =
-        Experiment.run ~requests:40 ~warmup:6 ~record_stream:true ~mode w
-      in
-      let rep = Replay.run ~requests:40 ~warmup:6 ~record_stream:true ~mode w in
-      check_run (Printf.sprintf "%s/%s" name (mode_name mode)) gen rep)
-    all_modes
-
-let test_equivalence_variants () =
-  Tcache.clear ();
-  let w = wl "synth" in
-  let pairs ?skip_cfg ?context_switch_every ?retain_asid ~mode msg =
-    let gen =
-      Experiment.run ?skip_cfg ?context_switch_every ?retain_asid ~requests:40
-        ~warmup:6 ~record_stream:true ~mode w
-    in
-    let rep =
-      Replay.run ?skip_cfg ?context_switch_every ?retain_asid ~requests:40
-        ~warmup:6 ~record_stream:true ~mode w
-    in
-    check_run msg gen rep
-  in
-  pairs ~context_switch_every:7 ~mode:Sim.Enhanced "switch/flush";
-  pairs ~context_switch_every:7 ~retain_asid:true ~mode:Sim.Enhanced
-    "switch/retain";
-  pairs ~context_switch_every:5 ~mode:Sim.Base "switch/base";
-  pairs
-    ~skip_cfg:
-      {
-        Skip.default_config with
-        bloom_granularity = Skip.Slot;
-        bloom_bits = 4096;
-      }
-    ~mode:Sim.Enhanced "slot-granularity bloom";
-  pairs
-    ~skip_cfg:{ Skip.default_config with coherence = Skip.Explicit_invalidate }
-    ~mode:Sim.Enhanced "explicit invalidate";
-  pairs
-    ~skip_cfg:{ Skip.default_config with abtb_entries = 8; abtb_ways = Some 2 }
-    ~mode:Sim.Enhanced "tiny set-associative abtb"
-
-let test_incompatible_fallback () =
-  Tcache.clear ();
-  let w = wl "synth" in
-  let cfg = { Skip.default_config with verify_targets = true } in
-  Alcotest.(check bool)
-    "verify_targets is not replayable" false
-    (Replay.compatible ~skip_cfg:cfg ~mode:Sim.Enhanced ());
-  Alcotest.(check bool)
-    "no-filter-fallthrough is not replayable" false
-    (Replay.compatible
-       ~skip_cfg:{ Skip.default_config with filter_fallthrough = false }
-       ~mode:Sim.Enhanced ());
-  Alcotest.(check bool)
-    "base always replayable" true
-    (Replay.compatible ~skip_cfg:cfg ~mode:Sim.Base ());
-  (* The fallback path must forward every parameter to Experiment.run. *)
-  let gen =
-    Experiment.run ~skip_cfg:cfg ~requests:30 ~warmup:4 ~mode:Sim.Enhanced w
-  in
-  let rep =
-    Replay.run ~skip_cfg:cfg ~requests:30 ~warmup:4 ~mode:Sim.Enhanced w
-  in
-  check_run "fallback" gen rep;
-  (match
-     Replay.run ~skip_cfg:cfg ~aslr_seed:3 ~requests:10 ~mode:Sim.Enhanced w
-   with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "aslr_seed with incompatible config should raise");
-  (* ASLR-randomized replay is deterministic per seed. *)
-  let a = Replay.run ~aslr_seed:11 ~requests:20 ~warmup:2 ~mode:Sim.Enhanced w in
-  let b = Replay.run ~aslr_seed:11 ~requests:20 ~warmup:2 ~mode:Sim.Enhanced w in
-  check_run "aslr determinism" a b;
-  Alcotest.(check int) "aslr run length" 20 a.Experiment.requests
-
-(* --- scheduler replay -------------------------------------------------- *)
-
-let test_sched_equivalence () =
-  Tcache.clear ();
-  let ws = [ wl "apache"; wl "memcached"; wl "synth" ] in
-  List.iter
-    (fun policy ->
-      let msg what =
-        Printf.sprintf "%s under %s" what (Policy.to_string policy)
-      in
-      let sched =
-        Scheduler.create ~requests:24 ~policy ~quantum:5 ~cores:2 ws
-      in
-      Scheduler.run sched;
-      let pairs =
-        List.map
-          (fun w ->
-            (w, Tcache.get ~warmup:0 ~requests:24 ~mode:Sim.Enhanced w))
-          ws
-      in
-      let r =
-        Sched_replay.run ~requests:24 ~policy ~quantum:5 ~cores:2 pairs
-      in
-      check_counters (msg "system counters") (Scheduler.system_counters sched)
-        r.Sched_replay.system;
-      Alcotest.(check int)
-        (msg "switches")
-        (Scheduler.switches sched)
-        r.Sched_replay.switches;
-      List.iter2
-        (fun proc (pname, pc, lats) ->
-          Alcotest.(check string) (msg "proc name") (Scheduler.name proc) pname;
-          check_counters (msg ("proc " ^ pname)) (Scheduler.proc_counters proc)
-            pc;
-          Alcotest.(check bool)
-            (msg ("latencies " ^ pname))
-            true
-            (Scheduler.latencies_us proc = lats))
-        (Scheduler.procs sched) r.Sched_replay.per_proc)
-    Policy.all
-
-let test_sweep_equivalence () =
-  Tcache.clear ();
-  let ws = [ wl "synth"; wl "memcached" ] in
-  let quanta = [ 2; 6 ] in
-  let real =
-    Quantum_sweep.sweep ~requests:20 ~cores:2 ~quanta ~policies:Policy.all ws
-  in
-  let rep =
-    Sched_replay.sweep ~requests:20 ~cores:2 ~quanta ~policies:Policy.all ws
-  in
-  Alcotest.(check int) "points" (List.length real) (List.length rep);
-  List.iter2
-    (fun (a : Quantum_sweep.point) (b : Quantum_sweep.point) ->
-      if a <> b then
-        Alcotest.failf "sweep point differs at quantum %d / %s" a.quantum
-          (Policy.to_string a.policy))
-    real rep
-
 (* --- trace cache ------------------------------------------------------- *)
 
 let test_cache () =
@@ -475,21 +292,6 @@ let () =
         [
           Alcotest.test_case "manual round-trip" `Quick test_manual_round_trip;
           Alcotest.test_case "writer validation" `Quick test_writer_validation;
-        ] );
-      ( "equivalence",
-        List.map
-          (fun name ->
-            Alcotest.test_case ("golden " ^ name) `Quick (equivalence name))
-          Registry.names
-        @ [
-            Alcotest.test_case "variants" `Quick test_equivalence_variants;
-            Alcotest.test_case "fallback" `Quick test_incompatible_fallback;
-          ] );
-      ( "sched",
-        [
-          Alcotest.test_case "scheduler equivalence" `Quick
-            test_sched_equivalence;
-          Alcotest.test_case "sweep equivalence" `Quick test_sweep_equivalence;
         ] );
       ("cache", [ Alcotest.test_case "keying and prefix" `Quick test_cache ]);
       ( "infra",
