@@ -1,0 +1,115 @@
+(* CI regression gate for simulator throughput.
+
+   Usage: check_throughput BASELINE.json CURRENT.json [--tolerance 0.30]
+
+   Both files are bench `--json` dumps.  Every numeric leaf under the
+   "throughput" object whose key is [replay_mips] or [sim_mips] in the
+   baseline must be present in the current dump and must not fall more
+   than the tolerance fraction below the committed value.  The tolerance
+   is generous (30% by default) because absolute Mi/s moves with the
+   runner; the gate exists to catch order-of-magnitude regressions like a
+   bulk clear going back to O(capacity), not single-digit noise. *)
+
+module Json = Dlink_util.Json
+
+let gated_keys = [ "replay_mips"; "sim_mips" ]
+
+let read_json path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Json.of_string s with
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "%s: parse error: %s\n" path e;
+      exit 2
+
+(* Flatten to ("throughput.apache_base.replay_mips", float) pairs.  The
+   top-level component is the bench section name; it is dropped when
+   matching baseline to current so a `--only flushsweep` dump gates
+   against the sweep leaves of a full `--only throughput` baseline. *)
+let rec leaves prefix = function
+  | Json.Obj fields ->
+      List.concat_map
+        (fun (k, v) ->
+          let p = if prefix = "" then k else prefix ^ "." ^ k in
+          leaves p v)
+        fields
+  | Json.Float f -> [ (prefix, f) ]
+  | Json.Int i -> [ (prefix, float_of_int i) ]
+  | _ -> []
+
+let drop_section key =
+  match String.index_opt key '.' with
+  | Some i -> String.sub key (i + 1) (String.length key - i - 1)
+  | None -> key
+
+let gated path v =
+  List.filter
+    (fun (k, _) ->
+      match String.rindex_opt k '.' with
+      | Some i ->
+          String.length k > i + 1
+          && List.mem (String.sub k (i + 1) (String.length k - i - 1)) gated_keys
+      | None -> List.mem k gated_keys)
+    (leaves "" v)
+  |> function
+  | [] ->
+      Printf.eprintf "%s: no %s leaves found\n" path
+        (String.concat "/" gated_keys);
+      exit 2
+  | l -> l
+
+let () =
+  let tolerance = ref 0.30 in
+  let files = ref [] in
+  let rec scan = function
+    | "--tolerance" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f when f >= 0.0 && f < 1.0 ->
+            tolerance := f;
+            scan rest
+        | _ ->
+            Printf.eprintf "bad --tolerance value: %s\n" v;
+            exit 2)
+    | a :: rest ->
+        files := a :: !files;
+        scan rest
+    | [] -> ()
+  in
+  scan (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ baseline_path; current_path ] ->
+      let baseline = gated baseline_path (read_json baseline_path) in
+      let current =
+        List.map
+          (fun (k, v) -> (drop_section k, v))
+          (leaves "" (read_json current_path))
+      in
+      let failures = ref 0 in
+      List.iter
+        (fun (key, committed) ->
+          match List.assoc_opt (drop_section key) current with
+          | None ->
+              incr failures;
+              Printf.printf "FAIL %-55s missing from %s\n" key current_path
+          | Some now ->
+              let floor = committed *. (1.0 -. !tolerance) in
+              let verdict = if now < floor then "FAIL" else "ok" in
+              if now < floor then incr failures;
+              Printf.printf "%-4s %-55s baseline %8.2f  now %8.2f  floor %8.2f\n"
+                verdict key committed now floor)
+        baseline;
+      if !failures > 0 then begin
+        Printf.printf "%d throughput metric(s) regressed more than %.0f%%\n"
+          !failures (100.0 *. !tolerance);
+        exit 1
+      end;
+      Printf.printf "all %d gated throughput metrics within %.0f%% of baseline\n"
+        (List.length baseline)
+        (100.0 *. !tolerance)
+  | _ ->
+      Printf.eprintf
+        "usage: check_throughput BASELINE.json CURRENT.json [--tolerance F]\n";
+      exit 2

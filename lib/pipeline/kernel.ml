@@ -154,31 +154,61 @@ let retire_cursor t (c : Trace.Cursor.t) ~target ~aux =
     ~kind:c.Trace.Cursor.kind ~target ~aux ~taken:c.Trace.Cursor.taken
 
 (* Replay events until [stop] (an event index, normally the next request
-   boundary).  Enhanced kernels consult the skip controller on every
-   direct call, exactly as the interpreter's fetch hook does; a redirect
-   retires the call at the function address and drops the trampoline's
-   in_plt continuation without retiring it. *)
-let replay_events t (c : Trace.Cursor.t) ~stop =
+   boundary), drained in fixed-size blocks with the skip-controller
+   dispatch hoisted out of the per-event path: the [t.skip] option is
+   matched once per [replay_events] call, and each block runs a
+   monomorphic inner loop whose bounds stay in registers.  Both loops are
+   top-level functions taking only immediates, preserving the
+   zero-allocation guarantee. *)
+let block_events = 256
+
+(* Skipless retire: a straight drain with no per-event dispatch at all. *)
+let replay_block_plain t (c : Trace.Cursor.t) ~stop =
   while c.Trace.Cursor.i < stop do
     Trace.Cursor.advance c;
-    match t.skip with
-    | Some s when c.Trace.Cursor.kind = Event.Kind.call_direct ->
-        let arch = c.Trace.Cursor.aux in
-        let actual =
-          Skip.on_fetch_call s ~pc:c.Trace.Cursor.pc ~arch_target:arch
-        in
-        if actual <> arch then begin
-          retire_cursor t c ~target:actual ~aux:arch;
-          while c.Trace.Cursor.i < stop && Trace.Cursor.peek_in_plt c do
-            Trace.Cursor.advance c
-          done
-        end
-        else
-          retire_cursor t c ~target:c.Trace.Cursor.target
-            ~aux:c.Trace.Cursor.aux
-    | _ ->
-        retire_cursor t c ~target:c.Trace.Cursor.target ~aux:c.Trace.Cursor.aux
+    retire_cursor t c ~target:c.Trace.Cursor.target ~aux:c.Trace.Cursor.aux
   done
+
+(* Enhanced retire: the skip controller is consulted on every direct
+   call, exactly as the interpreter's fetch hook does; a redirect retires
+   the call at the function address and drops the trampoline's in_plt
+   continuation without retiring it.  The drop loop runs against the true
+   [stop], not the block boundary — a skipped trampoline body may
+   straddle two blocks. *)
+let replay_block_skip t s (c : Trace.Cursor.t) ~block_stop ~stop =
+  while c.Trace.Cursor.i < block_stop do
+    Trace.Cursor.advance c;
+    if c.Trace.Cursor.kind = Event.Kind.call_direct then begin
+      let arch = c.Trace.Cursor.aux in
+      let actual =
+        Skip.on_fetch_call s ~pc:c.Trace.Cursor.pc ~arch_target:arch
+      in
+      if actual <> arch then begin
+        retire_cursor t c ~target:actual ~aux:arch;
+        while c.Trace.Cursor.i < stop && Trace.Cursor.peek_in_plt c do
+          Trace.Cursor.advance c
+        done
+      end
+      else
+        retire_cursor t c ~target:c.Trace.Cursor.target ~aux:c.Trace.Cursor.aux
+    end
+    else retire_cursor t c ~target:c.Trace.Cursor.target ~aux:c.Trace.Cursor.aux
+  done
+
+let replay_events t (c : Trace.Cursor.t) ~stop =
+  match t.skip with
+  | None ->
+      while c.Trace.Cursor.i < stop do
+        let b = c.Trace.Cursor.i + block_events in
+        replay_block_plain t c ~stop:(if b < stop then b else stop)
+      done
+  | Some s ->
+      while c.Trace.Cursor.i < stop do
+        let b = c.Trace.Cursor.i + block_events in
+        replay_block_skip t s c
+          ~block_stop:(if b < stop then b else stop)
+          ~stop
+      done
 
 let replay_request t (c : Trace.Cursor.t) r =
   Trace.Cursor.seek_request c r;

@@ -1,13 +1,27 @@
 module Site_hash = Dlink_util.Site_hash
 
-(* Values live in a plain ['v array]: validity is carried entirely by the
-   companion [keys] array (-1 = invalid), so [insert]/[find] never allocate
-   a [Some] cell on the hot path.  Invalid slots hold [dummy], an unboxed
+(* Values live in a plain ['v array]: validity is carried by the companion
+   [keys] array (-1 = never written), so [insert]/[find] never allocate a
+   [Some] cell on the hot path.  Invalid slots hold [dummy], an unboxed
    placeholder never returned to callers.  This is safe because every
    access to [values] happens at the polymorphic type ['v] inside this
    module (the compiler emits dynamically-checked array primitives), and
    the array is created from an immediate so it is never a flat float
-   array. *)
+   array.
+
+   Flash clears are O(1) generation bumps, modelling the single-cycle
+   valid-bit reset of the hardware structures this table backs (the ABTB's
+   store-triggered clear is the extreme case: one per guarded GOT store).
+   [clock] counts clears; every write stamps its slot with the current
+   clock, and [clear] bumps the clock and raises the matching validity
+   floor ([global_floor], or [tag_floors.(tag)] for a single address
+   space).  Reclamation is per-set and lazy: the first operation to touch
+   a set after a clear reconciles it — physically invalidating every slot
+   whose stamp sits below an applicable floor — and records the clock in
+   [seen_clock], so the scan and victim loops afterwards run exactly the
+   byte-for-byte logic of an eagerly-cleared table.  The steady-state
+   lookup pays one extra load-and-compare ([seen_clock.(set) = clock]);
+   the clear itself walks nothing. *)
 
 type 'v t = {
   sets : int;
@@ -18,6 +32,12 @@ type 'v t = {
   dummy : 'v; (* placeholder stored in invalid slots *)
   stamps : int array; (* LRU recency; larger = more recent *)
   mutable tick : int;
+  epochs : int array; (* clear-clock value at each slot's last write *)
+  seen_clock : int array; (* per-set clock at last reconciliation *)
+  mutable clock : int; (* bumped by every flash clear *)
+  mutable global_floor : int; (* minimum live epoch, all tags *)
+  mutable tag_floors : int array; (* per-tag minimum live epoch; grown on
+                                     demand, missing tags have floor 0 *)
 }
 
 let create ~sets ~ways =
@@ -35,6 +55,11 @@ let create ~sets ~ways =
     dummy;
     stamps = Array.make n 0;
     tick = 0;
+    epochs = Array.make n 0;
+    seen_clock = Array.make sets 0;
+    clock = 0;
+    global_floor = 0;
+    tag_floors = Array.make 8 0;
   }
 
 let sets t = t.sets
@@ -51,6 +76,37 @@ let next_tick t =
   t.tick <- t.tick + 1;
   t.tick
 
+let tag_floor t tag =
+  if tag >= 0 && tag < Array.length t.tag_floors then t.tag_floors.(tag) else 0
+
+let invalidate_slot t i =
+  t.keys.(i) <- -1;
+  t.tags.(i) <- 0;
+  t.values.(i) <- t.dummy;
+  t.stamps.(i) <- 0
+
+(* Bring one set up to date with every flash clear since it was last
+   touched: a written slot is stale — and is physically invalidated here —
+   when its stamp sits below the global floor or below its own tag's
+   floor.  Runs at most once per set per clear, off the steady-state
+   path. *)
+let reconcile_set t s =
+  let base = s * t.ways in
+  for w = 0 to t.ways - 1 do
+    let i = base + w in
+    if t.keys.(i) >= 0 then begin
+      let e = t.epochs.(i) in
+      if e < t.global_floor || e < tag_floor t t.tags.(i) then
+        invalidate_slot t i
+    end
+  done;
+  t.seen_clock.(s) <- t.clock
+
+let reconcile_all t =
+  for s = 0 to t.sets - 1 do
+    if t.seen_clock.(s) <> t.clock then reconcile_set t s
+  done
+
 (* The scans are top-level functions rather than local closures: a local
    [let rec] capturing its environment is heap-allocated per call, which
    would put ~7 words on every cache/TLB/BTB access of the replay loop. *)
@@ -60,7 +116,9 @@ let rec scan_slot keys tags base ways w key tag =
   else scan_slot keys tags base ways (w + 1) key tag
 
 let find_slot t key tag =
-  scan_slot t.keys t.tags (set_of t key * t.ways) t.ways 0 key tag
+  let s = set_of t key in
+  if t.seen_clock.(s) <> t.clock then reconcile_set t s;
+  scan_slot t.keys t.tags (s * t.ways) t.ways 0 key tag
 
 let find t ?(tag = 0) key =
   let i = find_slot t key tag in
@@ -86,10 +144,10 @@ let probe_default t ?(tag = 0) key ~default =
   let i = find_slot t key tag in
   if i < 0 then default else t.values.(i)
 
-let rec first_invalid keys base ways w =
+let rec first_invalid t base ways w =
   if w >= ways then -1
-  else if keys.(base + w) = -1 then base + w
-  else first_invalid keys base ways (w + 1)
+  else if t.keys.(base + w) = -1 then base + w
+  else first_invalid t base ways (w + 1)
 
 let rec lru_slot stamps base ways w best =
   if w >= ways then best
@@ -97,10 +155,14 @@ let rec lru_slot stamps base ways w best =
     lru_slot stamps base ways (w + 1)
       (if stamps.(base + w) < stamps.(best) then base + w else best)
 
-(* First invalid way, otherwise the least recently used. *)
+(* First invalid way, otherwise the least recently used.  Only called
+   after [find_slot] has reconciled the set, so flash-cleared slots show
+   up as invalid here in way order — exactly where an eagerly-cleared
+   table would have presented an empty way, making the victim choice (and
+   therefore every later hit/miss) observationally identical. *)
 let victim_slot t key =
   let base = set_of t key * t.ways in
-  let i = first_invalid t.keys base t.ways 0 in
+  let i = first_invalid t base t.ways 0 in
   if i >= 0 then i else lru_slot t.stamps base t.ways 1 base
 
 let insert_slot t tag key v =
@@ -109,7 +171,8 @@ let insert_slot t tag key v =
   t.keys.(i) <- key;
   t.tags.(i) <- tag;
   t.values.(i) <- v;
-  t.stamps.(i) <- next_tick t
+  t.stamps.(i) <- next_tick t;
+  t.epochs.(i) <- t.clock
 
 let insert t ~tag key v = insert_slot t tag key v
 
@@ -124,21 +187,29 @@ let touch t ~tag key v =
     false
   end
 
-let invalidate_slot t i =
-  t.keys.(i) <- -1;
-  t.tags.(i) <- 0;
-  t.values.(i) <- t.dummy;
-  t.stamps.(i) <- 0
+let grow_tag_floors t tag =
+  let n = Array.length t.tag_floors in
+  if tag >= n then begin
+    let bigger = Array.make (max (2 * n) (tag + 1)) 0 in
+    Array.blit t.tag_floors 0 bigger 0 n;
+    t.tag_floors <- bigger
+  end
 
 let clear ?tag t =
   match tag with
   | None ->
-      Array.fill t.keys 0 (Array.length t.keys) (-1);
-      Array.fill t.tags 0 (Array.length t.tags) 0;
-      Array.fill t.values 0 (Array.length t.values) t.dummy;
-      Array.fill t.stamps 0 (Array.length t.stamps) 0;
-      t.tick <- 0
+      (* Flash clear: one epoch bump, exactly like the hardware's
+         single-cycle valid-bit reset.  Values of stale slots stay
+         physically resident until the set's next reconciliation. *)
+      t.clock <- t.clock + 1;
+      t.global_floor <- t.clock
+  | Some tag when tag >= 0 ->
+      t.clock <- t.clock + 1;
+      grow_tag_floors t tag;
+      t.tag_floors.(tag) <- t.clock
   | Some tag ->
+      (* Negative tags have no floor slot; fall back to the eager walk
+         (never reached by the simulator, which uses ASIDs >= 0). *)
       Array.iteri
         (fun i k -> if k >= 0 && t.tags.(i) = tag then invalidate_slot t i)
         t.keys
@@ -152,12 +223,17 @@ let clear_set t s =
   done
 
 let valid_count ?tag t =
-  let counted i k =
-    k >= 0 && match tag with None -> true | Some tag -> t.tags.(i) = tag
+  reconcile_all t;
+  let counted i =
+    t.keys.(i) >= 0
+    && match tag with None -> true | Some tag -> t.tags.(i) = tag
   in
   let n = ref 0 in
-  Array.iteri (fun i k -> if counted i k then incr n) t.keys;
+  for i = 0 to Array.length t.keys - 1 do
+    if counted i then incr n
+  done;
   !n
 
 let iter f t =
+  reconcile_all t;
   Array.iteri (fun i k -> if k >= 0 then f k t.values.(i)) t.keys

@@ -8,7 +8,19 @@
     lookup only hits an entry whose tag matches, and [clear ~tag] drops a
     single address space's entries.  Tags do not participate in set
     indexing — co-scheduled address spaces contend for the same sets, as
-    in physically shared hardware. *)
+    in physically shared hardware.
+
+    Bulk clears are O(1) generation bumps, mirroring the single-cycle
+    valid-bit flash reset of the modelled hardware: every write stamps its
+    slot with a clear-clock value and [clear] raises the corresponding
+    validity floor.  Reclamation is lazy and per-set — the first operation
+    to touch a set after a clear physically invalidates its stale slots,
+    so the steady-state lookup pays only one extra load-and-compare and
+    the victim scan sees flash-cleared slots as empty ways in way order,
+    exactly as an eagerly-cleared table would.  Observable behaviour —
+    hits, misses, LRU victim choice — is identical to an eager per-slot
+    clear; test/test_uarch.ml checks this against a naive reference
+    model. *)
 
 type 'v t
 
@@ -49,7 +61,10 @@ val touch : 'v t -> tag:int -> int -> 'v -> bool
 
 val clear : ?tag:int -> 'v t -> unit
 (** [clear t] invalidates everything; [clear ~tag t] only the entries of
-    one address space. *)
+    one address space.  Both are O(1) epoch bumps (for non-negative tags;
+    a negative tag falls back to an eager walk).  Values held by stale
+    slots stay physically reachable until the set's next access reconciles
+    it. *)
 
 val set_of_key : 'v t -> int -> int
 (** Set index a key maps to (its low bits). *)

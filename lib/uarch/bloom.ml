@@ -1,7 +1,16 @@
 open Dlink_isa
 
+(* The bit field is packed 32 bits per OCaml int, with a per-word
+   generation stamp: a word's bits only count while its stamp equals the
+   filter's current epoch, so [clear] — which the mechanism fires on every
+   guarded GOT store — is a single epoch bump, like the hardware's
+   one-cycle flash reset, instead of an O(bits) fill.  Stale words are
+   lazily re-zeroed by the first [set_bit] that lands in them. *)
+
 type t = {
-  field : Bytes.t;
+  words : int array; (* 32 field bits per element *)
+  word_epoch : int array; (* stamp under which each word's bits are live *)
+  mutable epoch : int;
   mask : int;
   hashes : int;
   mutable set_bits : int;
@@ -11,7 +20,15 @@ let create ~bits ~hashes =
   if bits <= 0 || bits land (bits - 1) <> 0 then
     invalid_arg "Bloom.create: bits must be a positive power of two";
   if hashes < 1 || hashes > 8 then invalid_arg "Bloom.create: hashes out of range";
-  { field = Bytes.make ((bits + 7) / 8) '\000'; mask = bits - 1; hashes; set_bits = 0 }
+  let n_words = (bits + 31) / 32 in
+  {
+    words = Array.make n_words 0;
+    word_epoch = Array.make n_words 0;
+    epoch = 0;
+    mask = bits - 1;
+    hashes;
+    set_bits = 0;
+  }
 
 (* Native-int xorshift-multiply mixer.  [Site_hash.mix2] goes through
    boxed [Int64] arithmetic, which would allocate on every membership
@@ -34,12 +51,18 @@ let bit_pos t ~asid (a : Addr.t) k =
   let v = if asid = 0 then a else mix2 a asid in
   mix2 v (k + 1) land t.mask
 
-let get_bit t i = Char.code (Bytes.get t.field (i lsr 3)) land (1 lsl (i land 7)) <> 0
+(* A stale word reads as all-zeroes without being written back. *)
+let word_at t w = if t.word_epoch.(w) = t.epoch then t.words.(w) else 0
+
+let get_bit t i = (word_at t (i lsr 5) lsr (i land 31)) land 1 <> 0
 
 let set_bit t i =
-  if not (get_bit t i) then begin
-    let b = Char.code (Bytes.get t.field (i lsr 3)) in
-    Bytes.set t.field (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))));
+  let w = i lsr 5 in
+  let cur = word_at t w in
+  let m = 1 lsl (i land 31) in
+  if cur land m = 0 then begin
+    t.words.(w) <- cur lor m;
+    t.word_epoch.(w) <- t.epoch;
     t.set_bits <- t.set_bits + 1
   end
 
@@ -56,14 +79,15 @@ let rec mem_from t ~asid a k =
 let mem t ~asid a = mem_from t ~asid a 0
 
 let clear t =
-  Bytes.fill t.field 0 (Bytes.length t.field) '\000';
+  t.epoch <- t.epoch + 1;
   t.set_bits <- 0
 
 let clear_bit t i =
   if i < 0 || i > t.mask then invalid_arg "Bloom.clear_bit: index out of range";
   if get_bit t i then begin
-    let b = Char.code (Bytes.get t.field (i lsr 3)) in
-    Bytes.set t.field (i lsr 3) (Char.chr (b land lnot (1 lsl (i land 7))));
+    (* [get_bit] implies the word's stamp is current. *)
+    let w = i lsr 5 in
+    t.words.(w) <- t.words.(w) land lnot (1 lsl (i land 31));
     t.set_bits <- t.set_bits - 1
   end
 

@@ -20,7 +20,12 @@ val add : t -> asid:int -> Addr.t -> unit
     optional argument would allocate a [Some] per call. *)
 
 val mem : t -> asid:int -> Addr.t -> bool
+
 val clear : t -> unit
+(** O(1): bumps the filter's generation stamp (the field is packed 32 bits
+    per word with a per-word stamp, lazily re-zeroed on the next write),
+    mirroring the hardware's single-cycle flash reset — clears fire on
+    every guarded GOT store, so they must not walk the field. *)
 
 val clear_bit : t -> int -> unit
 (** Fault-injection/test API: force one bit of the field to zero,

@@ -398,6 +398,332 @@ let test_engine_l2_absorbs_l1_misses () =
   let cost = (Engine.counters e).Counters.cycles - before in
   checki "L2 hit after L1 conflict" (1 + cfg.Config.penalties.l1_miss) cost
 
+(* ---------------- reference models for the O(1) flash clear ---------- *)
+
+(* A naive eager-clear copy of the pre-epoch Assoc_table — same geometry,
+   same true-LRU replacement, but [clear]/[clear ~tag] physically walk the
+   slots.  The qcheck sequences below drive it in lock-step with the
+   generation-stamped implementation and assert observational identity,
+   including which way the victim scan picks. *)
+module Ref_table = struct
+  type t = {
+    sets : int;
+    ways : int;
+    keys : int array;
+    tags : int array;
+    values : int array;
+    stamps : int array;
+    mutable tick : int;
+  }
+
+  let create ~sets ~ways =
+    let n = sets * ways in
+    {
+      sets;
+      ways;
+      keys = Array.make n (-1);
+      tags = Array.make n 0;
+      values = Array.make n 0;
+      stamps = Array.make n 0;
+      tick = 0;
+    }
+
+  let set_of t key = key land (t.sets - 1)
+
+  let next_tick t =
+    t.tick <- t.tick + 1;
+    t.tick
+
+  let find_slot t key tag =
+    let base = set_of t key * t.ways in
+    let rec go w =
+      if w >= t.ways then -1
+      else if t.keys.(base + w) = key && t.tags.(base + w) = tag then base + w
+      else go (w + 1)
+    in
+    go 0
+
+  let find t ~tag key =
+    let i = find_slot t key tag in
+    if i < 0 then None
+    else begin
+      t.stamps.(i) <- next_tick t;
+      Some t.values.(i)
+    end
+
+  let probe t ~tag key =
+    let i = find_slot t key tag in
+    if i < 0 then None else Some t.values.(i)
+
+  let victim_slot t key =
+    let base = set_of t key * t.ways in
+    let rec free w =
+      if w >= t.ways then -1
+      else if t.keys.(base + w) = -1 then base + w
+      else free (w + 1)
+    in
+    let i = free 0 in
+    if i >= 0 then i
+    else begin
+      let best = ref base in
+      for w = 1 to t.ways - 1 do
+        if t.stamps.(base + w) < t.stamps.(!best) then best := base + w
+      done;
+      !best
+    end
+
+  let insert t ~tag key v =
+    let i = find_slot t key tag in
+    let i = if i >= 0 then i else victim_slot t key in
+    t.keys.(i) <- key;
+    t.tags.(i) <- tag;
+    t.values.(i) <- v;
+    t.stamps.(i) <- next_tick t
+
+  let touch t ~tag key v =
+    let i = find_slot t key tag in
+    if i >= 0 then begin
+      t.stamps.(i) <- next_tick t;
+      true
+    end
+    else begin
+      insert t ~tag key v;
+      false
+    end
+
+  let invalidate t i =
+    t.keys.(i) <- -1;
+    t.tags.(i) <- 0;
+    t.values.(i) <- 0;
+    t.stamps.(i) <- 0
+
+  let clear ?tag t =
+    match tag with
+    | None ->
+        for i = 0 to Array.length t.keys - 1 do
+          invalidate t i
+        done;
+        t.tick <- 0
+    | Some tag ->
+        Array.iteri
+          (fun i k -> if k >= 0 && t.tags.(i) = tag then invalidate t i)
+          t.keys
+
+  let clear_set t s =
+    for w = 0 to t.ways - 1 do
+      invalidate t ((s * t.ways) + w)
+    done
+
+  let valid_count ?tag t =
+    let n = ref 0 in
+    Array.iteri
+      (fun i k ->
+        if k >= 0 && match tag with None -> true | Some tag -> t.tags.(i) = tag
+        then incr n)
+      t.keys;
+    !n
+end
+
+(* Bool-array Bloom reference with the packed filter's mixer copied
+   verbatim — both must probe identical bit positions, so any divergence
+   is in the bit storage (the word-packed, generation-stamped part). *)
+module Ref_bloom = struct
+  type t = { bits : bool array; hashes : int; mutable set_bits : int }
+
+  let create ~bits ~hashes =
+    { bits = Array.make bits false; hashes; set_bits = 0 }
+
+  let mix x =
+    let x = x lxor (x lsr 30) in
+    let x = x * 0x4be98134a5976fd3 in
+    let x = x lxor (x lsr 29) in
+    let x = x * 0x3bbf2a98b9367f05 in
+    (x lxor (x lsr 32)) land max_int
+
+  let mix2 a b = mix (a + (b * 0x1e3779b97f4a7c15))
+
+  let bit_pos t ~asid a k =
+    let v = if asid = 0 then a else mix2 a asid in
+    mix2 v (k + 1) land (Array.length t.bits - 1)
+
+  let add t ~asid a =
+    for k = 0 to t.hashes - 1 do
+      let i = bit_pos t ~asid a k in
+      if not t.bits.(i) then begin
+        t.bits.(i) <- true;
+        t.set_bits <- t.set_bits + 1
+      end
+    done
+
+  let mem t ~asid a =
+    let rec go k = k >= t.hashes || (t.bits.(bit_pos t ~asid a k) && go (k + 1)) in
+    go 0
+
+  let clear t =
+    Array.fill t.bits 0 (Array.length t.bits) false;
+    t.set_bits <- 0
+
+  let clear_bit t i =
+    if t.bits.(i) then begin
+      t.bits.(i) <- false;
+      t.set_bits <- t.set_bits - 1
+    end
+
+  let bits_set t = t.set_bits
+end
+
+type table_op =
+  | Insert of int * int * int
+  | Find of int * int
+  | Probe of int * int
+  | Touch of int * int * int
+  | Clear
+  | Clear_tag of int
+  | Clear_set of int
+
+let table_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map3 (fun k tag v -> Insert (k, tag, v)) (int_range 0 31) (int_range 0 3) (int_range 0 1000));
+        (4, map2 (fun k tag -> Find (k, tag)) (int_range 0 31) (int_range 0 3));
+        (2, map2 (fun k tag -> Probe (k, tag)) (int_range 0 31) (int_range 0 3));
+        (4, map3 (fun k tag v -> Touch (k, tag, v)) (int_range 0 31) (int_range 0 3) (int_range 0 1000));
+        (1, return Clear);
+        (2, map (fun tag -> Clear_tag tag) (int_range 0 3));
+        (1, map (fun s -> Clear_set s) (int_range 0 3));
+      ])
+
+let table_op_print = function
+  | Insert (k, tag, v) -> Printf.sprintf "insert k=%d tag=%d v=%d" k tag v
+  | Find (k, tag) -> Printf.sprintf "find k=%d tag=%d" k tag
+  | Probe (k, tag) -> Printf.sprintf "probe k=%d tag=%d" k tag
+  | Touch (k, tag, v) -> Printf.sprintf "touch k=%d tag=%d v=%d" k tag v
+  | Clear -> "clear"
+  | Clear_tag tag -> Printf.sprintf "clear ~tag:%d" tag
+  | Clear_set s -> Printf.sprintf "clear_set %d" s
+
+type bloom_op = Badd of int * int | Bmem of int * int | Bclear | Bclear_bit of int
+
+let bloom_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun asid a -> Badd (asid, a)) (int_range 0 3) (int_range 0 100_000));
+        (5, map2 (fun asid a -> Bmem (asid, a)) (int_range 0 3) (int_range 0 100_000));
+        (1, return Bclear);
+        (2, map (fun i -> Bclear_bit i) (int_range 0 255));
+      ])
+
+let bloom_op_print = function
+  | Badd (asid, a) -> Printf.sprintf "add asid=%d a=%d" asid a
+  | Bmem (asid, a) -> Printf.sprintf "mem asid=%d a=%d" asid a
+  | Bclear -> "clear"
+  | Bclear_bit i -> Printf.sprintf "clear_bit %d" i
+
+(* Deterministic check that the lazy reclamation hands out flash-cleared
+   ways in way order, ahead of any LRU decision — the property that makes
+   victim choice identical to an eager clear. *)
+let test_assoc_clear_tag_way_order () =
+  let t = Assoc_table.create ~sets:1 ~ways:4 in
+  Assoc_table.insert t ~tag:0 0 "a";
+  Assoc_table.insert t ~tag:1 4 "b";
+  Assoc_table.insert t ~tag:0 8 "c";
+  Assoc_table.insert t ~tag:1 12 "d";
+  Assoc_table.clear ~tag:1 t;
+  checki "two live after tag clear" 2 (Assoc_table.valid_count t);
+  (* e must reclaim b's way (first stale in way order), f then d's. *)
+  Assoc_table.insert t ~tag:0 16 "e";
+  Assoc_table.insert t ~tag:0 20 "f";
+  checkb "a kept" true (Assoc_table.probe t 0 <> None);
+  checkb "c kept" true (Assoc_table.probe t 8 <> None);
+  checkb "e present" true (Assoc_table.probe t 16 <> None);
+  checkb "f present" true (Assoc_table.probe t 20 <> None);
+  checkb "b gone" true (Assoc_table.probe t ~tag:1 4 = None);
+  checkb "d gone" true (Assoc_table.probe t ~tag:1 12 = None)
+
+let test_assoc_flash_clear_behaves_like_fresh () =
+  let t = Assoc_table.create ~sets:2 ~ways:2 in
+  for k = 0 to 7 do
+    Assoc_table.insert t ~tag:0 k k
+  done;
+  Assoc_table.clear t;
+  checki "empty after flash clear" 0 (Assoc_table.valid_count t);
+  (* LRU behaviour starts over exactly as in a fresh table. *)
+  Assoc_table.insert t ~tag:0 0 10;
+  Assoc_table.insert t ~tag:0 2 11;
+  ignore (Assoc_table.find t 0);
+  Assoc_table.insert t ~tag:0 4 12;
+  checkb "0 kept" true (Assoc_table.probe t 0 <> None);
+  checkb "2 evicted" true (Assoc_table.probe t 2 = None);
+  checkb "4 present" true (Assoc_table.probe t 4 <> None)
+
+let equivalence_qcheck_tests =
+  [
+    QCheck.Test.make ~name:"epoch table equals eager reference" ~count:500
+      (QCheck.make
+         ~print:(fun ops -> String.concat "; " (List.map table_op_print ops))
+         QCheck.Gen.(list_size (int_range 1 200) table_op_gen))
+      (fun ops ->
+        let t = Assoc_table.create ~sets:4 ~ways:2 in
+        let r = Ref_table.create ~sets:4 ~ways:2 in
+        List.for_all
+          (fun op ->
+            match op with
+            | Insert (k, tag, v) ->
+                Assoc_table.insert t ~tag k v;
+                Ref_table.insert r ~tag k v;
+                true
+            | Find (k, tag) -> Assoc_table.find t ~tag k = Ref_table.find r ~tag k
+            | Probe (k, tag) ->
+                Assoc_table.probe t ~tag k = Ref_table.probe r ~tag k
+            | Touch (k, tag, v) ->
+                Assoc_table.touch t ~tag k v = Ref_table.touch r ~tag k v
+            | Clear ->
+                Assoc_table.clear t;
+                Ref_table.clear r;
+                true
+            | Clear_tag tag ->
+                Assoc_table.clear ~tag t;
+                Ref_table.clear ~tag r;
+                true
+            | Clear_set s ->
+                Assoc_table.clear_set t s;
+                Ref_table.clear_set r s;
+                true)
+          ops
+        && Assoc_table.valid_count t = Ref_table.valid_count r
+        && List.for_all
+             (fun tag ->
+               Assoc_table.valid_count ~tag t = Ref_table.valid_count ~tag r)
+             [ 0; 1; 2; 3 ]);
+    QCheck.Test.make ~name:"packed bloom equals bool-array reference" ~count:500
+      (QCheck.make
+         ~print:(fun ops -> String.concat "; " (List.map bloom_op_print ops))
+         QCheck.Gen.(list_size (int_range 1 200) bloom_op_gen))
+      (fun ops ->
+        let b = Bloom.create ~bits:256 ~hashes:3 in
+        let r = Ref_bloom.create ~bits:256 ~hashes:3 in
+        List.for_all
+          (fun op ->
+            (match op with
+            | Badd (asid, a) ->
+                Bloom.add b ~asid a;
+                Ref_bloom.add r ~asid a;
+                true
+            | Bmem (asid, a) -> Bloom.mem b ~asid a = Ref_bloom.mem r ~asid a
+            | Bclear ->
+                Bloom.clear b;
+                Ref_bloom.clear r;
+                true
+            | Bclear_bit i ->
+                Bloom.clear_bit b i;
+                Ref_bloom.clear_bit r i;
+                true)
+            && Bloom.bits_set b = Ref_bloom.bits_set r)
+          ops);
+  ]
+
 (* ---------------- property tests ---------------- *)
 
 let qcheck_tests =
@@ -450,6 +776,10 @@ let () =
           Alcotest.test_case "touch" `Quick test_assoc_touch;
           Alcotest.test_case "overwrite" `Quick test_assoc_overwrite;
           Alcotest.test_case "clear" `Quick test_assoc_clear;
+          Alcotest.test_case "clear ~tag way order" `Quick
+            test_assoc_clear_tag_way_order;
+          Alcotest.test_case "flash clear like fresh" `Quick
+            test_assoc_flash_clear_behaves_like_fresh;
           Alcotest.test_case "bad geometry" `Quick test_assoc_rejects_bad_geometry;
         ] );
       ( "cache",
@@ -518,4 +848,6 @@ let () =
             test_engine_l2_absorbs_l1_misses;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ( "flash-clear equivalence",
+        List.map QCheck_alcotest.to_alcotest equivalence_qcheck_tests );
     ]
