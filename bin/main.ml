@@ -9,6 +9,7 @@
      memsave   §5.5 memory-overhead model
      multi     multi-process scheduler: flush vs ASID context switching
      fuzz      seeded fault-injection stress with a differential oracle
+     churn     dlopen/dlclose rotation: clear rate, skip rate, stable linking
      list      available workloads *)
 
 module C = Dlink_uarch.Counters
@@ -33,16 +34,16 @@ let workload_conv =
   in
   Arg.conv (parse, Format.pp_print_string)
 
-let mode_conv =
-  let parse = function
-    | "base" -> Ok Sim.Base
-    | "enhanced" -> Ok Sim.Enhanced
-    | "eager" -> Ok Sim.Eager
-    | "static" -> Ok Sim.Static
-    | "patched" -> Ok Sim.Patched
-    | s -> Error (`Msg ("unknown mode " ^ s))
-  in
-  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Sim.mode_to_string m))
+(* Modes travel through cmdliner as plain strings and are validated in
+   the actions: a typo'd name exits 2 with the full list, rather than the
+   generic conversion-failure exit. *)
+let resolve_mode s =
+  match Sim.mode_of_string s with
+  | Some m -> m
+  | None ->
+      Printf.eprintf "dlinksim: unknown mode %s (valid: %s)\n" s
+        (String.concat ", " Sim.mode_names);
+      exit 2
 
 let workload_arg =
   Arg.(
@@ -53,9 +54,9 @@ let workload_arg =
 let mode_arg =
   Arg.(
     value
-    & opt mode_conv Sim.Base
+    & opt string "base"
     & info [ "m"; "mode" ] ~docv:"MODE"
-        ~doc:"Simulation mode: base, enhanced, eager, static or patched.")
+        ~doc:"Simulation mode: base, enhanced, eager, static, patched or stable.")
 
 let requests_arg =
   Arg.(
@@ -135,7 +136,8 @@ let counters_json (c : C.t) =
     ]
 
 let run_cmd =
-  let action name mode requests seed =
+  let action name mode_str requests seed =
+    let mode = resolve_mode mode_str in
     let w = get_workload name seed in
     (* Replays the cached packed trace (recording it on first use);
        counters are bit-identical to generate-mode execution. *)
@@ -657,13 +659,201 @@ let fuzz_cmd =
       const action $ fuzz_workload_arg $ seed_arg $ budget_arg $ faults_arg
       $ plan_arg $ cooldown_arg $ window_arg $ json_arg)
 
+let churn_cmd =
+  let module Ch = Dlink_core.Churn in
+  let module CO = Dlink_fault.Churn_oracle in
+  let module Mode = Dlink_linker.Mode in
+  (* Only PLT-routed modes have runtime churn to measure: static and
+     patched lower imports to direct calls at load time, which a module
+     mapped after load cannot use. *)
+  let churn_modes = [ "lazy"; "eager"; "stable" ] in
+  let action rates_str modes_str calls seed check json_path =
+    if calls <= 0 then begin
+      prerr_endline "dlinksim: --calls must be positive";
+      exit 2
+    end;
+    let rates =
+      List.map
+        (fun s ->
+          match int_of_string_opt (String.trim s) with
+          | Some r when r >= 0 && r <= 1000 -> r
+          | _ ->
+              Printf.eprintf
+                "dlinksim: bad --rates entry %s (want integers in 0..1000)\n"
+                (String.trim s);
+              exit 2)
+        (String.split_on_char ',' rates_str)
+    in
+    let modes =
+      List.map
+        (fun s ->
+          let s = String.trim s in
+          match Mode.of_string s with
+          | Some m when List.mem s churn_modes -> m
+          | Some _ ->
+              Printf.eprintf
+                "dlinksim: link mode %s has no runtime churn (valid: %s)\n" s
+                (String.concat ", " churn_modes);
+              exit 2
+          | None ->
+              Printf.eprintf "dlinksim: unknown link mode %s (valid: %s)\n" s
+                (String.concat ", " churn_modes);
+              exit 2)
+        (String.split_on_char ',' modes_str)
+    in
+    let scen = Dlink_workloads.Churn.scenario ~seed () in
+    let cells =
+      List.concat_map
+        (fun m ->
+          List.map
+            (fun rate -> Ch.run_cell ~link_mode:m ~rate ~calls ~seed scen)
+            rates)
+        modes
+    in
+    let t =
+      Table.create
+        ~headers:
+          [
+            "mode"; "rate"; "churn"; "opens"; "closes"; "rebinds";
+            "stable hit/miss"; "resolver runs"; "clears/1k"; "skip rate";
+            "sim MIPS";
+          ]
+    in
+    List.iter
+      (fun (c : Ch.cell) ->
+        Table.add_row t
+          [
+            Mode.to_string c.Ch.link_mode;
+            string_of_int c.Ch.rate;
+            string_of_int c.Ch.churn_events;
+            string_of_int c.Ch.opens;
+            string_of_int c.Ch.closes;
+            string_of_int c.Ch.rebinds;
+            Printf.sprintf "%d/%d" c.Ch.stable_hits c.Ch.stable_misses;
+            string_of_int c.Ch.counters.C.resolver_runs;
+            fmt (Ch.clear_rate c);
+            fmt ~decimals:3 (Ch.skip_rate c);
+            fmt ~decimals:1 c.Ch.sim_mips;
+          ])
+      cells;
+    Table.print
+      ~title:
+        (Printf.sprintf "Module churn: %d calls, seed %d (rate = events/1000 calls)"
+           calls seed)
+      t;
+    (match json_path with
+    | None -> ()
+    | Some path ->
+        let module J = Dlink_util.Json in
+        let cell_json (c : Ch.cell) =
+          J.Obj
+            [
+              ("link_mode", J.String (Mode.to_string c.Ch.link_mode));
+              ("rate", J.Int c.Ch.rate);
+              ("calls", J.Int c.Ch.calls);
+              ("churn_events", J.Int c.Ch.churn_events);
+              ("opens", J.Int c.Ch.opens);
+              ("closes", J.Int c.Ch.closes);
+              ("rebinds", J.Int c.Ch.rebinds);
+              ("stable_hits", J.Int c.Ch.stable_hits);
+              ("stable_misses", J.Int c.Ch.stable_misses);
+              ("resolver_runs", J.Int c.Ch.counters.C.resolver_runs);
+              ("abtb_clears", J.Int c.Ch.counters.C.abtb_clears);
+              ("clear_rate", J.Float (Ch.clear_rate c));
+              ("skip_rate", J.Float (Ch.skip_rate c));
+              ("sim_mips", J.Float c.Ch.sim_mips);
+              ("counters", counters_json c.Ch.counters);
+            ]
+        in
+        let doc =
+          J.Obj
+            [
+              ("workload", J.String Dlink_workloads.Churn.name);
+              ("calls", J.Int calls);
+              ("seed", J.Int seed);
+              ("cells", J.List (List.map cell_json cells));
+            ]
+        in
+        if path = "-" then print_endline (J.to_string doc)
+        else J.write_file path doc);
+    if check then begin
+      let orate =
+        match List.fold_left max 0 rates with 0 -> 200 | r -> r
+      in
+      let bad = ref false in
+      List.iter
+        (fun m ->
+          let r =
+            CO.run ~link_mode:m ~rate:orate ~ops:(min calls 1500) ~seed scen
+          in
+          Printf.printf
+            "oracle %-6s churn=%d skips=%d resolver=%d mis=%d lost=%d \
+             unclassified=%d\n"
+            (Mode.to_string m) r.CO.churn_events r.CO.skips r.CO.resolver_runs
+            r.CO.mis_skips r.CO.lost_skips r.CO.unclassified;
+          if r.CO.mis_skips > 0 || r.CO.unclassified > 0 then bad := true)
+        modes;
+      if !bad then begin
+        prerr_endline
+          "dlinksim: churn oracle diverged under a fault-free plan";
+        exit 1
+      end
+      else print_endline "ok: churn oracle clean in every requested mode"
+    end
+  in
+  let rates_arg =
+    Arg.(
+      value
+      & opt string "0,100,300"
+      & info [ "rates" ] ~docv:"R1,R2,.."
+          ~doc:"Churn rates to sweep, in events per 1000 calls.")
+  in
+  let modes_arg =
+    Arg.(
+      value
+      & opt string "lazy,eager,stable"
+      & info [ "modes" ] ~docv:"M1,M2,.."
+          ~doc:"Link modes to sweep: lazy, eager or stable.")
+  in
+  let calls_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "calls" ] ~docv:"N" ~doc:"Measured plugin calls per cell.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Scenario and rotation seed.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Also run the differential churn oracle (fault-free plan) in \
+             every requested mode and fail on any divergence.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write cells as JSON to FILE ($(b,-) or bare flag: stdout).")
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:"dlopen/dlclose churn sweep: ABTB clears vs skips vs throughput")
+    Term.(
+      const action $ rates_arg $ modes_arg $ calls_arg $ seed_arg $ check_arg
+      $ json_arg)
+
 let list_cmd =
   let action () =
     List.iter print_endline Dlink_workloads.Registry.names
   in
   Cmd.v (Cmd.info "list" ~doc:"List available workloads") Term.(const action $ const ())
 
-let version = "0.5.0"
+let version = "0.6.0"
 
 let () =
   let doc = "Simulator for 'Architectural Support for Dynamic Linking' (ASPLOS'15)" in
@@ -678,6 +868,7 @@ let () =
         memsave_cmd;
         multi_cmd;
         fuzz_cmd;
+        churn_cmd;
         dump_cmd;
         trace_cmd;
         list_cmd;

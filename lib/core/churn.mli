@@ -1,0 +1,80 @@
+(** Runtime module-churn driver: dlopen/dlclose rotation under the full
+    pipeline.
+
+    Builds a machine whose dynamic loader ({!Dlink_linker.Dynload}) routes
+    every GOT write through the kernel's retire path, then measures one
+    (churn rate x link mode) cell: plugin calls interleaved with
+    close/open rotations of the resident plugin set.  The interesting
+    comparison is {!Dlink_linker.Mode.Lazy_binding} (every reopen pays
+    resolver runs) against {!Dlink_linker.Mode.Stable_linking} (reopens
+    replay a validated GOT snapshot), with ABTB clear rate and trampoline
+    skip rate tracking how much churn the skip hardware absorbs. *)
+
+open Dlink_mach
+open Dlink_uarch
+open Dlink_linker
+module Kernel = Dlink_pipeline.Kernel
+
+type scenario = {
+  sname : string;
+  base_objs : Dlink_obj.Objfile.t list;  (** first object is the executable *)
+  plugins : Dlink_obj.Objfile.t array;  (** rotated through dlopen/dlclose *)
+  n_resident : int;  (** plugins kept open at any moment *)
+  preload : string list;  (** module names with LD_PRELOAD rank *)
+  entry : int -> string;  (** plugin index -> exported entry function *)
+  func_align : int;
+}
+
+type machine = {
+  linked : Loader.t;
+  kernel : Kernel.t;
+  process : Process.t;
+  dynload : Dynload.t;
+}
+
+val make_machine :
+  ?ucfg:Config.t ->
+  ?skip_cfg:Dlink_pipeline.Skip.config ->
+  ?with_skip:bool ->
+  link_mode:Mode.t ->
+  ?aslr_seed:int ->
+  scenario ->
+  machine
+(** Load the static base and wire a dynamic loader whose stores retire
+    through the kernel ([with_skip] defaults to [true] — the Enhanced
+    pipeline).  No plugins are open yet. *)
+
+type cell = {
+  link_mode : Mode.t;
+  rate : int;  (** churn events per 1000 calls *)
+  calls : int;
+  churn_events : int;
+  counters : Counters.t;  (** measurement window only *)
+  opens : int;
+  closes : int;
+  rebinds : int;
+  stable_hits : int;
+  stable_misses : int;
+  wall_s : float;
+  sim_mips : float;
+}
+
+val clear_rate : cell -> float
+(** ABTB flash-clears per 1000 plugin calls. *)
+
+val skip_rate : cell -> float
+(** Trampoline skips per eligible trampoline call. *)
+
+val run_cell :
+  ?ucfg:Config.t ->
+  ?skip_cfg:Dlink_pipeline.Skip.config ->
+  ?with_skip:bool ->
+  ?aslr_seed:int ->
+  link_mode:Mode.t ->
+  rate:int ->
+  calls:int ->
+  seed:int ->
+  scenario ->
+  cell
+(** Deterministic for equal arguments (wall-clock fields aside): the
+    rotation and call sequence are drawn from [seed]. *)

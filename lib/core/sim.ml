@@ -5,7 +5,7 @@ module Kernel = Dlink_pipeline.Kernel
 module Skip = Dlink_pipeline.Skip
 module Profile = Dlink_pipeline.Profile
 
-type mode = Base | Enhanced | Eager | Static | Patched
+type mode = Base | Enhanced | Eager | Static | Patched | Stable
 
 let mode_to_string = function
   | Base -> "base"
@@ -13,12 +13,20 @@ let mode_to_string = function
   | Eager -> "eager"
   | Static -> "static"
   | Patched -> "patched"
+  | Stable -> "stable"
+
+let all_modes = [ Base; Enhanced; Eager; Static; Patched; Stable ]
+let mode_names = List.map mode_to_string all_modes
+
+let mode_of_string s =
+  List.find_opt (fun m -> mode_to_string m = s) all_modes
 
 let link_mode = function
   | Base | Enhanced -> Mode.Lazy_binding
   | Eager -> Mode.Eager_binding
   | Static -> Mode.Static_link
   | Patched -> Mode.Patched
+  | Stable -> Mode.Stable_linking
 
 type t = {
   smode : mode;

@@ -1,14 +1,17 @@
 (** Full-system simulator: loader + interpreter + microarchitecture +
     (optionally) the proposed trampoline-skip hardware.
 
-    The five modes map to the paper's points of comparison:
+    The six modes map to the paper's points of comparison:
     - [Base]: conventional lazy dynamic linking, unmodified hardware.
     - [Enhanced]: lazy dynamic linking plus the ABTB/Bloom mechanism.
     - [Eager]: BIND_NOW dynamic linking, unmodified hardware (trampolines
       still execute, resolver never runs).
     - [Static]: static linking — the paper's performance upper bound.
     - [Patched]: the paper's software emulation (§4): call sites rewritten
-      at load time to direct calls; PLT/GOT present but bypassed. *)
+      at load time to direct calls; PLT/GOT present but bypassed.
+    - [Stable]: stable linking — lazy layout whose GOT is pre-seeded from a
+      snapshot of a previous run of the same module set ({!Dynload}), so
+      the resolver only runs for bindings the snapshot missed. *)
 
 open Dlink_isa
 open Dlink_mach
@@ -18,9 +21,18 @@ module Kernel = Dlink_pipeline.Kernel
 module Skip = Dlink_pipeline.Skip
 module Profile = Dlink_pipeline.Profile
 
-type mode = Base | Enhanced | Eager | Static | Patched
+type mode = Base | Enhanced | Eager | Static | Patched | Stable
 
 val mode_to_string : mode -> string
+
+val mode_of_string : string -> mode option
+(** Inverse of {!mode_to_string}; [None] for unknown names. *)
+
+val all_modes : mode list
+
+val mode_names : string list
+(** Mode names in declaration order, for CLI listings. *)
+
 val link_mode : mode -> Mode.t
 
 type t

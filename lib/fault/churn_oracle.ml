@@ -1,0 +1,233 @@
+open Dlink_isa
+open Dlink_mach
+open Dlink_uarch
+open Dlink_linker
+module Rng = Dlink_util.Rng
+module Skip = Dlink_pipeline.Skip
+module Kernel = Dlink_pipeline.Kernel
+module Churn = Dlink_core.Churn
+
+type report = {
+  ops : int;
+  churn_events : int;
+  mis_skips : int;
+  lost_skips : int;
+  unclassified : int;
+  skips : int;
+  resolver_runs : int;
+  faults_injected : int;
+  stable_hits : int;
+  stable_misses : int;
+  counters : Counters.t;
+  divergences : Oracle.divergence list;
+}
+
+let max_recorded_divergences = 32
+
+(* Differential churn run: reference (no skip hardware) and DUT (Enhanced
+   pipeline) share one loader and one dynamic loader; every dynload store
+   is applied to both memories and retired through the DUT kernel only —
+   the reference has no microarchitecture to inform.  The request loop
+   interleaves plugin calls with dlopen/dlclose rotation, with the plan's
+   churn actions realised around the closes. *)
+let run ?(ucfg = Config.xeon_e5450) ?skip_cfg ?plan ~link_mode ~rate ~ops ~seed
+    (s : Churn.scenario) =
+  let plan = Option.value plan ~default:(Plan.empty 0) in
+  let opts =
+    {
+      Loader.default_options with
+      mode = link_mode;
+      func_align = s.Churn.func_align;
+      ld_preload = s.Churn.preload;
+    }
+  in
+  let linked = Loader.load_exn ~opts s.Churn.base_objs in
+  let is_plt_entry = Loader.is_plt_entry linked in
+  let ld_so =
+    match Space.image_by_name linked.Loader.space Loader.ld_so_name with
+    | Some img -> img
+    | None -> invalid_arg "Churn_oracle.run: no dynamic-linker image"
+  in
+  let in_ld_so pc = Image.contains ld_so pc in
+
+  (* Reference machine: pure architectural interpreter. *)
+  let ref_col = Oracle.make_collector () in
+  let ref_hooks =
+    {
+      Process.on_fetch_call = (fun ~pc:_ ~arch_target -> arch_target);
+      on_retire =
+        (fun ev -> Oracle.collector_on_retire ~is_plt_entry ~in_ld_so ref_col ev);
+    }
+  in
+  let ref_p = Process.create ~hooks:ref_hooks linked in
+
+  (* Device under test: the Enhanced pipeline kernel. *)
+  let kernel = Kernel.create ~ucfg ?skip_cfg ~with_skip:true () in
+  let counters = Kernel.counters kernel in
+  let skip = Option.get (Kernel.skip kernel) in
+  let dut_col = Oracle.make_collector () in
+  Kernel.set_tap kernel
+    (Some
+       (fun ev -> Oracle.collector_on_retire ~is_plt_entry ~in_ld_so dut_col ev));
+  let dut_hooks =
+    Kernel.process_hooks kernel ~is_plt_entry ~in_got:(Loader.in_any_got linked)
+  in
+  let dut_p = Process.create ~hooks:dut_hooks linked in
+  Kernel.set_read_got kernel (fun slot ->
+      Memory.read (Process.memory dut_p) slot);
+
+  (* One dynamic loader serves both machines: stores land in both
+     memories (architecturally shared address space) but retire through
+     the DUT kernel only. *)
+  let store a v =
+    Memory.write (Process.memory ref_p) a v;
+    Memory.write (Process.memory dut_p) a v;
+    Kernel.retire_packed kernel ~pc:linked.Loader.resolver_entry ~size:4
+      ~in_plt:false ~plt_call:false ~got_store:(Loader.in_any_got linked a)
+      ~load:Addr.none ~load2:Addr.none ~store:a ~kind:Event.Kind.none
+      ~target:Addr.none ~aux:Addr.none ~taken:false
+  in
+  let dynload =
+    Dynload.create ~store ~read:(Memory.read (Process.memory dut_p)) linked
+  in
+
+  (* Got_rewrite keeps its meaning from the static oracle: rebind the GOT
+     slot behind a live ABTB entry in both memories, bypassing retire. *)
+  let rewrite rng =
+    let live = ref [] in
+    Abtb.iter (fun _tramp e -> live := e :: !live) (Skip.abtb skip);
+    let live = Array.of_list (List.rev !live) in
+    let pool =
+      Array.of_list
+        (List.filter_map
+           (fun sym -> Linkmap.lookup_addr linked.Loader.linkmap sym)
+           (Linkmap.symbols linked.Loader.linkmap))
+    in
+    if Array.length live = 0 || Array.length pool < 2 then false
+    else begin
+      let e = live.(Rng.int rng (Array.length live)) in
+      let cands =
+        Array.to_list pool |> List.filter (fun a -> a <> e.Abtb.func)
+      in
+      match cands with
+      | [] -> false
+      | _ ->
+          let target = List.nth cands (Rng.int rng (List.length cands)) in
+          Memory.write (Process.memory ref_p) e.Abtb.got_slot target;
+          Memory.write (Process.memory dut_p) e.Abtb.got_slot target;
+          true
+    end
+  in
+  let inject = Inject.create ~rewrite ~skip ~counters ~plan () in
+
+  (* Rotation state, as in {!Dlink_core.Churn.run_cell}. *)
+  let n = Array.length s.Churn.plugins in
+  let resident = max 1 (min s.Churn.n_resident n) in
+  let rng = Rng.create seed in
+  let slots = Array.init resident (fun i -> i) in
+  let parked = Queue.create () in
+  for i = resident to n - 1 do
+    Queue.add i parked
+  done;
+  let handles =
+    Array.map (fun i -> Dynload.dlopen dynload s.Churn.plugins.(i)) slots
+  in
+  let churn_events = ref 0 in
+  let close_handle h =
+    (* The plan's churn hazards are realised here: a Stale_unload close
+       applies its invalidation stores with every resulting ABTB clear
+       vetoed; an Unload_inflight close defers them past the unmap. *)
+    if Inject.take_stale_unload inject then begin
+      Inject.begin_unbounded_suppress inject;
+      Dynload.dlclose dynload h;
+      Inject.end_unbounded_suppress inject
+    end
+    else if Inject.take_unload_inflight inject then
+      Dynload.dlclose ~defer_invalidate:true dynload h
+    else Dynload.dlclose dynload h
+  in
+  let churn () =
+    if n > resident then begin
+      let k = Rng.int rng resident in
+      close_handle handles.(k);
+      Queue.add slots.(k) parked;
+      let inc = Queue.take parked in
+      slots.(k) <- inc;
+      handles.(k) <- Dynload.dlopen dynload s.Churn.plugins.(inc);
+      incr churn_events
+    end
+    else begin
+      close_handle handles.(0);
+      handles.(0) <- Dynload.dlopen dynload s.Churn.plugins.(slots.(0));
+      incr churn_events
+    end
+  in
+
+  let unclassified = ref 0 in
+  let divergences = ref [] in
+  let n_div = ref 0 in
+  let ever_skipped = Hashtbl.create 64 in
+  let record_div d =
+    if !n_div < max_recorded_divergences then begin
+      divergences := d :: !divergences;
+      incr n_div
+    end
+  in
+
+  let run_op r =
+    Inject.on_request inject r;
+    (* Deferred invalidations from an Unload_inflight close land at the
+       next op boundary — after the freed range may have been reused. *)
+    Dynload.flush_pending dynload;
+    if rate > 0 && Rng.int rng 1000 < rate then churn ();
+    let k = Rng.int rng resident in
+    let i = slots.(k) in
+    let addr =
+      match
+        Loader.func_addr linked ~mname:s.Churn.plugins.(i).Dlink_obj.Objfile.name
+          ~fname:(s.Churn.entry i)
+      with
+      | Some a -> a
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Churn_oracle.run: %s not found" (s.Churn.entry i))
+    in
+    Oracle.collector_reset ref_col;
+    Oracle.collector_reset dut_col;
+    Process.call ref_p addr;
+    let crashed =
+      try
+        Process.call dut_p addr;
+        false
+      with Process.Fault _ | Skip.Misspeculation _ -> true
+    in
+    let tainted =
+      Oracle.diff_request ~skip ~counters ~ever_skipped
+        ~on_unclassified:(fun () -> incr unclassified)
+        ~on_divergence:record_div ~request:r
+        (Oracle.collector_records ref_col)
+        (Oracle.collector_records dut_col)
+    in
+    if crashed then incr unclassified;
+    if tainted || crashed then Process.resync_arch dut_p ~from_:ref_p
+  in
+
+  for r = 0 to ops - 1 do
+    run_op r
+  done;
+  Inject.detach inject;
+  let stats = Dynload.stats dynload in
+  {
+    ops;
+    churn_events = !churn_events;
+    mis_skips = counters.Counters.mis_skips;
+    lost_skips = counters.Counters.lost_skips;
+    unclassified = !unclassified;
+    skips = counters.Counters.tramp_skips;
+    resolver_runs = counters.Counters.resolver_runs;
+    faults_injected = counters.Counters.fault_injected;
+    stable_hits = stats.Dynload.stable_hits;
+    stable_misses = stats.Dynload.stable_misses;
+    counters = Counters.copy counters;
+    divergences = List.rev !divergences;
+  }

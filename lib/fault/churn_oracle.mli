@@ -1,0 +1,47 @@
+(** Differential correctness oracle for runtime module churn.
+
+    Extends {!Oracle}'s reference-vs-DUT scheme to a workload that
+    dlopens and dlcloses plugins while it runs: one
+    {!Dlink_linker.Dynload} serves both machines (stores applied to both
+    memories, retired through the DUT's kernel only), and the plan's
+    churn actions — [Stale_unload], [Unload_inflight] — are realised
+    around the dlcloses, where they can leave the ABTB holding entries
+    for trampolines whose module is gone and whose address range may
+    already belong to a different plugin.
+
+    The classification taxonomy (mis-skip / lost skip / unclassified) and
+    the record projection are shared with {!Oracle}. *)
+
+open Dlink_uarch
+module Skip = Dlink_pipeline.Skip
+module Churn = Dlink_core.Churn
+
+type report = {
+  ops : int;
+  churn_events : int;
+  mis_skips : int;
+  lost_skips : int;
+  unclassified : int;
+  skips : int;  (** DUT trampoline skips *)
+  resolver_runs : int;  (** DUT resolver executions *)
+  faults_injected : int;
+  stable_hits : int;  (** snapshot entries installed on reopen *)
+  stable_misses : int;
+  counters : Counters.t;  (** full DUT counter set (fresh copy) *)
+  divergences : Oracle.divergence list;
+}
+
+val run :
+  ?ucfg:Config.t ->
+  ?skip_cfg:Skip.config ->
+  ?plan:Plan.t ->
+  link_mode:Dlink_linker.Mode.t ->
+  rate:int ->
+  ops:int ->
+  seed:int ->
+  Churn.scenario ->
+  report
+(** [rate] is churn events per 1000 ops, [ops] the number of plugin
+    calls.  With an empty plan the run must be divergence-free in every
+    link mode — that invariant is what makes the stable-linking resolver
+    comparison trustworthy.  Fully deterministic for equal arguments. *)

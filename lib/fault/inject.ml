@@ -11,8 +11,11 @@ type t = {
   rewrite : (Rng.t -> bool) option;
   rng : Rng.t;
   mutable suppress : int;
+  mutable suppress_all : bool; (* veto every clear while set (dlclose window) *)
   mutable drop : int;
   mutable delay : int;
+  mutable stale_unload : int;
+  mutable unload_inflight : int;
 }
 
 let create ?bus ?rewrite ~skip ~counters ~plan () =
@@ -25,14 +28,18 @@ let create ?bus ?rewrite ~skip ~counters ~plan () =
       rewrite;
       rng = Rng.create plan.Plan.seed;
       suppress = 0;
+      suppress_all = false;
       drop = 0;
       delay = 0;
+      stale_unload = 0;
+      unload_inflight = 0;
     }
   in
   Skip.set_clear_veto skip
     (Some
        (fun () ->
-         if t.suppress > 0 then begin
+         if t.suppress_all then true
+         else if t.suppress > 0 then begin
            t.suppress <- t.suppress - 1;
            true
          end
@@ -89,5 +96,27 @@ let apply t action =
       Skip.set_asid t.skip (if Skip.asid t.skip = 0 then 1 else 0)
   | Plan.Drop_msgs n -> t.drop <- t.drop + n
   | Plan.Delay_msgs n -> t.delay <- t.delay + n
+  | Plan.Stale_unload n -> t.stale_unload <- t.stale_unload + n
+  | Plan.Unload_inflight -> t.unload_inflight <- t.unload_inflight + 1
 
 let on_request t at = List.iter (apply t) (Plan.actions_at t.plan at)
+
+(* Churn-driver hooks: the driver owns dlopen/dlclose, so it polls these
+   before each close and brackets the close's invalidation stores. *)
+
+let take_stale_unload t =
+  if t.stale_unload > 0 then begin
+    t.stale_unload <- t.stale_unload - 1;
+    true
+  end
+  else false
+
+let take_unload_inflight t =
+  if t.unload_inflight > 0 then begin
+    t.unload_inflight <- t.unload_inflight - 1;
+    true
+  end
+  else false
+
+let begin_unbounded_suppress t = t.suppress_all <- true
+let end_unbounded_suppress t = t.suppress_all <- false

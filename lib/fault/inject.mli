@@ -32,3 +32,23 @@ val on_request : t -> int -> unit
 
 val detach : t -> unit
 (** Remove the veto and bus hooks, restoring fault-free behaviour. *)
+
+(** {2 Churn-driver hooks}
+
+    [Stale_unload]/[Unload_inflight] actions only arm counters here; the
+    churn driver (which owns dlopen/dlclose) polls them before each close
+    and realises the hazard. *)
+
+val take_stale_unload : t -> bool
+(** Consume one pending [Stale_unload] credit, if any. *)
+
+val take_unload_inflight : t -> bool
+(** Consume one pending [Unload_inflight] credit, if any. *)
+
+val begin_unbounded_suppress : t -> unit
+(** Veto every filter-driven ABTB clear until the matching
+    {!end_unbounded_suppress} — brackets a dlclose whose invalidation
+    stores must be architecturally applied but microarchitecturally
+    lost. *)
+
+val end_unbounded_suppress : t -> unit

@@ -80,6 +80,76 @@ let collector_on_retire ~is_plt_entry ~in_ld_so c (ev : Event.t) =
       else c.window <- Some (ev.Event.pc, arch_target)
   | _ -> ()
 
+let collector_records c = List.rev c.records
+
+(* Walk the two projected streams in lockstep and classify each pairwise
+   difference; shared by the static oracle below and the churn oracle.
+   Returns whether the DUT's architectural state diverged (tainted) and
+   must be resynchronised onto the reference. *)
+let diff_request ~skip ~(counters : Counters.t) ~ever_skipped ~on_unclassified
+    ~on_divergence ~request rrecs drecs =
+  let tainted = ref false in
+  let rec go rs ds =
+    if !tainted then ()
+    else
+      match (rs, ds) with
+      | [], [] -> ()
+      | rr :: rs', dr :: ds' ->
+          if rr.r_tramp <> dr.r_tramp then begin
+            on_unclassified ();
+            tainted := true;
+            on_divergence
+              {
+                request;
+                site = dr.r_site;
+                arch_target = dr.r_tramp;
+                ref_dest = rr.r_dest;
+                dut_dest = dr.r_dest;
+                mis_skip = false;
+              }
+          end
+          else if rr.r_dest = dr.r_dest then begin
+            if dr.r_skipped then Hashtbl.replace ever_skipped dr.r_tramp ()
+            else if Hashtbl.mem ever_skipped dr.r_tramp then
+              counters.Counters.lost_skips <- counters.Counters.lost_skips + 1;
+            go rs' ds'
+          end
+          else begin
+            tainted := true;
+            if dr.r_skipped then begin
+              (* Stale target retired: the correctness violation. *)
+              Skip.report_mis_skip skip ~tramp:dr.r_tramp;
+              on_divergence
+                {
+                  request;
+                  site = dr.r_site;
+                  arch_target = dr.r_tramp;
+                  ref_dest = rr.r_dest;
+                  dut_dest = dr.r_dest;
+                  mis_skip = true;
+                }
+            end
+            else begin
+              on_unclassified ();
+              on_divergence
+                {
+                  request;
+                  site = dr.r_site;
+                  arch_target = dr.r_tramp;
+                  ref_dest = rr.r_dest;
+                  dut_dest = dr.r_dest;
+                  mis_skip = false;
+                }
+            end
+          end
+      | _, _ ->
+          (* Stream lengths differ with no classified cause. *)
+          on_unclassified ();
+          tainted := true
+  in
+  go rrecs drecs;
+  !tainted
+
 (* Rebinding targets for Got_rewrite: every linkmap-defined function
    outside the dynamic linker, in a deterministic order. *)
 let rewrite_pool linked =
@@ -178,71 +248,6 @@ let run ?(ucfg = Config.xeon_e5450) ?skip_cfg ?plan ?requests ?(cooldown = 0)
     end
   in
 
-  let diff_request r rrecs drecs =
-    let tainted = ref false in
-    let rec go rs ds =
-      if !tainted then ()
-      else
-        match (rs, ds) with
-        | [], [] -> ()
-        | rr :: rs', dr :: ds' ->
-            if rr.r_tramp <> dr.r_tramp then begin
-              incr unclassified;
-              tainted := true;
-              record_div
-                {
-                  request = r;
-                  site = dr.r_site;
-                  arch_target = dr.r_tramp;
-                  ref_dest = rr.r_dest;
-                  dut_dest = dr.r_dest;
-                  mis_skip = false;
-                }
-            end
-            else if rr.r_dest = dr.r_dest then begin
-              if dr.r_skipped then Hashtbl.replace ever_skipped dr.r_tramp ()
-              else if Hashtbl.mem ever_skipped dr.r_tramp then
-                counters.Counters.lost_skips <-
-                  counters.Counters.lost_skips + 1;
-              go rs' ds'
-            end
-            else begin
-              tainted := true;
-              if dr.r_skipped then begin
-                (* Stale target retired: the correctness violation. *)
-                Skip.report_mis_skip skip ~tramp:dr.r_tramp;
-                record_div
-                  {
-                    request = r;
-                    site = dr.r_site;
-                    arch_target = dr.r_tramp;
-                    ref_dest = rr.r_dest;
-                    dut_dest = dr.r_dest;
-                    mis_skip = true;
-                  }
-              end
-              else begin
-                incr unclassified;
-                record_div
-                  {
-                    request = r;
-                    site = dr.r_site;
-                    arch_target = dr.r_tramp;
-                    ref_dest = rr.r_dest;
-                    dut_dest = dr.r_dest;
-                    mis_skip = false;
-                  }
-              end
-            end
-        | _, _ ->
-            (* Stream lengths differ with no classified cause. *)
-            incr unclassified;
-            tainted := true
-    in
-    go rrecs drecs;
-    !tainted
-  in
-
   let run_request ~with_faults r =
     if with_faults then Inject.on_request inject r;
     let req = w.Workload.gen_request r in
@@ -267,7 +272,10 @@ let run ?(ucfg = Config.xeon_e5450) ?skip_cfg ?plan ?requests ?(cooldown = 0)
       with Process.Fault _ | Skip.Misspeculation _ -> true
     in
     let tainted =
-      diff_request r (List.rev ref_col.records) (List.rev dut_col.records)
+      diff_request ~skip ~counters ~ever_skipped
+        ~on_unclassified:(fun () -> incr unclassified)
+        ~on_divergence:record_div ~request:r (collector_records ref_col)
+        (collector_records dut_col)
     in
     if crashed then incr unclassified;
     if tainted || crashed then

@@ -66,3 +66,50 @@ val run :
     (default 0) extra requests are executed after the plan's last event
     with injection quiesced.  Fully deterministic: equal arguments give a
     bit-identical report. *)
+
+(** {2 Projection and classification machinery}
+
+    Shared with the churn oracle ({!Churn_oracle}), which drives a
+    different execution loop (dlopen/dlclose interleaved with calls) over
+    the same record projection and divergence taxonomy. *)
+
+type record = {
+  r_site : Addr.t;  (** call-site PC *)
+  r_tramp : Addr.t;  (** architectural target: the PLT entry *)
+  r_dest : Addr.t;  (** destination actually reached *)
+  r_skipped : bool;
+}
+(** One projected library call: a direct call whose architectural target
+    is a PLT entry, paired with the destination it actually reached — for
+    a skipped call the redirect target, otherwise the PC of the first
+    instruction retired outside any PLT and outside the dynamic linker. *)
+
+type collector
+
+val make_collector : unit -> collector
+val collector_reset : collector -> unit
+
+val collector_records : collector -> record list
+(** Oldest first. *)
+
+val collector_on_retire :
+  is_plt_entry:(Addr.t -> bool) ->
+  in_ld_so:(Addr.t -> bool) ->
+  collector ->
+  Dlink_mach.Event.t ->
+  unit
+
+val diff_request :
+  skip:Skip.t ->
+  counters:Counters.t ->
+  ever_skipped:(Addr.t, unit) Hashtbl.t ->
+  on_unclassified:(unit -> unit) ->
+  on_divergence:(divergence -> unit) ->
+  request:int ->
+  record list ->
+  record list ->
+  bool
+(** [diff_request ... ref_records dut_records] classifies every pairwise
+    difference (mis-skip via {!Skip.report_mis_skip}, lost skip onto
+    [counters], otherwise [on_unclassified]) and returns whether the DUT's
+    architectural state diverged and must be resynchronised. *)

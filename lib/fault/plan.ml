@@ -8,6 +8,8 @@ type action =
   | Asid_reuse
   | Drop_msgs of int
   | Delay_msgs of int
+  | Stale_unload of int
+  | Unload_inflight
 
 type event = { at : int; action : action }
 type t = { seed : int; events : event list }
@@ -16,24 +18,32 @@ let empty seed = { seed; events = [] }
 
 let sort_events evs = List.stable_sort (fun a b -> compare a.at b.at) evs
 
-let generate ?(coherence = false) ~seed ~budget ~faults () =
+let generate ?(coherence = false) ?(churn = false) ~seed ~budget ~faults () =
   if budget <= 0 then invalid_arg "Plan.generate: budget must be positive";
   if faults < 0 then invalid_arg "Plan.generate: faults must be non-negative";
   let rng = Rng.create seed in
-  let kinds = if coherence then 7 else 5 in
+  let kinds = (if coherence then 7 else 5) + if churn then 2 else 0 in
   let events =
     List.init faults (fun _ ->
         let at = Rng.int rng budget in
         let n () = 1 + Rng.int rng 3 in
         let action =
-          match Rng.int rng kinds with
+          (* Churn actions take the slots past the enabled static set, so
+             non-churn plans are unchanged for a given seed. *)
+          let k = Rng.int rng kinds in
+          let k =
+            if churn && not coherence && k >= 5 then k + 2 else k
+          in
+          match k with
           | 0 -> Bloom_flip
           | 1 -> Suppress_clear (n ())
           | 2 -> Spurious_clear
           | 3 -> Got_rewrite
           | 4 -> Asid_reuse
           | 5 -> Drop_msgs (n ())
-          | _ -> Delay_msgs (n ())
+          | 6 -> Delay_msgs (n ())
+          | 7 -> Stale_unload (n ())
+          | _ -> Unload_inflight
         in
         { at; action })
   in
@@ -44,6 +54,12 @@ let actions_at t at =
 
 let has_rewrite t = List.exists (fun e -> e.action = Got_rewrite) t.events
 
+let has_unload_hazard t =
+  List.exists
+    (fun e ->
+      match e.action with Stale_unload _ | Unload_inflight -> true | _ -> false)
+    t.events
+
 let action_to_string = function
   | Bloom_flip -> "bloom_flip"
   | Suppress_clear n -> Printf.sprintf "suppress_clear*%d" n
@@ -52,6 +68,8 @@ let action_to_string = function
   | Asid_reuse -> "asid_reuse"
   | Drop_msgs n -> Printf.sprintf "drop_msgs*%d" n
   | Delay_msgs n -> Printf.sprintf "delay_msgs*%d" n
+  | Stale_unload n -> Printf.sprintf "stale_unload*%d" n
+  | Unload_inflight -> "unload_inflight"
 
 let to_string t =
   String.concat ";"
@@ -87,6 +105,8 @@ let action_of_string s =
   | "asid_reuse" -> plain Asid_reuse
   | "drop_msgs" -> counted (fun n -> Drop_msgs n)
   | "delay_msgs" -> counted (fun n -> Delay_msgs n)
+  | "stale_unload" -> counted (fun n -> Stale_unload n)
+  | "unload_inflight" -> plain Unload_inflight
   | _ -> Error (Printf.sprintf "unknown fault action %S" name)
 
 let of_string s =

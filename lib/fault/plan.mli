@@ -21,7 +21,14 @@
       exercising tag reuse/rollover paths.
     - [Drop_msgs n] / [Delay_msgs n]: the next [n] coherence-bus messages
       are dropped forever / parked until the next drain (delayed messages
-      replay most-recent-first, i.e. reordered). *)
+      replay most-recent-first, i.e. reordered).
+    - [Stale_unload n]: the next [n] dlcloses unmap with their
+      invalidation stores architecturally applied but every resulting
+      filter-driven ABTB clear lost — the ABTB keeps entries for a module
+      that is gone (and whose range may be reused).  Churn runs only.
+    - [Unload_inflight]: the next dlclose defers its GOT invalidation
+      past the unmap — the unload-during-use window where surviving GOTs
+      still point into a dead range.  Churn runs only. *)
 
 type action =
   | Bloom_flip
@@ -31,6 +38,8 @@ type action =
   | Asid_reuse
   | Drop_msgs of int
   | Delay_msgs of int
+  | Stale_unload of int
+  | Unload_inflight
 
 type event = { at : int; action : action }
 (** [at] is the request index the action fires before (0-based). *)
@@ -40,10 +49,13 @@ type t = { seed : int; events : event list }
 
 val empty : int -> t
 
-val generate : ?coherence:bool -> seed:int -> budget:int -> faults:int -> unit -> t
+val generate :
+  ?coherence:bool -> ?churn:bool -> seed:int -> budget:int -> faults:int -> unit -> t
 (** [faults] random events over requests [\[0, budget)], drawn from the
     seed.  [coherence] (default [false]) admits [Drop_msgs]/[Delay_msgs],
-    which only have an effect when a bus is attached. *)
+    which only have an effect when a bus is attached; [churn] (default
+    [false]) admits [Stale_unload]/[Unload_inflight], which only have an
+    effect when a churn driver consumes them. *)
 
 val actions_at : t -> int -> action list
 (** Actions scheduled at one request index, in plan order. *)
@@ -51,6 +63,10 @@ val actions_at : t -> int -> action list
 val has_rewrite : t -> bool
 (** Whether any [Got_rewrite] is scheduled — i.e. whether true mis-skips
     are even possible under this plan. *)
+
+val has_unload_hazard : t -> bool
+(** Whether any [Stale_unload]/[Unload_inflight] is scheduled — the churn
+    actions that can surface stale bindings. *)
 
 val action_to_string : action -> string
 val to_string : t -> string

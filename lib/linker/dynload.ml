@@ -1,0 +1,255 @@
+open Dlink_isa
+module Objfile = Dlink_obj.Objfile
+module Rng = Dlink_util.Rng
+
+type stats = {
+  mutable opens : int;
+  mutable reopens : int;
+  mutable closes : int;
+  mutable rebinds : int;
+  mutable stable_hits : int;
+  mutable stable_misses : int;
+}
+
+(* One runtime-mapped module.  The image id is fresh per mapping (never
+   reused), the base address may be reused from the free list. *)
+type mstate = {
+  h_id : int;
+  h_name : string;
+  h_base : Addr.t;
+  h_span : int;
+  mutable h_refs : int;
+  mutable h_open : bool;
+}
+
+type handle = int (* = image id of the mapping *)
+
+type t = {
+  linked : Loader.t;
+  store : Addr.t -> int -> unit;
+  read : Addr.t -> int;
+  rng : Rng.t option;
+  mutable cursor : Addr.t;
+  mutable next_id : int;
+  mutable free : (Addr.t * int) list; (* (base, span), ascending base *)
+  by_name : (string, mstate) Hashtbl.t; (* open modules *)
+  by_handle : (int, mstate) Hashtbl.t;
+  snapshots : (string, (string * Addr.t) list) Hashtbl.t;
+  mutable pending : (unit -> unit) list; (* deferred invalidations, FIFO *)
+  stats : stats;
+}
+
+let align_page a = Addr.align_up a Addr.page_bytes
+
+let create ?seed ~store ~read linked =
+  let open Loader in
+  {
+    linked;
+    store;
+    read;
+    rng = Option.map Rng.create seed;
+    (* Runtime mappings live above everything the static loader placed. *)
+    cursor = align_page (linked.stack_top + linked.opts.module_gap);
+    next_id = Array.length (Space.images linked.space);
+    free = [];
+    by_name = Hashtbl.create 16;
+    by_handle = Hashtbl.create 16;
+    snapshots = Hashtbl.create 16;
+    pending = [];
+    stats =
+      {
+        opens = 0;
+        reopens = 0;
+        closes = 0;
+        rebinds = 0;
+        stable_hits = 0;
+        stable_misses = 0;
+      };
+  }
+
+let stats t = t.stats
+let linked t = t.linked
+
+let gap t =
+  match t.rng with
+  | None -> t.linked.Loader.opts.module_gap
+  | Some rng ->
+      t.linked.Loader.opts.module_gap + (Addr.page_bytes * Rng.int rng 256)
+
+(* First-fit over freed ranges; a whole entry is consumed even when larger
+   than needed, so a module reopened after a plain close lands at exactly
+   its previous base — the address reuse that makes a stale ABTB entry
+   dangerous rather than merely wasteful. *)
+let alloc_range t span =
+  let rec fit acc = function
+    | (base, free_span) :: rest when free_span >= span ->
+        t.free <- List.rev_append acc rest;
+        base
+    | entry :: rest -> fit (entry :: acc) rest
+    | [] ->
+        let base = t.cursor in
+        t.cursor <- align_page (base + span) + gap t;
+        base
+  in
+  fit [] t.free
+
+let mode t = t.linked.Loader.opts.mode
+
+(* Install the pre-resolved GOT snapshot captured at the previous dlclose
+   of this module (stable-linking mode).  Every entry is validated against
+   the current link map before being written: a binding that moved since
+   the snapshot falls back to the lazy stub, so a stale snapshot can cost
+   a resolver run but never a wrong call target. *)
+let install_snapshot t (img : Image.t) entries =
+  List.iter
+    (fun (sym, addr) ->
+      match Hashtbl.find_opt img.Image.got_slots sym with
+      | None -> t.stats.stable_misses <- t.stats.stable_misses + 1
+      | Some slot ->
+          if Linkmap.lookup_addr t.linked.Loader.linkmap sym = Some addr then begin
+            t.store slot addr;
+            t.stats.stable_hits <- t.stats.stable_hits + 1
+          end
+          else t.stats.stable_misses <- t.stats.stable_misses + 1)
+    entries
+
+let dlopen t (obj : Objfile.t) =
+  match Hashtbl.find_opt t.by_name obj.Objfile.name with
+  | Some m ->
+      m.h_refs <- m.h_refs + 1;
+      m.h_id
+  | None ->
+      let span = align_page (Loader.module_span t.linked obj) in
+      let base = alloc_range t span in
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      let define ~preload ~symbol ~addr =
+        Linkmap.define t.linked.Loader.linkmap ~preload ~symbol ~addr
+          ~image_id:id ()
+      in
+      let image, init = Loader.map_module t.linked ~id ~base ~define obj in
+      (* GOT and vtable initialisation goes through the embedder's store
+         path: these are ordinary architectural stores, so the Bloom
+         filter and coherence machinery observe the new module's GOT
+         exactly as they would a resolver's binding store. *)
+      List.iter (fun (a, v) -> t.store a v) init;
+      (match
+         (mode t, Hashtbl.find_opt t.snapshots obj.Objfile.name)
+       with
+      | Mode.Stable_linking, Some entries -> install_snapshot t image entries
+      | _ -> ());
+      let m =
+        {
+          h_id = id;
+          h_name = obj.Objfile.name;
+          h_base = base;
+          h_span = span;
+          h_refs = 1;
+          h_open = true;
+        }
+      in
+      Hashtbl.replace t.by_name m.h_name m;
+      Hashtbl.replace t.by_handle id m;
+      if Hashtbl.mem t.snapshots obj.Objfile.name then
+        t.stats.reopens <- t.stats.reopens + 1;
+      t.stats.opens <- t.stats.opens + 1;
+      id
+
+let find_open t h =
+  match Hashtbl.find_opt t.by_handle h with
+  | Some m when m.h_open -> m
+  | _ -> invalid_arg (Printf.sprintf "Dynload: handle %d is not open" h)
+
+let is_open t h =
+  match Hashtbl.find_opt t.by_handle h with
+  | Some m -> m.h_open
+  | None -> false
+
+let base_of t h = (find_open t h).h_base
+let image_of t h = Space.image_by_id t.linked.Loader.space (find_open t h).h_id
+
+(* Fix up every live GOT slot that still points into the closed range:
+   rebind to the current link-map binding if one survives, else back to
+   the symbol's lazy stub so the next call re-resolves.  Run immediately
+   this is the dlclose invalidation storm the GOT-watching hardware must
+   see; deferred past the unmap it models the unload-during-use hazard
+   windows the fault plans probe. *)
+let invalidation_closure t ~closing_id ~span_base ~span_end ~others ~own_slots
+    () =
+  List.iter
+    (fun (img : Image.t) ->
+      Hashtbl.iter
+        (fun sym slot ->
+          let v = t.read slot in
+          if v >= span_base && v < span_end then begin
+            (match Linkmap.lookup_addr t.linked.Loader.linkmap sym with
+            | Some a -> t.store slot a
+            | None ->
+                t.store slot (Hashtbl.find img.Image.plt_entries sym + 6));
+            t.stats.rebinds <- t.stats.rebinds + 1
+          end)
+        img.Image.got_slots)
+    others;
+  (* Deferred runs can find the freed range already remapped (same-base
+     reuse); those slot addresses now belong to the new tenant, so only
+     zero slots still owned by the closing image or by nobody. *)
+  List.iter
+    (fun slot ->
+      match Space.image_at t.linked.Loader.space slot with
+      | Some img when img.Image.id <> closing_id -> ()
+      | _ -> t.store slot 0)
+    own_slots
+
+let snapshot_own_got t (img : Image.t) ~span_base ~span_end =
+  Hashtbl.fold
+    (fun sym slot acc ->
+      let v = t.read slot in
+      (* Keep only settled bindings into other modules: zero means never
+         bound, an own-range value is the lazy stub (or a self call that
+         dies with the mapping anyway). *)
+      if v <> 0 && not (v >= span_base && v < span_end) then (sym, v) :: acc
+      else acc)
+    img.Image.got_slots []
+
+let dlclose ?(defer_invalidate = false) t h =
+  let m = find_open t h in
+  if m.h_refs > 1 then m.h_refs <- m.h_refs - 1
+  else begin
+    let img =
+      match Space.image_by_id t.linked.Loader.space m.h_id with
+      | Some img -> img
+      | None -> assert false
+    in
+    let span_base = m.h_base and span_end = m.h_base + m.h_span in
+    if mode t = Mode.Stable_linking then
+      Hashtbl.replace t.snapshots m.h_name
+        (snapshot_own_got t img ~span_base ~span_end);
+    ignore
+      (Linkmap.undefine_image t.linked.Loader.linkmap ~image_id:m.h_id
+        : string list);
+    let others =
+      Array.to_list (Space.images t.linked.Loader.space)
+      |> List.filter (fun (i : Image.t) -> i.Image.id <> m.h_id)
+    in
+    let own_slots =
+      Hashtbl.fold (fun _sym slot acc -> slot :: acc) img.Image.got_slots []
+    in
+    let inval =
+      invalidation_closure t ~closing_id:m.h_id ~span_base ~span_end ~others
+        ~own_slots
+    in
+    if defer_invalidate then t.pending <- t.pending @ [ inval ] else inval ();
+    Loader.unmap_module t.linked m.h_id;
+    t.free <- List.sort compare ((m.h_base, m.h_span) :: t.free);
+    m.h_open <- false;
+    Hashtbl.remove t.by_name m.h_name;
+    t.stats.closes <- t.stats.closes + 1
+  end
+
+let flush_pending t =
+  let ps = t.pending in
+  t.pending <- [];
+  List.iter (fun f -> f ()) ps
+
+let pending_invalidations t = List.length t.pending
+let dlsym t sym = Linkmap.lookup_addr t.linked.Loader.linkmap sym

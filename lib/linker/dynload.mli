@@ -1,0 +1,86 @@
+(** Runtime dynamic loading: dlopen/dlclose over a live address space.
+
+    Maps and unmaps modules after the initial {!Loader.load}, publishing
+    and retracting their symbols in the shared {!Linkmap} (with versioning
+    and LD_PRELOAD interposition rank) and keeping every live GOT
+    consistent through ordinary architectural stores — the embedder's
+    [store] callback — so the paper's GOT-watching hardware (Bloom filter,
+    ABTB flash-clear) observes module churn exactly as it observes lazy
+    resolution.
+
+    Freed address ranges are reused first-fit: a module closed and
+    reopened lands at its previous base.  That is deliberate — address
+    reuse is what turns a stale ABTB entry from a dangling curiosity into
+    a mis-direct hazard, which the fault plans probe.
+
+    Under {!Mode.Stable_linking} a dlclose snapshots the module's settled
+    GOT bindings; the next dlopen of the same module replays the snapshot
+    through [store] after validating each entry against the current link
+    map.  Valid entries skip the resolver entirely; invalidated ones fall
+    back to the lazy stub, so stable linking can never install a wrong
+    target. *)
+
+open Dlink_isa
+
+type t
+
+type handle
+(** A reference to one open module.  Refcounted: [dlopen] of an
+    already-open module name returns the same handle. *)
+
+type stats = {
+  mutable opens : int;  (** successful [dlopen] mappings (not ref bumps) *)
+  mutable reopens : int;  (** opens of a module that has a snapshot *)
+  mutable closes : int;  (** final closes (mapping actually removed) *)
+  mutable rebinds : int;
+      (** GOT slots of other modules rewritten at dlclose because they
+          pointed into the closed range *)
+  mutable stable_hits : int;  (** snapshot entries installed on reopen *)
+  mutable stable_misses : int;  (** snapshot entries rejected as stale *)
+}
+
+val create :
+  ?seed:int ->
+  store:(Addr.t -> int -> unit) ->
+  read:(Addr.t -> int) ->
+  Loader.t ->
+  t
+(** [store]/[read] are the embedder's memory path; every GOT write the
+    loader performs goes through [store] so the caller can make it
+    architecturally visible (retire it through the pipeline kernel).
+    [seed] randomizes inter-module gaps for fresh ranges (ASLR); without
+    it the runtime layout is deterministic. *)
+
+val dlopen : t -> Dlink_obj.Objfile.t -> handle
+(** Map a module (or bump the refcount of an already-open one): lays out
+    text/PLT/GOT/data above the static image, publishes exports, writes
+    the initial GOT and vtables through [store], and — under stable
+    linking — installs the validated snapshot.  Raises {!Loader.Load_error}
+    if an import does not resolve against the current link map. *)
+
+val dlclose : ?defer_invalidate:bool -> t -> handle -> unit
+(** Drop one reference; on the last one, unmap: snapshot (stable mode),
+    retract the module's symbols, rewrite every surviving GOT slot that
+    pointed into the module (to the new binding, or back to its lazy
+    stub), zero the module's own GOT, and free the range.
+    [defer_invalidate] postpones the rewrite until {!flush_pending} —
+    modelling the unload-during-use window where stale bindings outlive
+    the mapping.  Raises [Invalid_argument] on a closed handle. *)
+
+val flush_pending : t -> unit
+(** Run invalidations deferred by [dlclose ~defer_invalidate:true], FIFO. *)
+
+val pending_invalidations : t -> int
+
+val dlsym : t -> string -> Addr.t option
+(** Current visible binding of a (possibly versioned) symbol reference. *)
+
+val is_open : t -> handle -> bool
+
+val base_of : t -> handle -> Addr.t
+(** Raises [Invalid_argument] on a closed handle. *)
+
+val image_of : t -> handle -> Image.t option
+
+val stats : t -> stats
+val linked : t -> Loader.t

@@ -1,16 +1,126 @@
 open Dlink_isa
 
 type entry = { symbol : string; addr : Addr.t; image_id : int }
-type t = { table : (string, entry) Hashtbl.t; mutable order : string list }
 
-let create () = { table = Hashtbl.create 256; order = [] }
+(* One definition of a base symbol.  [d_default] is true for unversioned
+   definitions and for the module's default version ([name@@ver]); only
+   those satisfy a plain (unversioned) reference at full precedence. *)
+type def = {
+  d_version : string option;
+  d_default : bool;
+  d_addr : Addr.t;
+  d_image : int;
+  d_preload : bool;
+  d_seq : int;
+}
 
-let define t ~symbol ~addr ~image_id =
-  if not (Hashtbl.mem t.table symbol) then begin
-    Hashtbl.replace t.table symbol { symbol; addr; image_id };
-    t.order <- symbol :: t.order
-  end
+type t = {
+  defs : (string, def list) Hashtbl.t; (* base name -> definitions, any order *)
+  mutable order : string list; (* base names, newest first, may repeat *)
+  mutable seq : int;
+}
 
-let lookup t symbol = Hashtbl.find_opt t.table symbol
+let create () = { defs = Hashtbl.create 256; order = []; seq = 0 }
+
+(* "name@@ver" defines the default version, "name@ver" an old non-default
+   one, bare "name" an unversioned symbol (default for plain lookups). *)
+let parse_symbol s =
+  match String.index_opt s '@' with
+  | None -> (s, None, true)
+  | Some i ->
+      let base = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      if rest <> "" && rest.[0] = '@' then
+        (base, Some (String.sub rest 1 (String.length rest - 1)), true)
+      else (base, Some rest, false)
+
+let define t ?(preload = false) ~symbol ~addr ~image_id () =
+  let base, version, is_default = parse_symbol symbol in
+  let d =
+    {
+      d_version = version;
+      d_default = is_default;
+      d_addr = addr;
+      d_image = image_id;
+      d_preload = preload;
+      d_seq = t.seq;
+    }
+  in
+  t.seq <- t.seq + 1;
+  let prev = Option.value (Hashtbl.find_opt t.defs base) ~default:[] in
+  Hashtbl.replace t.defs base (d :: prev);
+  t.order <- base :: t.order
+
+(* Precedence: interposers (LD_PRELOAD rank) beat everything, then
+   default-version definitions, then non-default ones; load order (seq)
+   breaks ties, so the historical first-definition-wins behaviour is
+   preserved for plain unversioned scopes. *)
+let best score cands =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | Some b when score b <= score d -> acc
+      | _ -> Some d)
+    None cands
+
+let resolve t symbol =
+  let base, version, _ = parse_symbol symbol in
+  match Hashtbl.find_opt t.defs base with
+  | None -> None
+  | Some cands -> (
+      match version with
+      | None ->
+          best
+            (fun d ->
+              ( (if d.d_preload then 0 else 1),
+                (if d.d_default then 0 else 1),
+                d.d_seq ))
+            cands
+      | Some v ->
+          (* An exact version match wins; an unversioned definition
+             satisfies any version request as a fallback. *)
+          best
+            (fun d ->
+              ( (if d.d_preload then 0 else 1),
+                (if d.d_version = Some v then 0 else 1),
+                d.d_seq ))
+            (List.filter
+               (fun d -> d.d_version = Some v || d.d_version = None)
+               cands))
+
+let lookup t symbol =
+  Option.map
+    (fun d -> { symbol; addr = d.d_addr; image_id = d.d_image })
+    (resolve t symbol)
+
 let lookup_addr t symbol = Option.map (fun e -> e.addr) (lookup t symbol)
-let symbols t = List.rev t.order
+
+let symbols t =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun base ->
+      if Hashtbl.mem seen base || not (Hashtbl.mem t.defs base) then false
+      else begin
+        Hashtbl.replace seen base ();
+        true
+      end)
+    (List.rev t.order)
+
+let undefine_image t ~image_id =
+  let changed = ref [] in
+  Hashtbl.iter
+    (fun base cands ->
+      if List.exists (fun d -> d.d_image = image_id) cands then
+        changed := base :: !changed)
+    t.defs;
+  List.iter
+    (fun base ->
+      match
+        List.filter
+          (fun d -> d.d_image <> image_id)
+          (Hashtbl.find t.defs base)
+      with
+      | [] -> Hashtbl.remove t.defs base
+      | rest -> Hashtbl.replace t.defs base rest)
+    !changed;
+  List.sort compare !changed

@@ -1,5 +1,17 @@
-(** Global symbol scope, in ELF global-lookup style: the first module in
-    load order that exports a symbol defines it. *)
+(** Global symbol scope with ELF-style symbol versioning and LD_PRELOAD
+    interposition.
+
+    Symbols are defined under their raw name: bare ["f"] (unversioned),
+    ["f@@v2"] (version [v2], the default), or ["f@v1"] (version [v1],
+    non-default).  Lookups use the same syntax: a plain reference ["f"]
+    binds to the best default-version definition, a versioned reference
+    ["f@v1"] to the matching version (an unversioned definition satisfies
+    any version request as a fallback).
+
+    Precedence, highest first: definitions from interposing (preloaded)
+    modules, then default-version definitions, then non-default versions;
+    load order breaks ties, so without versions or preloads this reduces
+    to the classic first-definition-wins global scope. *)
 
 open Dlink_isa
 
@@ -8,9 +20,21 @@ type t
 
 val create : unit -> t
 
-val define : t -> symbol:string -> addr:Addr.t -> image_id:int -> unit
-(** First definition wins; later ones are ignored (interposition order). *)
+val define :
+  t -> ?preload:bool -> symbol:string -> addr:Addr.t -> image_id:int -> unit -> unit
+(** Add one definition.  [preload] marks the defining module as an
+    interposer (LD_PRELOAD rank). *)
 
 val lookup : t -> string -> entry option
+(** Visible binding of a (possibly versioned) reference. *)
+
 val lookup_addr : t -> string -> Addr.t option
+
 val symbols : t -> string list
+(** Distinct base names with at least one live definition, in
+    first-definition order. *)
+
+val undefine_image : t -> image_id:int -> string list
+(** Remove every definition contributed by one image (dlclose).  Returns
+    the sorted base names that lost a definition — the symbols whose
+    visible binding may have changed. *)

@@ -11,6 +11,7 @@ type options = {
   shared_heap_bytes : int;
   func_align : int;
   hw_level : int;
+  ld_preload : string list;
 }
 
 let default_options =
@@ -23,6 +24,7 @@ let default_options =
     shared_heap_bytes = 8 * 1024 * 1024;
     func_align = 16;
     hw_level = 99;
+    ld_preload = [];
   }
 
 type t = {
@@ -33,7 +35,7 @@ type t = {
   shared_heap : Image.section;
   stack_top : Addr.t;
   stack_base : Addr.t;
-  n_sites : int;
+  mutable n_sites : int;
   init_mem : (Addr.t * int) list;
   patch_sites : Addr.t list;
   plt_entry_addrs : (Addr.t, string * int) Hashtbl.t;
@@ -68,7 +70,9 @@ type layout = {
 
 let has_plt_sections mode =
   match mode with
-  | Mode.Lazy_binding | Mode.Eager_binding | Mode.Patched -> true
+  | Mode.Lazy_binding | Mode.Eager_binding | Mode.Patched | Mode.Stable_linking
+    ->
+      true
   | Mode.Static_link -> false
 
 let align16 n = Addr.align_up n 16
@@ -181,7 +185,7 @@ let codegen_module ~opts ~linkmap ~resolver_entry ~shared_heap ~fresh_site
   in
   let resolve_import sym =
     match opts.mode with
-    | Mode.Lazy_binding | Mode.Eager_binding ->
+    | Mode.Lazy_binding | Mode.Eager_binding | Mode.Stable_linking ->
         let i =
           match Hashtbl.find_opt import_index sym with
           | Some i -> i
@@ -293,7 +297,11 @@ let codegen_module ~opts ~linkmap ~resolver_entry ~shared_heap ~fresh_site
              (fun i sym ->
                let slot = got_slot_addr l i in
                match opts.mode with
-               | Mode.Lazy_binding | Mode.Patched -> (slot, plt_entry_addr l i + 6)
+               | Mode.Lazy_binding | Mode.Patched | Mode.Stable_linking ->
+                   (* Stable layouts start on the lazy stub too: the
+                      pre-resolved snapshot is installed through visible
+                      GOT stores by the dynamic loader (see Dynload). *)
+                   (slot, plt_entry_addr l i + 6)
                | Mode.Eager_binding -> (
                    match Linkmap.lookup_addr linkmap sym with
                    | Some a -> (slot, a)
@@ -370,11 +378,12 @@ let load ?(opts = default_options) objs =
         match l.obj with
         | None -> ()
         | Some obj ->
+            let preload = List.mem obj.Objfile.name opts.ld_preload in
             List.iter
               (fun (f : Objfile.func) ->
                 if f.exported then
-                  Linkmap.define linkmap ~symbol:f.fname
-                    ~addr:(func_addr_in l f.fname) ~image_id:l.id)
+                  Linkmap.define linkmap ~preload ~symbol:f.fname
+                    ~addr:(func_addr_in l f.fname) ~image_id:l.id ())
               obj.Objfile.funcs;
             (* GNU ifuncs (§2.4.1): the capability level known at load time
                selects the implementation; candidates are best-first, so a
@@ -384,8 +393,8 @@ let load ?(opts = default_options) objs =
                 let n = List.length i.Objfile.candidates in
                 let idx = max 0 (n - 1 - opts.hw_level) in
                 let chosen = List.nth i.Objfile.candidates idx in
-                Linkmap.define linkmap ~symbol:i.Objfile.iname
-                  ~addr:(func_addr_in l chosen) ~image_id:l.id)
+                Linkmap.define linkmap ~preload ~symbol:i.Objfile.iname
+                  ~addr:(func_addr_in l chosen) ~image_id:l.id ())
               obj.Objfile.ifuncs)
       layouts;
     (* Check that every import actually referenced by code resolves. *)
@@ -458,6 +467,60 @@ let in_any_got t addr =
   match Space.image_at t.space addr with
   | None -> false
   | Some img -> Image.in_got img addr
+
+(* --- Runtime module mapping (dlopen support; see Dynload) --------------- *)
+
+(* Bytes a module would span if laid out at base 0 — used by the dynamic
+   loader to carve an address range before committing to a layout. *)
+let module_span t obj =
+  let l = layout_module ~opts:t.opts ~cursor:0 ~id:(-1) obj in
+  layout_end l
+
+(* Lay out, link and generate one module at [base], mapping it into the
+   live address space.  Exported symbols are published through [define]
+   (not written to the linkmap directly) so the caller controls preload
+   rank and can record what it added for later dlclose.  Returns the new
+   image and the initial memory contents (GOT, vtables) the caller must
+   write through its own store path — the stores, not the loader, are
+   what the GOT-watching hardware observes. *)
+let map_module t ~id ~base ~define (obj : Objfile.t) =
+  let opts = t.opts in
+  let l = layout_module ~opts ~cursor:base ~id obj in
+  let preload = List.mem obj.Objfile.name opts.ld_preload in
+  List.iter
+    (fun (f : Objfile.func) ->
+      if f.exported then
+        define ~preload ~symbol:f.fname ~addr:(func_addr_in l f.fname))
+    obj.Objfile.funcs;
+  List.iter
+    (fun (i : Objfile.ifunc) ->
+      let n = List.length i.Objfile.candidates in
+      let idx = max 0 (n - 1 - opts.hw_level) in
+      let chosen = List.nth i.Objfile.candidates idx in
+      define ~preload ~symbol:i.Objfile.iname ~addr:(func_addr_in l chosen))
+    obj.Objfile.ifuncs;
+  let fresh_site () =
+    let s = t.n_sites in
+    t.n_sites <- s + 1;
+    s
+  in
+  let patch_sites = ref [] in
+  let image, init =
+    codegen_module ~opts ~linkmap:t.linkmap ~resolver_entry:t.resolver_entry
+      ~shared_heap:(t.shared_heap.base, t.shared_heap.size) ~fresh_site
+      ~plt_entry_addrs:t.plt_entry_addrs ~patch_sites l
+  in
+  Space.add t.space image;
+  (image, init)
+
+let unmap_module t id =
+  (match Space.image_by_id t.space id with
+  | None -> invalid_arg (Printf.sprintf "Loader.unmap_module: unknown id %d" id)
+  | Some img ->
+      Hashtbl.iter
+        (fun _sym entry -> Hashtbl.remove t.plt_entry_addrs entry)
+        img.Image.plt_entries);
+  Space.remove t.space id
 
 let patched_pages t =
   let pages = Hashtbl.create 64 in

@@ -29,6 +29,9 @@ type options = {
       (** hardware capability level used to select GNU ifunc
           implementations at load time (§2.4.1); candidates are listed
           best-first and level [n-1] or more selects the best of [n] *)
+  ld_preload : string list;
+      (** module names whose exports interpose on everyone else's
+          (LD_PRELOAD rank in the link map), regardless of load order *)
 }
 
 val default_options : options
@@ -44,7 +47,9 @@ type t = {
   shared_heap : Image.section;
   stack_top : Addr.t;
   stack_base : Addr.t;
-  n_sites : int;  (** number of distinct site ids used by lowered code *)
+  mutable n_sites : int;
+      (** number of distinct site ids used by lowered code; grows as
+          modules are mapped at runtime *)
   init_mem : (Addr.t * int) list;  (** initial 64-bit memory cells *)
   patch_sites : Addr.t list;
       (** call-site addresses rewritten under [Patched] mode *)
@@ -71,6 +76,30 @@ val in_any_plt : t -> Addr.t -> bool
 (** Whether an address lies inside any module's PLT section. *)
 
 val in_any_got : t -> Addr.t -> bool
+
+val module_span : t -> Dlink_obj.Objfile.t -> int
+(** Bytes the module would span if mapped (text+PLT+GOT+data, page-aligned
+    internally).  Used to carve an address range before mapping. *)
+
+val map_module :
+  t ->
+  id:int ->
+  base:Addr.t ->
+  define:(preload:bool -> symbol:string -> addr:Addr.t -> unit) ->
+  Dlink_obj.Objfile.t ->
+  Image.t * (Addr.t * int) list
+(** Lay out, link and generate one module at [base] and add it to the
+    address space.  Exports are published through [define] so the caller
+    (the dynamic loader) records them for dlclose; the returned initial
+    memory cells (GOT, vtables) must be written through the caller's own
+    store path so the GOT-watching hardware observes them.  Raises
+    {!Load_error} on unresolved imports. *)
+
+val unmap_module : t -> int -> unit
+(** Remove a runtime-mapped image: drops its PLT entries from the global
+    PLT index and unmaps it.  The caller handles linkmap and GOT fixup. *)
+
+exception Load_error of string
 
 val patched_pages : t -> int
 (** Distinct code pages containing at least one patched call site. *)

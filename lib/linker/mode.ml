@@ -1,11 +1,23 @@
-type t = Lazy_binding | Eager_binding | Static_link | Patched
+type t = Lazy_binding | Eager_binding | Static_link | Patched | Stable_linking
 
 let to_string = function
   | Lazy_binding -> "lazy"
   | Eager_binding -> "eager"
   | Static_link -> "static"
   | Patched -> "patched"
+  | Stable_linking -> "stable"
+
+let of_string = function
+  | "lazy" -> Some Lazy_binding
+  | "eager" -> Some Eager_binding
+  | "static" -> Some Static_link
+  | "patched" -> Some Patched
+  | "stable" -> Some Stable_linking
+  | _ -> None
+
+let all = [ Lazy_binding; Eager_binding; Static_link; Patched; Stable_linking ]
+let names = List.map to_string all
 
 let uses_plt = function
-  | Lazy_binding | Eager_binding -> true
+  | Lazy_binding | Eager_binding | Stable_linking -> true
   | Static_link | Patched -> false

@@ -8,10 +8,24 @@
     - [Patched]: the paper's software emulation of the proposed hardware
       (§4): sections are laid out as in lazy binding, but every library call
       site is patched at load time into a direct call, and the patched code
-      pages are recorded for the §5.5 memory-overhead analysis. *)
+      pages are recorded for the §5.5 memory-overhead analysis.
+    - [Stable_linking]: lazy layout, but modules that have been resolved
+      before reload a pre-resolved GOT snapshot (validated against the
+      current link map) instead of re-running the resolver — the
+      pre-resolved-GOT cache of "Stable Linking" (arXiv 2501.06716).  The
+      snapshot install is performed through ordinary GOT stores, so the
+      ABTB Bloom guard observes every rebinding. *)
 
-type t = Lazy_binding | Eager_binding | Static_link | Patched
+type t = Lazy_binding | Eager_binding | Static_link | Patched | Stable_linking
 
 val to_string : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; [None] for unknown names. *)
+
+val all : t list
+val names : string list
+(** Mode names in declaration order, for CLI listings. *)
+
 val uses_plt : t -> bool
 (** Whether calls are routed through PLT trampolines at run time. *)

@@ -1,19 +1,22 @@
 type t = {
-  sorted : Image.t array; (* ascending by text.base *)
+  mutable sorted : Image.t array; (* ascending by text.base *)
   by_id : (int, Image.t) Hashtbl.t;
   by_name : (string, Image.t) Hashtbl.t;
   mutable memo : Image.t option; (* last successful lookup *)
 }
 
+let check_overlaps sorted =
+  for i = 0 to Array.length sorted - 2 do
+    if Image.span_end sorted.(i) > sorted.(i + 1).Image.text.base then
+      invalid_arg
+        (Printf.sprintf "Space: images %s and %s overlap" sorted.(i).Image.name
+           sorted.(i + 1).Image.name)
+  done
+
 let create images =
   let sorted = Array.of_list images in
   Array.sort (fun (a : Image.t) b -> compare a.text.base b.text.base) sorted;
-  for i = 0 to Array.length sorted - 2 do
-    if Image.span_end sorted.(i) > sorted.(i + 1).text.base then
-      invalid_arg
-        (Printf.sprintf "Space.create: images %s and %s overlap" sorted.(i).name
-           sorted.(i + 1).name)
-  done;
+  check_overlaps sorted;
   let by_id = Hashtbl.create 16 and by_name = Hashtbl.create 16 in
   Array.iter
     (fun (img : Image.t) ->
@@ -21,6 +24,32 @@ let create images =
       Hashtbl.replace by_name img.name img)
     sorted;
   { sorted; by_id; by_name; memo = None }
+
+let add t (img : Image.t) =
+  if Hashtbl.mem t.by_id img.id then
+    invalid_arg (Printf.sprintf "Space.add: duplicate image id %d" img.id);
+  if Hashtbl.mem t.by_name img.name then
+    invalid_arg (Printf.sprintf "Space.add: duplicate module %s" img.name);
+  let sorted = Array.append t.sorted [| img |] in
+  Array.sort (fun (a : Image.t) b -> compare a.text.base b.text.base) sorted;
+  check_overlaps sorted;
+  t.sorted <- sorted;
+  Hashtbl.replace t.by_id img.id img;
+  Hashtbl.replace t.by_name img.name img;
+  t.memo <- None
+
+let remove t id =
+  match Hashtbl.find_opt t.by_id id with
+  | None -> invalid_arg (Printf.sprintf "Space.remove: unknown image id %d" id)
+  | Some img ->
+      t.sorted <-
+        Array.of_list
+          (List.filter
+             (fun (i : Image.t) -> i.id <> id)
+             (Array.to_list t.sorted));
+      Hashtbl.remove t.by_id id;
+      Hashtbl.remove t.by_name img.Image.name;
+      t.memo <- None
 
 let images t = t.sorted
 

@@ -1,4 +1,5 @@
-(** The process address space: mapped module images and fast PC lookup. *)
+(** The process address space: mapped module images and fast PC lookup.
+    Mutable: {!add}/{!remove} support runtime loading (dlopen/dlclose). *)
 
 open Dlink_isa
 
@@ -6,6 +7,13 @@ type t
 
 val create : Image.t list -> t
 (** Raises [Invalid_argument] if any two images overlap. *)
+
+val add : t -> Image.t -> unit
+(** Map one more image.  Raises [Invalid_argument] on an overlap or a
+    duplicate id/name. *)
+
+val remove : t -> int -> unit
+(** Unmap the image with this id.  Raises [Invalid_argument] if absent. *)
 
 val images : t -> Image.t array
 (** In ascending base-address order. *)

@@ -23,7 +23,7 @@ type t = {
   mutable pc : Addr.t;
   mutable sp : Addr.t;
   mutable retired : int;
-  site_counts : int array;
+  mutable site_counts : int array;
   hooks : hooks;
 }
 
@@ -49,7 +49,18 @@ let pc t = t.pc
 let sp t = t.sp
 let retired t = t.retired
 
+(* Runtime-mapped modules (dlopen) allocate site ids past the load-time
+   count, so the per-site counters grow on demand. *)
+let ensure_site t site =
+  let n = Array.length t.site_counts in
+  if site >= n then begin
+    let grown = Array.make (max (site + 1) (2 * n)) 0 in
+    Array.blit t.site_counts 0 grown 0 n;
+    t.site_counts <- grown
+  end
+
 let bump_site t site =
+  ensure_site t site;
   let c = t.site_counts.(site) in
   t.site_counts.(site) <- c + 1;
   c
@@ -202,4 +213,7 @@ let resync_arch t ~from_ =
   Memory.blit ~src:from_.mem ~dst:t.mem;
   t.sp <- from_.sp;
   t.pc <- from_.pc;
-  Array.blit from_.site_counts 0 t.site_counts 0 (Array.length t.site_counts)
+  ensure_site t (Array.length from_.site_counts - 1);
+  let n = Array.length from_.site_counts in
+  Array.blit from_.site_counts 0 t.site_counts 0 n;
+  Array.fill t.site_counts n (Array.length t.site_counts - n) 0

@@ -21,7 +21,7 @@ let compatible ?skip_cfg ~mode () =
   | Sim.Enhanced ->
       let cfg = Option.value skip_cfg ~default:Skip.default_config in
       cfg.Skip.filter_fallthrough && not cfg.Skip.verify_targets
-  | Sim.Base | Sim.Eager | Sim.Static | Sim.Patched -> true
+  | Sim.Base | Sim.Eager | Sim.Static | Sim.Patched | Sim.Stable -> true
 
 (* One core's replay state is simply a pipeline kernel driven by the
    cursor event source; GOT reads resolve to 0 (the replay convention —

@@ -1,0 +1,164 @@
+module Body = Dlink_obj.Body
+module Objfile = Dlink_obj.Objfile
+module Rng = Dlink_util.Rng
+module Workload = Dlink_core.Workload
+module Core_churn = Dlink_core.Churn
+
+let name = "churn"
+
+(* ------------------------------------------------------------------ *)
+(* The service base: one executable, a service library exporting both
+   plain and versioned symbols, and an interposer library that shadows a
+   few of them when given LD_PRELOAD rank.
+
+   libsvc exports svc_0..svc_N plus a versioned pair: [digest@@v2] (the
+   current default) and [digest@v1] (kept for old clients).  Plugins
+   reference the whole spectrum — plain, explicitly versioned, and
+   interposable — so churn exercises every precedence rule in the link
+   map. *)
+
+let n_services = 10
+
+let service_body rng =
+  [
+    Body.Compute (8 + Rng.int rng 16);
+    Body.Touch { loads = 1 + Rng.int rng 2; stores = Rng.int rng 2 };
+    Body.Loop
+      {
+        mean_iters = 1.5;
+        body = [ Body.Compute 6; Body.Touch { loads = 1; stores = 0 } ];
+      };
+  ]
+
+let libsvc seed =
+  let rng = Rng.create (seed + 11) in
+  let svcs =
+    List.init n_services (fun i ->
+        {
+          Objfile.fname = Printf.sprintf "svc_%d" i;
+          exported = true;
+          body = service_body rng;
+        })
+  in
+  let versioned =
+    [
+      {
+        Objfile.fname = "digest@@v2";
+        exported = true;
+        body = [ Body.Compute 20; Body.Touch { loads = 2; stores = 1 } ];
+      };
+      {
+        Objfile.fname = "digest@v1";
+        exported = true;
+        body = [ Body.Compute 32; Body.Touch { loads = 3; stores = 1 } ];
+      };
+    ]
+  in
+  Objfile.create_exn ~name:"libsvc" ~data_bytes:(8 * 1024) (svcs @ versioned)
+
+(* The interposer: same symbol names as a few libsvc services, shorter
+   bodies (a caching shim).  Load order puts it after libsvc, so it only
+   wins when given LD_PRELOAD rank. *)
+let libshim =
+  Objfile.create_exn ~name:"libshim" ~data_bytes:(2 * 1024)
+    (List.map
+       (fun i ->
+         {
+           Objfile.fname = Printf.sprintf "svc_%d" i;
+           exported = true;
+           body = [ Body.Compute 4; Body.Touch { loads = 1; stores = 0 } ];
+         })
+       [ 0; 3 ])
+
+let app =
+  Objfile.create_exn ~name:"churn_app" ~data_bytes:(16 * 1024)
+    [
+      {
+        Objfile.fname = "main";
+        exported = false;
+        body =
+          [ Body.Compute 8; Body.Call_import "svc_0"; Body.Call_import "digest" ];
+      };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Plugins: each imports a distinct slice of the service spectrum, so two
+   plugins mapped at the same base put different symbols at the same PLT
+   slot — the layout collision that makes a stale ABTB entry a genuine
+   mis-direct hazard rather than a lucky hit. *)
+
+let n_plugins = 6
+
+let plugin_name i = Printf.sprintf "plugin%d" i
+let plugin_entry i = Printf.sprintf "p%d_main" i
+
+let plugin seed i =
+  let rng = Rng.create (seed + (97 * (i + 1))) in
+  (* A rotated window of services plus this plugin's pick of the digest
+     version: even plugins track the default, odd ones pin v1. *)
+  let width = 4 + (i mod 3) in
+  let imports =
+    List.init width (fun k -> Printf.sprintf "svc_%d" ((i + (2 * k)) mod n_services))
+  in
+  let digest_ref = if i mod 2 = 0 then "digest" else "digest@v1" in
+  let call sym =
+    [ Body.Compute (2 + Rng.int rng 6); Body.Call_import sym ]
+  in
+  let body =
+    [ Body.Compute 6; Body.Touch { loads = 1; stores = 1 } ]
+    @ List.concat_map call imports
+    @ call digest_ref
+    @ [
+        Body.Loop
+          {
+            mean_iters = 1.4;
+            body = Body.Compute 4 :: List.concat_map call (List.filteri (fun k _ -> k < 2) imports);
+          };
+      ]
+  in
+  Objfile.create_exn ~name:(plugin_name i) ~data_bytes:(4 * 1024)
+    [
+      { Objfile.fname = plugin_entry i; exported = true; body };
+      {
+        Objfile.fname = Printf.sprintf "p%d_helper" i;
+        exported = false;
+        body = [ Body.Compute 8 ];
+      };
+    ]
+
+let scenario ?(seed = 17) () =
+  {
+    Core_churn.sname = name;
+    base_objs = [ app; libsvc seed; libshim ];
+    plugins = Array.init n_plugins (plugin seed);
+    n_resident = 4;
+    preload = [ "libshim" ];
+    entry = plugin_entry;
+    func_align = 64;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The registered static workload: everything mapped at load time, with
+   requests invoking plugin entries directly.  No runtime churn — this is
+   the versioning/interposition surface exercised through the ordinary
+   [run]/[sweep]/oracle paths (which cannot drive dlopen). *)
+
+let workload ?(seed = 17) () =
+  let plugins = List.init n_plugins (plugin seed) in
+  let objs = [ app; libsvc seed; libshim ] @ plugins in
+  let gen_request i =
+    let rng = Rng.create (Dlink_util.Site_hash.mix2 seed (i + 7_001)) in
+    let p = Rng.int rng n_plugins in
+    { Workload.rtype = 0; mname = plugin_name p; fname = plugin_entry p }
+  in
+  {
+    Workload.wname = name;
+    objs;
+    request_type_names = [| "plugin" |];
+    gen_request;
+    default_requests = 300;
+    warmup_requests = 20;
+    us_scale = 1.0;
+    ghz = 3.0;
+    func_align = 64;
+  }

@@ -1,0 +1,24 @@
+(** The module-churn workload: a plugin-host application.
+
+    The base is an executable plus a service library ([libsvc], exporting
+    plain services and a versioned [digest@@v2]/[digest@v1] pair) and an
+    interposing shim ([libshim], shadowing two services when given
+    LD_PRELOAD rank).  Six plugins import overlapping but distinct slices
+    of the services — different import sets, so two plugins mapped at the
+    same base disagree about which symbol lives at which PLT slot.
+
+    Two consumption forms:
+    - {!scenario}: the dynamic form for {!Dlink_core.Churn.run_cell} and
+      the churn fault oracle — plugins rotate through dlopen/dlclose.
+    - {!workload}: the registered static form ("churn") for the ordinary
+      run/sweep/oracle paths — everything mapped at load time, requests
+      invoking plugin entries directly. *)
+
+val name : string
+
+val scenario : ?seed:int -> unit -> Dlink_core.Churn.scenario
+val workload : ?seed:int -> unit -> Dlink_core.Workload.t
+
+val n_plugins : int
+val plugin_name : int -> string
+val plugin_entry : int -> string

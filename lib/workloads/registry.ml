@@ -5,6 +5,7 @@ let all =
     (Mysql.name, fun ?seed () -> Mysql.workload ?seed ());
     (Firefox.name, fun ?seed () -> Firefox.workload ?seed ());
     (Synth.name, fun ?seed () -> Synth.workload ?seed ());
+    (Churn.name, fun ?seed () -> Churn.workload ?seed ());
   ]
 
 let find name = List.assoc_opt name all

@@ -1,0 +1,321 @@
+(* Tests for the runtime dynamic-loading stack: Dynload semantics, the
+   churn driver, stable linking, and the churn differential oracle. *)
+
+module Body = Dlink_obj.Body
+module Objfile = Dlink_obj.Objfile
+module C = Dlink_uarch.Counters
+module Kernel = Dlink_pipeline.Kernel
+module Process = Dlink_mach.Process
+module Memory = Dlink_mach.Memory
+module Churn = Dlink_core.Churn
+module CO = Dlink_fault.Churn_oracle
+module W = Dlink_workloads
+open Dlink_linker
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let func ?(exported = true) fname body = { Objfile.fname; exported; body }
+
+let scen = W.Churn.scenario ()
+
+let call_entry (m : Churn.machine) i =
+  let mname = scen.Churn.plugins.(i).Objfile.name in
+  let addr =
+    Option.get
+      (Loader.func_addr m.Churn.linked ~mname ~fname:(scen.Churn.entry i))
+  in
+  Process.call m.Churn.process addr
+
+let resolver_runs (m : Churn.machine) =
+  (Kernel.counters m.Churn.kernel).C.resolver_runs
+
+(* ---------------- dlopen / dlclose ---------------- *)
+
+let test_reopen_reuses_base () =
+  let m = Churn.make_machine ~link_mode:Mode.Stable_linking scen in
+  let d = m.Churn.dynload in
+  let h1 = Dynload.dlopen d scen.Churn.plugins.(0) in
+  let b1 = Dynload.base_of d h1 in
+  call_entry m 0;
+  Dynload.dlclose d h1;
+  checkb "closed" true (not (Dynload.is_open d h1));
+  let h2 = Dynload.dlopen d scen.Churn.plugins.(0) in
+  checki "base reused first-fit" b1 (Dynload.base_of d h2);
+  checkb "fresh handle" true (h1 <> h2);
+  (* Stable linking: the reopened module replays its GOT snapshot, so the
+     first call after reopen never enters the resolver. *)
+  let r0 = resolver_runs m in
+  call_entry m 0;
+  checki "no resolver after reopen" r0 (resolver_runs m);
+  let s = Dynload.stats d in
+  checkb "snapshot used" true (s.Dynload.stable_hits > 0);
+  checki "no stale snapshot entries" 0 s.Dynload.stable_misses;
+  checki "one reopen counted" 1 s.Dynload.reopens
+
+let test_lazy_reopen_pays_resolver () =
+  let m = Churn.make_machine ~link_mode:Mode.Lazy_binding scen in
+  let d = m.Churn.dynload in
+  let h = Dynload.dlopen d scen.Churn.plugins.(0) in
+  call_entry m 0;
+  let r_first = resolver_runs m in
+  Dynload.dlclose d h;
+  ignore (Dynload.dlopen d scen.Churn.plugins.(0) : Dynload.handle);
+  call_entry m 0;
+  checkb "lazy reopen re-resolves" true (resolver_runs m > r_first)
+
+let test_refcount () =
+  let m = Churn.make_machine ~link_mode:Mode.Lazy_binding scen in
+  let d = m.Churn.dynload in
+  let h = Dynload.dlopen d scen.Churn.plugins.(1) in
+  let h' = Dynload.dlopen d scen.Churn.plugins.(1) in
+  checkb "same handle" true (h = h');
+  Dynload.dlclose d h;
+  checkb "still open after one close" true (Dynload.is_open d h);
+  Dynload.dlclose d h;
+  checkb "closed after second" true (not (Dynload.is_open d h));
+  checkb "double close raises" true
+    (try
+       Dynload.dlclose d h;
+       false
+     with Invalid_argument _ -> true)
+
+let test_dlsym_tracks_open_set () =
+  let m = Churn.make_machine ~link_mode:Mode.Lazy_binding scen in
+  let d = m.Churn.dynload in
+  let entry0 = scen.Churn.entry 0 in
+  checkb "absent before open" true (Dynload.dlsym d entry0 = None);
+  let h = Dynload.dlopen d scen.Churn.plugins.(0) in
+  checkb "present while open" true (Dynload.dlsym d entry0 <> None);
+  Dynload.dlclose d h;
+  checkb "absent after close" true (Dynload.dlsym d entry0 = None)
+
+(* ---------------- cross-module rebinding at dlclose ---------------- *)
+
+(* pa imports pb's export: closing pb must rewrite pa's bound GOT slot
+   back to the lazy stub (the binding is gone from the link map), and a
+   reopened pb must let pa's next call re-resolve against the new map. *)
+let rebind_scenario () =
+  let base =
+    [ Objfile.create_exn ~name:"app" [ func ~exported:false "main" [ Body.Compute 4 ] ] ]
+  in
+  let pb = Objfile.create_exn ~name:"pb" [ func "b_fn" [ Body.Compute 4 ] ] in
+  let pa = Objfile.create_exn ~name:"pa" [ func "a_main" [ Body.Call_import "b_fn" ] ] in
+  ( {
+      Churn.sname = "rebind";
+      base_objs = base;
+      plugins = [| pb; pa |];
+      n_resident = 2;
+      preload = [];
+      entry = (fun i -> if i = 0 then "b_fn" else "a_main");
+      func_align = 16;
+    },
+    pa,
+    pb )
+
+let test_dlclose_rebinds_other_modules () =
+  let rscen, pa, pb = rebind_scenario () in
+  let m = Churn.make_machine ~link_mode:Mode.Lazy_binding rscen in
+  let d = m.Churn.dynload in
+  let hb = Dynload.dlopen d pb in
+  ignore (Dynload.dlopen d pa : Dynload.handle);
+  let a_entry =
+    Option.get (Loader.func_addr m.Churn.linked ~mname:"pa" ~fname:"a_main")
+  in
+  Process.call m.Churn.process a_entry;
+  let img_a = Option.get (Space.image_by_name m.Churn.linked.Loader.space "pa") in
+  let slot = Option.get (Image.got_slot img_a "b_fn") in
+  let mem = Process.memory m.Churn.process in
+  checki "bound into pb" (Option.get (Dynload.dlsym d "b_fn")) (Memory.read mem slot);
+  Dynload.dlclose d hb;
+  checkb "rebind counted" true ((Dynload.stats d).Dynload.rebinds > 0);
+  let stub = Option.get (Image.plt_entry img_a "b_fn") + 6 in
+  checki "slot back to lazy stub" stub (Memory.read mem slot);
+  (* Reopen the provider: the stub path re-resolves on the next call. *)
+  ignore (Dynload.dlopen d pb : Dynload.handle);
+  Process.call m.Churn.process a_entry;
+  checki "rebound to reopened pb"
+    (Option.get (Dynload.dlsym d "b_fn"))
+    (Memory.read mem slot)
+
+let test_deferred_invalidation_flushes_fifo () =
+  let rscen, pa, pb = rebind_scenario () in
+  let m = Churn.make_machine ~link_mode:Mode.Lazy_binding rscen in
+  let d = m.Churn.dynload in
+  let hb = Dynload.dlopen d pb in
+  ignore (Dynload.dlopen d pa : Dynload.handle);
+  let a_entry =
+    Option.get (Loader.func_addr m.Churn.linked ~mname:"pa" ~fname:"a_main")
+  in
+  Process.call m.Churn.process a_entry;
+  let img_a = Option.get (Space.image_by_name m.Churn.linked.Loader.space "pa") in
+  let slot = Option.get (Image.got_slot img_a "b_fn") in
+  let mem = Process.memory m.Churn.process in
+  let bound = Memory.read mem slot in
+  Dynload.dlclose ~defer_invalidate:true d hb;
+  checki "one pending" 1 (Dynload.pending_invalidations d);
+  (* The hazard window: mapping gone, stale binding still live. *)
+  checki "stale binding survives unmap" bound (Memory.read mem slot);
+  Dynload.flush_pending d;
+  checki "flushed" 0 (Dynload.pending_invalidations d);
+  let stub = Option.get (Image.plt_entry img_a "b_fn") + 6 in
+  checki "slot rewritten at flush" stub (Memory.read mem slot)
+
+(* ---------------- churn driver and stable linking ---------------- *)
+
+let test_stable_beats_lazy_resolver_runs () =
+  let lazy_c =
+    Churn.run_cell ~link_mode:Mode.Lazy_binding ~rate:200 ~calls:800 ~seed:5 scen
+  in
+  let stable_c =
+    Churn.run_cell ~link_mode:Mode.Stable_linking ~rate:200 ~calls:800 ~seed:5
+      scen
+  in
+  let lr = lazy_c.Churn.counters.C.resolver_runs
+  and sr = stable_c.Churn.counters.C.resolver_runs in
+  checkb "churn happened" true (lazy_c.Churn.churn_events > 0);
+  checkb "lazy pays the resolver" true (lr > 100);
+  checkb "stable mostly skips it" true (sr * 10 < lr);
+  checkb "snapshots actually hit" true (stable_c.Churn.stable_hits > 0);
+  checki "no stale snapshot entries" 0 stable_c.Churn.stable_misses;
+  checki "opens balance closes" stable_c.Churn.opens stable_c.Churn.closes
+
+let test_run_cell_deterministic () =
+  let run () =
+    let c =
+      Churn.run_cell ~link_mode:Mode.Stable_linking ~rate:150 ~calls:300
+        ~seed:11 scen
+    in
+    ( c.Churn.churn_events,
+      c.Churn.counters.C.instructions,
+      c.Churn.counters.C.abtb_clears,
+      c.Churn.counters.C.tramp_skips,
+      c.Churn.stable_hits )
+  in
+  checkb "bit-identical reruns" true (run () = run ())
+
+(* ---------------- churn differential oracle ---------------- *)
+
+let test_churn_oracle_clean_without_faults () =
+  List.iter
+    (fun link_mode ->
+      let r = CO.run ~link_mode ~rate:200 ~ops:400 ~seed:9 scen in
+      checkb "churned" true (r.CO.churn_events > 0);
+      checki "no mis-skips" 0 r.CO.mis_skips;
+      checki "nothing unclassified" 0 r.CO.unclassified;
+      checkb "skips happened" true (r.CO.skips > 0))
+    [ Mode.Lazy_binding; Mode.Eager_binding; Mode.Stable_linking ]
+
+let test_churn_oracle_classifies_unload_faults () =
+  let plan =
+    match
+      Dlink_fault.Plan.of_string "seed=1;60:unload_inflight;140:stale_unload*1"
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let r =
+    CO.run ~plan ~link_mode:Mode.Lazy_binding ~rate:250 ~ops:400 ~seed:9 scen
+  in
+  checkb "faults armed and injected" true (r.CO.faults_injected > 0);
+  (* Whatever the stale entries cause must be classified: a divergence
+     the taxonomy cannot attribute would show up here. *)
+  checki "nothing unclassified" 0 r.CO.unclassified
+
+(* ---------------- property tests ---------------- *)
+
+let qcheck_tests =
+  [
+    (* Precedence is an invariant of the definitions, not of the order
+       they arrived in: preload > default > non-default under every
+       interleaving. *)
+    QCheck.Test.make ~name:"versioning precedence is order-independent"
+      ~count:100
+      QCheck.(pair bool (int_range 0 5))
+      (fun (have_preload, rot) ->
+        let m = Linkmap.create () in
+        let defs =
+          [
+            (fun id -> Linkmap.define m ~symbol:"f@v1" ~addr:1000 ~image_id:id ());
+            (fun id -> Linkmap.define m ~symbol:"f@@v2" ~addr:2000 ~image_id:id ());
+          ]
+          @
+          if have_preload then
+            [
+              (fun id ->
+                Linkmap.define m ~preload:true ~symbol:"f" ~addr:3000
+                  ~image_id:id ());
+            ]
+          else []
+        in
+        let n = List.length defs in
+        let rot = rot mod n in
+        let defs = List.filteri (fun i _ -> i >= rot) defs
+                   @ List.filteri (fun i _ -> i < rot) defs in
+        List.iteri (fun i f -> f i) defs;
+        Linkmap.lookup_addr m "f" = Some (if have_preload then 3000 else 2000)
+        && Linkmap.lookup_addr m "f@v1"
+           = Some (if have_preload then 3000 else 1000)
+        && Linkmap.lookup_addr m "f@v2"
+           = Some (if have_preload then 3000 else 2000));
+    (* open -> call -> close cycles under stable linking are idempotent:
+       the base is reused, the snapshot replays, and no cycle after the
+       first runs the resolver. *)
+    QCheck.Test.make ~name:"stable open/close/open cycles are idempotent"
+      ~count:8
+      QCheck.(pair (int_range 0 5) (int_range 1 3))
+      (fun (pi, cycles) ->
+        let m = Churn.make_machine ~link_mode:Mode.Stable_linking scen in
+        let d = m.Churn.dynload in
+        let h0 = Dynload.dlopen d scen.Churn.plugins.(pi) in
+        let base0 = Dynload.base_of d h0 in
+        call_entry m pi;
+        Dynload.dlclose d h0;
+        let r0 = resolver_runs m in
+        let ok = ref true in
+        for _ = 1 to cycles do
+          let h = Dynload.dlopen d scen.Churn.plugins.(pi) in
+          if Dynload.base_of d h <> base0 then ok := false;
+          call_entry m pi;
+          Dynload.dlclose d h
+        done;
+        !ok
+        && resolver_runs m = r0
+        && (Dynload.stats d).Dynload.stable_misses = 0);
+  ]
+
+let () =
+  Alcotest.run "dlink_dynload"
+    [
+      ( "dlopen_dlclose",
+        [
+          Alcotest.test_case "stable reopen reuses base, skips resolver" `Quick
+            test_reopen_reuses_base;
+          Alcotest.test_case "lazy reopen re-resolves" `Quick
+            test_lazy_reopen_pays_resolver;
+          Alcotest.test_case "refcount" `Quick test_refcount;
+          Alcotest.test_case "dlsym visibility" `Quick test_dlsym_tracks_open_set;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "dlclose rebinds other modules" `Quick
+            test_dlclose_rebinds_other_modules;
+          Alcotest.test_case "deferred invalidation" `Quick
+            test_deferred_invalidation_flushes_fifo;
+        ] );
+      ( "churn_driver",
+        [
+          Alcotest.test_case "stable beats lazy on resolver runs" `Quick
+            test_stable_beats_lazy_resolver_runs;
+          Alcotest.test_case "run_cell deterministic" `Quick
+            test_run_cell_deterministic;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "clean plan, every mode" `Quick
+            test_churn_oracle_clean_without_faults;
+          Alcotest.test_case "unload faults classified" `Quick
+            test_churn_oracle_classifies_unload_faults;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -78,6 +78,31 @@ let test_plan_accessors () =
     (P.has_rewrite
        { P.seed = 0; events = [ { P.at = 0; action = P.Got_rewrite } ] })
 
+let test_plan_churn_actions () =
+  (* Churn actions only enter generated plans when asked for, round-trip
+     through the textual form, and are flagged for the churn oracle. *)
+  let has_unload (p : P.t) =
+    List.exists
+      (fun e ->
+        match e.P.action with
+        | P.Stale_unload _ | P.Unload_inflight -> true
+        | _ -> false)
+      p.P.events
+  in
+  let some_churn = ref false in
+  for seed = 1 to 8 do
+    let plain = P.generate ~seed ~budget:300 ~faults:10 () in
+    checkb "plain plans never carry unload actions" false (has_unload plain);
+    let churny = P.generate ~churn:true ~seed ~budget:300 ~faults:10 () in
+    if has_unload churny then some_churn := true;
+    checkb "hazard flag agrees" (has_unload churny)
+      (P.has_unload_hazard churny);
+    match P.of_string (P.to_string churny) with
+    | Ok p' -> checkb "churn plan round trips" true (churny = p')
+    | Error e -> Alcotest.failf "seed %d: %s" seed e
+  done;
+  checkb "churn actions drawn somewhere in 8 seeds" true !some_churn
+
 (* ---------------- skip unit: validation and quarantine ---------------- *)
 
 let make_skip ?(window = 2) () =
@@ -270,6 +295,7 @@ let () =
           Alcotest.test_case "round trip" `Quick test_plan_round_trip;
           Alcotest.test_case "parse errors" `Quick test_plan_parse_errors;
           Alcotest.test_case "accessors" `Quick test_plan_accessors;
+          Alcotest.test_case "churn actions" `Quick test_plan_churn_actions;
         ] );
       ( "skip hardening",
         [

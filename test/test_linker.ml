@@ -183,6 +183,35 @@ let test_aslr_deterministic_by_seed () =
   checki "same seed same layout" (base (load 1)) (base (load 1));
   checkb "different seed different layout" true (base (load 1) <> base (load 2))
 
+(* A seeded layout is pinned byte-for-byte: ASLR, section placement, PLT
+   slot shuffling and GOT packing all feed the address-reuse reasoning in
+   Dynload, so an accidental layout change must fail loudly rather than
+   silently shifting every downstream trace. *)
+let test_golden_layout_aslr_seed7 () =
+  let t =
+    Loader.load_exn
+      ~opts:{ Loader.default_options with aslr_seed = Some 7 }
+      (two_module ())
+  in
+  let b = Buffer.create 256 in
+  Array.iter
+    (fun (img : Image.t) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s text=%#x plt=%#x got=%#x\n" img.Image.name
+           img.Image.text.base img.Image.plt.base img.Image.got.base))
+    (Space.images t.Loader.space);
+  let app = Option.get (Space.image_by_name t.Loader.space "app") in
+  Buffer.add_string b
+    (Printf.sprintf "app:f plt=%#x got=%#x\n"
+       (Option.get (Image.plt_entry app "f"))
+       (Option.get (Image.got_slot app "f")));
+  Alcotest.(check string) "golden layout (aslr_seed=7)"
+    "app text=0x400000 plt=0x400010 got=0x401000\n\
+     libx text=0x488000 plt=0x488040 got=0x489000\n\
+     __ld_so text=0x522000 plt=0x522130 got=0x522130\n\
+     app:f plt=0x400030 got=0x401020\n"
+    (Buffer.contents b)
+
 (* ---------------- space ---------------- *)
 
 let test_space_lookup_boundaries () =
@@ -230,11 +259,48 @@ let test_codegen_size_matches_assembly () =
 
 let test_linkmap_basics () =
   let m = Linkmap.create () in
-  Linkmap.define m ~symbol:"s" ~addr:100 ~image_id:0;
-  Linkmap.define m ~symbol:"s" ~addr:200 ~image_id:1;
+  Linkmap.define m ~symbol:"s" ~addr:100 ~image_id:0 ();
+  Linkmap.define m ~symbol:"s" ~addr:200 ~image_id:1 ();
   checki "first wins" 100 (Option.get (Linkmap.lookup_addr m "s"));
   checkb "missing" true (Linkmap.lookup m "t" = None);
   Alcotest.(check (list string)) "symbols" [ "s" ] (Linkmap.symbols m)
+
+(* ---------------- symbol versioning ---------------- *)
+
+let test_linkmap_default_version_beats_nondefault () =
+  let m = Linkmap.create () in
+  Linkmap.define m ~symbol:"digest@v1" ~addr:100 ~image_id:0 ();
+  Linkmap.define m ~symbol:"digest@@v2" ~addr:200 ~image_id:1 ();
+  checki "bare binds default" 200 (Option.get (Linkmap.lookup_addr m "digest"));
+  checki "exact v1" 100 (Option.get (Linkmap.lookup_addr m "digest@v1"));
+  checki "exact v2" 200 (Option.get (Linkmap.lookup_addr m "digest@v2"))
+
+let test_linkmap_preload_beats_default () =
+  let m = Linkmap.create () in
+  Linkmap.define m ~symbol:"f@@v2" ~addr:100 ~image_id:0 ();
+  Linkmap.define m ~preload:true ~symbol:"f" ~addr:300 ~image_id:1 ();
+  checki "preload wins bare" 300 (Option.get (Linkmap.lookup_addr m "f"));
+  (* The unversioned interposer also satisfies versioned references. *)
+  checki "preload wins versioned" 300
+    (Option.get (Linkmap.lookup_addr m "f@v2"))
+
+let test_linkmap_unversioned_satisfies_version_request () =
+  let m = Linkmap.create () in
+  Linkmap.define m ~symbol:"g" ~addr:50 ~image_id:0 ();
+  checki "fallback" 50 (Option.get (Linkmap.lookup_addr m "g@v9"));
+  checkb "unknown base still missing" true (Linkmap.lookup m "h@v9" = None)
+
+let test_linkmap_undefine_image () =
+  let m = Linkmap.create () in
+  Linkmap.define m ~symbol:"a" ~addr:1 ~image_id:0 ();
+  Linkmap.define m ~symbol:"a" ~addr:2 ~image_id:1 ();
+  Linkmap.define m ~symbol:"b" ~addr:3 ~image_id:1 ();
+  Alcotest.(check (list string))
+    "changed names" [ "a"; "b" ]
+    (Linkmap.undefine_image m ~image_id:1);
+  checki "a falls back to image 0" 1 (Option.get (Linkmap.lookup_addr m "a"));
+  checkb "b gone" true (Linkmap.lookup m "b" = None);
+  Alcotest.(check (list string)) "symbols pruned" [ "a" ] (Linkmap.symbols m)
 
 (* ---------------- dump ---------------- *)
 
@@ -345,7 +411,21 @@ let () =
           Alcotest.test_case "patched sites" `Quick test_patched_records_sites;
           Alcotest.test_case "lazy no sites" `Quick test_lazy_has_no_patch_sites;
         ] );
-      ("aslr", [ Alcotest.test_case "seeded" `Quick test_aslr_deterministic_by_seed ]);
+      ( "aslr",
+        [
+          Alcotest.test_case "seeded" `Quick test_aslr_deterministic_by_seed;
+          Alcotest.test_case "golden layout" `Quick test_golden_layout_aslr_seed7;
+        ] );
+      ( "versioning",
+        [
+          Alcotest.test_case "default beats non-default" `Quick
+            test_linkmap_default_version_beats_nondefault;
+          Alcotest.test_case "preload beats default" `Quick
+            test_linkmap_preload_beats_default;
+          Alcotest.test_case "unversioned fallback" `Quick
+            test_linkmap_unversioned_satisfies_version_request;
+          Alcotest.test_case "undefine image" `Quick test_linkmap_undefine_image;
+        ] );
       ( "space",
         [
           Alcotest.test_case "boundaries" `Quick test_space_lookup_boundaries;

@@ -34,8 +34,10 @@ let mode_name = function
   | Sim.Eager -> "eager"
   | Sim.Static -> "static"
   | Sim.Patched -> "patched"
+  | Sim.Stable -> "stable"
 
-let all_modes = [ Sim.Base; Sim.Enhanced; Sim.Eager; Sim.Static; Sim.Patched ]
+let all_modes =
+  [ Sim.Base; Sim.Enhanced; Sim.Eager; Sim.Static; Sim.Patched; Sim.Stable ]
 
 let check_counters msg (a : Counters.t) (b : Counters.t) =
   if a <> b then
