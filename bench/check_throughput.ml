@@ -8,7 +8,14 @@
    than the tolerance fraction below the committed value.  The tolerance
    is generous (30% by default) because absolute Mi/s moves with the
    runner; the gate exists to catch order-of-magnitude regressions like a
-   bulk clear going back to O(capacity), not single-digit noise. *)
+   bulk clear going back to O(capacity), not single-digit noise.
+
+   The comparison is bidirectional: a gated leaf in the current dump
+   with no counterpart in the baseline means the baseline is stale (a
+   bench section was added without re-committing baseline.json) and the
+   gate exits 2 — distinct from exit 1, a genuine regression — so CI
+   surfaces "recommit the baseline" instead of silently not gating the
+   new section. *)
 
 module Json = Dlink_util.Json
 
@@ -45,15 +52,20 @@ let drop_section key =
   | Some i -> String.sub key (i + 1) (String.length key - i - 1)
   | None -> key
 
+let section key =
+  match String.index_opt key '.' with
+  | Some i -> String.sub key 0 i
+  | None -> key
+
+let is_gated k =
+  match String.rindex_opt k '.' with
+  | Some i ->
+      String.length k > i + 1
+      && List.mem (String.sub k (i + 1) (String.length k - i - 1)) gated_keys
+  | None -> List.mem k gated_keys
+
 let gated path v =
-  List.filter
-    (fun (k, _) ->
-      match String.rindex_opt k '.' with
-      | Some i ->
-          String.length k > i + 1
-          && List.mem (String.sub k (i + 1) (String.length k - i - 1)) gated_keys
-      | None -> List.mem k gated_keys)
-    (leaves "" v)
+  List.filter (fun (k, _) -> is_gated k) (leaves "" v)
   |> function
   | [] ->
       Printf.eprintf "%s: no %s leaves found\n" path
@@ -82,12 +94,15 @@ let () =
   match List.rev !files with
   | [ baseline_path; current_path ] ->
       let baseline = gated baseline_path (read_json baseline_path) in
+      let current_all = leaves "" (read_json current_path) in
       let current =
-        List.map
-          (fun (k, v) -> (drop_section k, v))
-          (leaves "" (read_json current_path))
+        List.map (fun (k, v) -> (drop_section k, v)) current_all
       in
       let failures = ref 0 in
+      (* section name -> (sum of fractional deltas, matched leaf count) *)
+      let sections : (string, float ref * int ref) Hashtbl.t =
+        Hashtbl.create 8
+      in
       List.iter
         (fun (key, committed) ->
           match List.assoc_opt (drop_section key) current with
@@ -96,11 +111,58 @@ let () =
               Printf.printf "FAIL %-55s missing from %s\n" key current_path
           | Some now ->
               let floor = committed *. (1.0 -. !tolerance) in
+              let delta =
+                if committed = 0.0 then 0.0
+                else (now -. committed) /. committed
+              in
+              let sum, count =
+                match Hashtbl.find_opt sections (section key) with
+                | Some cell -> cell
+                | None ->
+                    let cell = (ref 0.0, ref 0) in
+                    Hashtbl.add sections (section key) cell;
+                    cell
+              in
+              sum := !sum +. delta;
+              incr count;
               let verdict = if now < floor then "FAIL" else "ok" in
               if now < floor then incr failures;
-              Printf.printf "%-4s %-55s baseline %8.2f  now %8.2f  floor %8.2f\n"
-                verdict key committed now floor)
+              Printf.printf
+                "%-4s %-55s baseline %8.2f  now %8.2f  floor %8.2f  %+6.1f%%\n"
+                verdict key committed now floor (100.0 *. delta))
         baseline;
+      (* Leaves gated in the current run with no baseline counterpart:
+         the baseline is stale and the new section is not being gated. *)
+      let baseline_short =
+        List.map (fun (k, _) -> drop_section k) baseline
+      in
+      let unbaselined =
+        List.filter
+          (fun (k, _) ->
+            is_gated k && not (List.mem (drop_section k) baseline_short))
+          current_all
+      in
+      if unbaselined <> [] then begin
+        List.iter
+          (fun (k, v) ->
+            Printf.printf
+              "STALE %-54s present in current run (%8.2f) but missing from \
+               %s\n"
+              k v baseline_path)
+          unbaselined;
+        Printf.printf
+          "%d gated leaf/leaves have no baseline entry: recommit %s\n"
+          (List.length unbaselined) baseline_path;
+        exit 2
+      end;
+      Printf.printf "per-section mean delta vs baseline:\n";
+      Hashtbl.fold (fun name cell acc -> (name, cell) :: acc) sections []
+      |> List.sort compare
+      |> List.iter (fun (name, (sum, count)) ->
+             if !count > 0 then
+               Printf.printf "  %-20s %+6.1f%%  (%d leaves)\n" name
+                 (100.0 *. !sum /. float_of_int !count)
+                 !count);
       if !failures > 0 then begin
         Printf.printf "%d throughput metric(s) regressed more than %.0f%%\n"
           !failures (100.0 *. !tolerance);

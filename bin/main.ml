@@ -102,6 +102,7 @@ let print_counters (c : C.t) =
   row "mis skips" c.C.mis_skips;
   row "lost skips" c.C.lost_skips;
   row "quarantined sets" c.C.quarantine_entries;
+  row "timeout degrades" c.C.timeout_degrades;
   row "faults injected" c.C.fault_injected;
   Table.print t
 
@@ -132,6 +133,7 @@ let counters_json (c : C.t) =
       ("mis_skips", J.Int c.C.mis_skips);
       ("lost_skips", J.Int c.C.lost_skips);
       ("quarantine_entries", J.Int c.C.quarantine_entries);
+      ("timeout_degrades", J.Int c.C.timeout_degrades);
       ("fault_injected", J.Int c.C.fault_injected);
     ]
 
@@ -847,13 +849,277 @@ let churn_cmd =
       const action $ rates_arg $ modes_arg $ calls_arg $ seed_arg $ check_arg
       $ json_arg)
 
+let soak_cmd =
+  let module Soak = Dlink_fault.Soak in
+  let module Plan = Dlink_fault.Plan in
+  let module Mode = Dlink_linker.Mode in
+  let module Policy = Dlink_pipeline.Policy in
+  let soak_modes = [ "lazy"; "eager"; "stable" ] in
+  let action cores quantum policy_str mode_str rate ops events seed faults
+      plan_str check json_path repro_path =
+    if cores <= 0 then begin
+      prerr_endline "dlinksim: --cores must be positive";
+      exit 2
+    end;
+    if quantum <= 0 then begin
+      prerr_endline "dlinksim: --quantum must be positive";
+      exit 2
+    end;
+    if rate < 0 || rate > 1000 then begin
+      prerr_endline "dlinksim: --rate must be in 0..1000";
+      exit 2
+    end;
+    let policy =
+      match Policy.of_string policy_str with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "dlinksim: unknown policy %s (valid: %s)\n" policy_str
+            (String.concat ", " (List.map Policy.to_string Policy.all));
+          exit 2
+    in
+    let link_mode =
+      match Mode.of_string mode_str with
+      | Some m when List.mem mode_str soak_modes -> m
+      | Some _ ->
+          Printf.eprintf
+            "dlinksim: link mode %s has no runtime churn (valid: %s)\n" mode_str
+            (String.concat ", " soak_modes);
+          exit 2
+      | None ->
+          Printf.eprintf "dlinksim: unknown link mode %s (valid: %s)\n" mode_str
+            (String.concat ", " soak_modes);
+          exit 2
+    in
+    let plan =
+      match (plan_str, faults) with
+      | Some s, _ -> (
+          match Plan.of_string s with
+          | Ok p -> p
+          | Error e ->
+              Printf.eprintf "dlinksim: bad --plan: %s\n" e;
+              exit 2)
+      | None, 0 -> Plan.empty 0
+      | None, f ->
+          Plan.generate ~coherence:true ~churn:true ~seed ~budget:ops ~faults:f
+            ()
+    in
+    let scen = Dlink_workloads.Churn.scenario ~seed () in
+    let params =
+      {
+        Soak.default_params with
+        Soak.cores;
+        quantum;
+        policy;
+        link_mode;
+        rate;
+        ops;
+        min_instructions = events;
+        seed;
+      }
+    in
+    let r = Soak.run ~plan params scen in
+    Printf.printf
+      "soak cores=%d quantum=%d policy=%s mode=%s rate=%d seed=%d\n" cores
+      quantum (Policy.to_string policy) (Mode.to_string link_mode) rate seed;
+    Printf.printf
+      "  ops=%d churn=%d migrations=%d instructions=%d crashes=%d\n" r.Soak.ops
+      r.Soak.churn_events r.Soak.migrations r.Soak.counters.C.instructions
+      r.Soak.crashes;
+    Printf.printf
+      "  invariants: checks=%d violations=%d (unmapped=%d stale-skip=%d \
+       stale-msg=%d) aba-recovered=%d\n"
+      r.Soak.checks r.Soak.violations r.Soak.fetch_unmapped r.Soak.stale_skips
+      r.Soak.stale_messages r.Soak.aba_discards;
+    Printf.printf
+      "  bus: published=%d acked=%d dropped=%d retries=%d reorders=%d \
+       timeouts=%d stale-discards=%d\n"
+      r.Soak.bus.Soak.published r.Soak.bus.Soak.acked r.Soak.bus.Soak.dropped
+      r.Soak.bus.Soak.retries r.Soak.bus.Soak.reorders r.Soak.bus.Soak.timeouts
+      r.Soak.bus.Soak.stale_discards;
+    Printf.printf
+      "  dynload: opens=%d closes=%d rebinds=%d grace-unmaps=%d \
+       forced-unmaps=%d\n"
+      r.Soak.opens r.Soak.closes r.Soak.rebinds r.Soak.grace_unmaps
+      r.Soak.forced_unmaps;
+    List.iter
+      (fun v ->
+        Printf.printf "  violation: %s\n"
+          (Dlink_fault.Invariant.violation_to_string v))
+      r.Soak.recorded;
+    print_counters r.Soak.counters;
+    (match json_path with
+    | None -> ()
+    | Some path ->
+        let module J = Dlink_util.Json in
+        let doc =
+          J.Obj
+            [
+              ("cores", J.Int cores);
+              ("quantum", J.Int quantum);
+              ("policy", J.String (Policy.to_string policy));
+              ("link_mode", J.String (Mode.to_string link_mode));
+              ("rate", J.Int rate);
+              ("seed", J.Int seed);
+              ("plan", J.String (Plan.to_string plan));
+              ("ops", J.Int r.Soak.ops);
+              ("churn_events", J.Int r.Soak.churn_events);
+              ("migrations", J.Int r.Soak.migrations);
+              ("crashes", J.Int r.Soak.crashes);
+              ("checks", J.Int r.Soak.checks);
+              ("violations", J.Int r.Soak.violations);
+              ("fetch_unmapped", J.Int r.Soak.fetch_unmapped);
+              ("stale_skips", J.Int r.Soak.stale_skips);
+              ("stale_messages", J.Int r.Soak.stale_messages);
+              ("aba_discards", J.Int r.Soak.aba_discards);
+              ("bus_published", J.Int r.Soak.bus.Soak.published);
+              ("bus_acked", J.Int r.Soak.bus.Soak.acked);
+              ("bus_dropped", J.Int r.Soak.bus.Soak.dropped);
+              ("bus_retries", J.Int r.Soak.bus.Soak.retries);
+              ("bus_reorders", J.Int r.Soak.bus.Soak.reorders);
+              ("bus_timeouts", J.Int r.Soak.bus.Soak.timeouts);
+              ("bus_stale_discards", J.Int r.Soak.bus.Soak.stale_discards);
+              ("grace_unmaps", J.Int r.Soak.grace_unmaps);
+              ("forced_unmaps", J.Int r.Soak.forced_unmaps);
+              ("counters", counters_json r.Soak.counters);
+            ]
+        in
+        if path = "-" then print_endline (J.to_string doc)
+        else J.write_file path doc);
+    if check then begin
+      let failures = Soak.check ~plan r in
+      let cross_ok =
+        match Soak.crosscheck params scen with
+        | Ok () ->
+            print_endline "ok: cores=1 soak bit-identical to churn cell";
+            true
+        | Error e ->
+            prerr_endline ("dlinksim: " ^ e);
+            false
+      in
+      (* Any violating run — caught fault class or genuine property
+         breakage — yields a minimal replayable plan; the exit code only
+         reflects the properties, since caught violations under a seeded
+         plan are the checker doing its job. *)
+      if Soak.failed ~plan r then begin
+        let small, rs = Soak.shrink params ~plan scen in
+        let repro = Plan.to_string small in
+        Printf.printf "shrunk reproducer (%d violations): %s\n"
+          rs.Soak.violations repro;
+        match repro_path with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (repro ^ "\n");
+            close_out oc
+        | None -> ()
+      end;
+      if failures <> [] || not cross_ok then begin
+        List.iter
+          (fun f -> Printf.eprintf "dlinksim: soak property failed: %s\n" f)
+          failures;
+        exit 1
+      end
+      else print_endline "ok: all soak properties hold"
+    end
+  in
+  let cores_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "cores" ] ~docv:"N" ~doc:"Pipeline kernels to migrate over.")
+  in
+  let quantum_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "quantum" ] ~docv:"OPS" ~doc:"Ops per scheduling quantum.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt string "asid-shared-guard"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Context-switch policy: flush, asid or asid-shared-guard.")
+  in
+  let mode_arg =
+    Arg.(
+      value & opt string "lazy"
+      & info [ "mode" ] ~docv:"MODE" ~doc:"Link mode: lazy, eager or stable.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt int 300
+      & info [ "rate" ] ~docv:"R" ~doc:"Churn events per 1000 ops.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "ops" ] ~docv:"N" ~doc:"Minimum plugin calls to soak.")
+  in
+  let events_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "events" ] ~docv:"N"
+          ~doc:
+            "Keep soaking until at least N instructions have retired \
+             system-wide (0: stop at --ops).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Scenario, rotation and plan seed.")
+  in
+  let faults_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "faults" ] ~docv:"N"
+          ~doc:
+            "Generate a fault plan with N random events (coherence and \
+             churn classes included); ignored when --plan is given.")
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:"Replay a serialized fault plan (e.g. a shrunk reproducer).")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Verify soak safety properties and the cores=1 bit-identity \
+             crosscheck; on failure, shrink the plan to a minimal \
+             reproducer and exit 1.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the report as JSON to FILE ($(b,-) or bare flag: stdout).")
+  in
+  let repro_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "reproducer" ] ~docv:"FILE"
+          ~doc:"With --check: write the shrunk reproducer plan to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Multi-core churn soak: invariant checking under coherence faults")
+    Term.(
+      const action $ cores_arg $ quantum_arg $ policy_arg $ mode_arg $ rate_arg
+      $ ops_arg $ events_arg $ seed_arg $ faults_arg $ plan_arg $ check_arg
+      $ json_arg $ repro_arg)
+
 let list_cmd =
   let action () =
     List.iter print_endline Dlink_workloads.Registry.names
   in
   Cmd.v (Cmd.info "list" ~doc:"List available workloads") Term.(const action $ const ())
 
-let version = "0.6.0"
+let version = "0.7.0"
 
 let () =
   let doc = "Simulator for 'Architectural Support for Dynamic Linking' (ASPLOS'15)" in
@@ -869,6 +1135,7 @@ let () =
         multi_cmd;
         fuzz_cmd;
         churn_cmd;
+        soak_cmd;
         dump_cmd;
         trace_cmd;
         list_cmd;

@@ -45,3 +45,54 @@ val run :
     calls.  With an empty plan the run must be divergence-free in every
     link mode — that invariant is what makes the stable-linking resolver
     comparison trustworthy.  Fully deterministic for equal arguments. *)
+
+(** {2 Multi-core differential mode} *)
+
+type core_class = {
+  c_mis_skips : int;
+  c_lost_skips : int;
+  c_stale_unload : int;
+      (** divergences inside the hazard window after a
+          [Stale_unload]/[Unload_inflight] close, charged to the core
+          that retired them *)
+  c_timeout_degrades : int;
+      (** degradation windows forced on this core by coherence timeouts *)
+}
+
+type multi_report = {
+  m_ops : int;
+  m_churn_events : int;
+  m_migrations : int;
+  m_mis_skips : int;
+  m_lost_skips : int;
+  m_stale_unload : int;
+  m_unclassified : int;
+  m_bus_timeouts : int;
+  m_per_core : core_class array;
+  m_counters : Counters.t;  (** system-wide sum over all cores *)
+  m_divergences : Oracle.divergence list;
+}
+
+val run_multi :
+  ?ucfg:Config.t ->
+  ?skip_cfg:Skip.config ->
+  ?plan:Plan.t ->
+  ?hazard_window:int ->
+  ?call_fuel:int ->
+  cores:int ->
+  quantum:int ->
+  policy:Dlink_pipeline.Policy.t ->
+  link_mode:Dlink_linker.Mode.t ->
+  rate:int ->
+  ops:int ->
+  seed:int ->
+  Churn.scenario ->
+  multi_report
+(** The differential oracle over the soak topology: one architectural
+    thread migrating round-robin (quantum ops per slice) across [cores]
+    Enhanced kernels wired to an acked coherence bus, versus the pure
+    architectural reference.  Each divergence is classified against the
+    {e dispatched} core's skip unit and counters; a divergence within
+    [hazard_window] (default 50) ops of a hazard-realised close is
+    additionally charged to that core's stale-unload bucket.  With an
+    empty plan the run must be divergence-free on every core. *)

@@ -6,6 +6,15 @@ module Coherence = Dlink_mach.Coherence
 type t = {
   plan : Plan.t;
   skip : Skip.t;
+  (* Every skip unit carrying this injector's clear-veto; [skip] plus any
+     attached by [attach_skip] (multi-core topologies).  The credit pool
+     is shared: a suppressed clear consumes one credit on whichever core
+     clears next. *)
+  mutable skips : Skip.t list;
+  (* Which unit skip-targeted actions (Bloom_flip, Spurious_clear,
+     Asid_reuse) hit; defaults to [skip], multi-core drivers point it at
+     the currently dispatched core. *)
+  mutable current : unit -> Skip.t;
   counters : Counters.t;
   bus : Coherence.t option;
   rewrite : (Rng.t -> bool) option;
@@ -14,15 +23,26 @@ type t = {
   mutable suppress_all : bool; (* veto every clear while set (dlclose window) *)
   mutable drop : int;
   mutable delay : int;
+  mutable reorder : int;
   mutable stale_unload : int;
   mutable unload_inflight : int;
 }
 
+let veto t () =
+  if t.suppress_all then true
+  else if t.suppress > 0 then begin
+    t.suppress <- t.suppress - 1;
+    true
+  end
+  else false
+
 let create ?bus ?rewrite ~skip ~counters ~plan () =
-  let t =
+  let rec t =
     {
       plan;
       skip;
+      skips = [ skip ];
+      current = (fun () -> t.skip);
       counters;
       bus;
       rewrite;
@@ -31,19 +51,12 @@ let create ?bus ?rewrite ~skip ~counters ~plan () =
       suppress_all = false;
       drop = 0;
       delay = 0;
+      reorder = 0;
       stale_unload = 0;
       unload_inflight = 0;
     }
   in
-  Skip.set_clear_veto skip
-    (Some
-       (fun () ->
-         if t.suppress_all then true
-         else if t.suppress > 0 then begin
-           t.suppress <- t.suppress - 1;
-           true
-         end
-         else false));
+  Skip.set_clear_veto skip (Some (veto t));
   Option.iter
     (fun bus ->
       Coherence.set_fault bus
@@ -57,18 +70,31 @@ let create ?bus ?rewrite ~skip ~counters ~plan () =
                t.delay <- t.delay - 1;
                Coherence.Delay
              end
+             else if t.reorder > 0 then begin
+               t.reorder <- t.reorder - 1;
+               Coherence.Reorder
+             end
              else Coherence.Deliver)))
     bus;
   t
 
+let attach_skip t skip =
+  if not (List.memq skip t.skips) then begin
+    t.skips <- t.skips @ [ skip ];
+    Skip.set_clear_veto skip (Some (veto t))
+  end
+
+let set_current t f =
+  t.current <- (match f with None -> fun () -> t.skip | Some f -> f)
+
 let detach t =
-  Skip.set_clear_veto t.skip None;
+  List.iter (fun s -> Skip.set_clear_veto s None) t.skips;
   Option.iter (fun bus -> Coherence.set_fault bus None) t.bus
 
 (* Flip a set bit of the Bloom field, starting the search at a random
    position; a no-op on an empty filter. *)
 let flip_bloom_bit t =
-  let bloom = Skip.bloom t.skip in
+  let bloom = Skip.bloom (t.current ()) in
   let n = Bloom.size_bits bloom in
   if Bloom.bits_set bloom > 0 then begin
     let start = Rng.int t.rng n in
@@ -89,13 +115,15 @@ let apply t action =
   match action with
   | Plan.Bloom_flip -> flip_bloom_bit t
   | Plan.Suppress_clear n -> t.suppress <- t.suppress + n
-  | Plan.Spurious_clear -> Skip.flush t.skip
+  | Plan.Spurious_clear -> Skip.flush (t.current ())
   | Plan.Got_rewrite ->
       Option.iter (fun f -> ignore (f t.rng : bool)) t.rewrite
   | Plan.Asid_reuse ->
-      Skip.set_asid t.skip (if Skip.asid t.skip = 0 then 1 else 0)
+      let s = t.current () in
+      Skip.set_asid s (if Skip.asid s = 0 then 1 else 0)
   | Plan.Drop_msgs n -> t.drop <- t.drop + n
   | Plan.Delay_msgs n -> t.delay <- t.delay + n
+  | Plan.Reorder_msgs n -> t.reorder <- t.reorder + n
   | Plan.Stale_unload n -> t.stale_unload <- t.stale_unload + n
   | Plan.Unload_inflight -> t.unload_inflight <- t.unload_inflight + 1
 

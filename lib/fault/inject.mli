@@ -30,6 +30,17 @@ val on_request : t -> int -> unit
 (** Apply every plan action scheduled at this request index.  Call once
     per request, before executing it. *)
 
+val attach_skip : t -> Skip.t -> unit
+(** Install this injector's clear-veto on a further skip unit (multi-core
+    topologies: every core shares one suppress-credit pool).  Idempotent
+    per unit; {!detach} removes the veto from all attached units. *)
+
+val set_current : t -> (unit -> Skip.t) option -> unit
+(** Select which unit skip-targeted actions ([Bloom_flip],
+    [Spurious_clear], [Asid_reuse]) strike.  Multi-core drivers point
+    this at the currently dispatched core; [None] restores the default
+    (the [skip] given at {!create}). *)
+
 val detach : t -> unit
 (** Remove the veto and bus hooks, restoring fault-free behaviour. *)
 

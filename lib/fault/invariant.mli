@@ -1,0 +1,81 @@
+(** Safety invariant checker for multi-core churn.
+
+    Wired into every core's {!Dlink_pipeline.Kernel} tap point and the
+    coherence bus's validation hook, it asserts — on every retired event,
+    across all cores — the three invariants that separate "slow but
+    correct" from wrong execution under module churn:
+
+    - {b no fetch from an unmapped span}: every retired pc lies inside a
+      currently mapped image (the demand-loading literature's "never
+      execute unmapped text");
+    - {b no stale skip}: a redirected direct call (the trampoline skip)
+      must still be justified by the live GOT — the trampoline is a
+      mapped PLT entry and its slot holds exactly the skip target;
+    - {b no stale coherence message applied}: an invalidation must not be
+      applied after its source module's mapping died or its range was
+      reused (the first-fit ABA hazard) — with the epoch guard on such
+      messages are discarded (recovery, counted in {!aba_discards}); with
+      it off they apply and are recorded as violations.
+
+    The checker never mutates the machine it watches; all verdicts come
+    from embedder-supplied predicates over live loader/memory state, so
+    it stays valid as modules come and go. *)
+
+open Dlink_isa
+module Event = Dlink_mach.Event
+
+type violation =
+  | Fetch_unmapped of { core : int; pc : Addr.t }
+  | Stale_skip of { core : int; pc : Addr.t; tramp : Addr.t; target : Addr.t }
+  | Stale_message of { src : int; addr : Addr.t; stamp : int }
+
+type cfg = {
+  in_mapped : Addr.t -> bool;  (** pc lies in mapped text *)
+  skip_target_ok : tramp:Addr.t -> target:Addr.t -> bool;
+      (** the live GOT still justifies skipping [tramp] to [target] *)
+  message_fresh : stamp:int -> Addr.t -> bool;
+      (** the message's generation stamp still matches [addr]'s mapping *)
+  epoch_guard : bool;
+      (** discard stale messages (true, the protocol) or apply them and
+          record the violation (false, the ablation) *)
+}
+
+type t
+
+val create : ?max_recorded:int -> cfg -> t
+(** [max_recorded] (default 32) caps the retained violation list; counts
+    are never capped. *)
+
+val on_retire : t -> core:int -> Event.t -> unit
+(** The per-event asserts; hang on {!Dlink_pipeline.Kernel.set_tap}. *)
+
+val record_fetch_fault : t -> core:int -> pc:Addr.t -> unit
+(** Classify a caught [Process.Fault] (the interpreter refused an
+    unmapped fetch before anything retired) as a [Fetch_unmapped]. *)
+
+val record_stale_skip :
+  t -> core:int -> pc:Addr.t -> tramp:Addr.t -> target:Addr.t -> unit
+(** Classify a caught [Skip.Misspeculation] as a [Stale_skip]. *)
+
+val on_message : t -> src:int -> stamp:int -> Addr.t -> bool
+(** Bus validation: give to {!Dlink_mach.Coherence.set_validate} (adapted
+    to its signature); returns whether the message may be applied. *)
+
+val checks : t -> int
+val violations : t -> int
+val fetch_unmapped : t -> int
+val stale_skips : t -> int
+val stale_messages : t -> int
+
+val aba_discards : t -> int
+(** Stale messages the epoch guard discarded — ABA hazards recovered. *)
+
+val recorded : t -> violation list
+(** Oldest first, capped at [max_recorded]. *)
+
+val first_violation : t -> violation option
+
+val first_violation_at : t -> int option
+(** Check index (≈ retired-event ordinal) of the first violation. *)
+
+val violation_to_string : violation -> string

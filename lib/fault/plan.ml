@@ -8,6 +8,7 @@ type action =
   | Asid_reuse
   | Drop_msgs of int
   | Delay_msgs of int
+  | Reorder_msgs of int
   | Stale_unload of int
   | Unload_inflight
 
@@ -22,7 +23,7 @@ let generate ?(coherence = false) ?(churn = false) ~seed ~budget ~faults () =
   if budget <= 0 then invalid_arg "Plan.generate: budget must be positive";
   if faults < 0 then invalid_arg "Plan.generate: faults must be non-negative";
   let rng = Rng.create seed in
-  let kinds = (if coherence then 7 else 5) + if churn then 2 else 0 in
+  let kinds = (if coherence then 8 else 5) + if churn then 2 else 0 in
   let events =
     List.init faults (fun _ ->
         let at = Rng.int rng budget in
@@ -31,8 +32,11 @@ let generate ?(coherence = false) ?(churn = false) ~seed ~budget ~faults () =
           (* Churn actions take the slots past the enabled static set, so
              non-churn plans are unchanged for a given seed. *)
           let k = Rng.int rng kinds in
+          (* Churn actions take the slots past the enabled static set, so
+             plans for a given seed are unchanged by the coherence flag's
+             vocabulary growing. *)
           let k =
-            if churn && not coherence && k >= 5 then k + 2 else k
+            if churn && not coherence && k >= 5 then k + 3 else k
           in
           match k with
           | 0 -> Bloom_flip
@@ -42,7 +46,8 @@ let generate ?(coherence = false) ?(churn = false) ~seed ~budget ~faults () =
           | 4 -> Asid_reuse
           | 5 -> Drop_msgs (n ())
           | 6 -> Delay_msgs (n ())
-          | 7 -> Stale_unload (n ())
+          | 7 -> Reorder_msgs (n ())
+          | 8 -> Stale_unload (n ())
           | _ -> Unload_inflight
         in
         { at; action })
@@ -68,6 +73,7 @@ let action_to_string = function
   | Asid_reuse -> "asid_reuse"
   | Drop_msgs n -> Printf.sprintf "drop_msgs*%d" n
   | Delay_msgs n -> Printf.sprintf "delay_msgs*%d" n
+  | Reorder_msgs n -> Printf.sprintf "reorder_msgs*%d" n
   | Stale_unload n -> Printf.sprintf "stale_unload*%d" n
   | Unload_inflight -> "unload_inflight"
 
@@ -105,6 +111,7 @@ let action_of_string s =
   | "asid_reuse" -> plain Asid_reuse
   | "drop_msgs" -> counted (fun n -> Drop_msgs n)
   | "delay_msgs" -> counted (fun n -> Delay_msgs n)
+  | "reorder_msgs" -> counted (fun n -> Reorder_msgs n)
   | "stale_unload" -> counted (fun n -> Stale_unload n)
   | "unload_inflight" -> plain Unload_inflight
   | _ -> Error (Printf.sprintf "unknown fault action %S" name)

@@ -20,8 +20,14 @@
     - [Asid_reuse]: the skip unit's ASID is toggled without a flush,
       exercising tag reuse/rollover paths.
     - [Drop_msgs n] / [Delay_msgs n]: the next [n] coherence-bus messages
-      are dropped forever / parked until the next drain (delayed messages
-      replay most-recent-first, i.e. reordered).
+      lose their delivery attempt / are parked until the next drain.
+      Under the acked protocol both are recoverable: dropped messages are
+      retried with backoff (and time the destination cores out into
+      degradation if the drops persist past the retry limit), delayed
+      ones arrive late but in publication order.
+    - [Reorder_msgs n]: the next [n] messages are parked and replayed
+      most-recent-first at the next drain — the explicit out-of-order
+      delivery fault (the old implicit drain wart, now opt-in).
     - [Stale_unload n]: the next [n] dlcloses unmap with their
       invalidation stores architecturally applied but every resulting
       filter-driven ABTB clear lost — the ABTB keeps entries for a module
@@ -38,6 +44,7 @@ type action =
   | Asid_reuse
   | Drop_msgs of int
   | Delay_msgs of int
+  | Reorder_msgs of int
   | Stale_unload of int
   | Unload_inflight
 

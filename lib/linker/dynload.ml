@@ -9,6 +9,8 @@ type stats = {
   mutable rebinds : int;
   mutable stable_hits : int;
   mutable stable_misses : int;
+  mutable grace_unmaps : int;
+  mutable forced_unmaps : int;
 }
 
 (* One runtime-mapped module.  The image id is fresh per mapping (never
@@ -24,6 +26,9 @@ type mstate = {
 
 type handle = int (* = image id of the mapping *)
 
+type barrier =
+  span_base:Addr.t -> span_end:Addr.t -> complete:(unit -> unit) -> unit -> unit
+
 type t = {
   linked : Loader.t;
   store : Addr.t -> int -> unit;
@@ -36,6 +41,17 @@ type t = {
   by_handle : (int, mstate) Hashtbl.t;
   snapshots : (string, (string * Addr.t) list) Hashtbl.t;
   mutable pending : (unit -> unit) list; (* deferred invalidations, FIFO *)
+  (* Mapping-generation clock: bumped on every map and final unmap, with
+     the value at map time recorded per image id.  A coherence message
+     stamped with the generation of its slot's owning mapping can be
+     recognised as stale after the mapping dies or its range is reused. *)
+  mutable generation : int;
+  map_generations : (int, int) Hashtbl.t; (* image id -> gen at map *)
+  (* Unmap grace periods in flight: module name -> force closure.  While a
+     name is retiring, its image is still mapped and its range is not on
+     the free list; a dlopen of the same name forces the barrier first. *)
+  retiring : (string, unit -> unit) Hashtbl.t;
+  mutable unmap_barrier : barrier option;
   stats : stats;
 }
 
@@ -56,6 +72,10 @@ let create ?seed ~store ~read linked =
     by_handle = Hashtbl.create 16;
     snapshots = Hashtbl.create 16;
     pending = [];
+    generation = 0;
+    map_generations = Hashtbl.create 16;
+    retiring = Hashtbl.create 4;
+    unmap_barrier = None;
     stats =
       {
         opens = 0;
@@ -64,11 +84,27 @@ let create ?seed ~store ~read linked =
         rebinds = 0;
         stable_hits = 0;
         stable_misses = 0;
+        grace_unmaps = 0;
+        forced_unmaps = 0;
       };
   }
 
 let stats t = t.stats
 let linked t = t.linked
+let set_unmap_barrier t b = t.unmap_barrier <- b
+let generation t = t.generation
+let retiring_count t = Hashtbl.length t.retiring
+
+(* Generation of the mapping that owns [addr]: statically loaded images
+   predate the clock and are generation 0; an unmapped address has no
+   generation at all. *)
+let generation_at t addr =
+  match Space.image_at t.linked.Loader.space addr with
+  | None -> None
+  | Some img -> (
+      match Hashtbl.find_opt t.map_generations img.Image.id with
+      | Some g -> Some g
+      | None -> Some 0)
 
 let gap t =
   match t.rng with
@@ -119,6 +155,15 @@ let dlopen t (obj : Objfile.t) =
       m.h_refs <- m.h_refs + 1;
       m.h_id
   | None ->
+      (* Reuse pressure forces a pending grace period: if this module is
+         still retiring (unmap waiting on acks), resolve it now — laggard
+         cores are timed out and degraded — so the name and range are
+         free for the new mapping. *)
+      (match Hashtbl.find_opt t.retiring obj.Objfile.name with
+      | Some force ->
+          force ();
+          t.stats.forced_unmaps <- t.stats.forced_unmaps + 1
+      | None -> ());
       let span = align_page (Loader.module_span t.linked obj) in
       let base = alloc_range t span in
       let id = t.next_id in
@@ -128,6 +173,12 @@ let dlopen t (obj : Objfile.t) =
           ~image_id:id ()
       in
       let image, init = Loader.map_module t.linked ~id ~base ~define obj in
+      (* The mapping's generation must exist before any store it provokes:
+         an embedder stamping coherence messages with [generation_at] of
+         the stored slot would otherwise stamp the init stores 0 and see
+         them discarded as stale on delivery. *)
+      t.generation <- t.generation + 1;
+      Hashtbl.replace t.map_generations id t.generation;
       (* GOT and vtable initialisation goes through the embedder's store
          path: these are ordinary architectural stores, so the Bloom
          filter and coherence machinery observe the new module's GOT
@@ -239,11 +290,36 @@ let dlclose ?(defer_invalidate = false) t h =
         ~own_slots
     in
     if defer_invalidate then t.pending <- t.pending @ [ inval ] else inval ();
-    Loader.unmap_module t.linked m.h_id;
-    t.free <- List.sort compare ((m.h_base, m.h_span) :: t.free);
     m.h_open <- false;
     Hashtbl.remove t.by_name m.h_name;
-    t.stats.closes <- t.stats.closes + 1
+    t.stats.closes <- t.stats.closes + 1;
+    (* The unmap itself waits for the embedder's barrier (every core has
+       acked the invalidation traffic, or timed out and been degraded);
+       until then the image stays mapped and the range stays off the free
+       list, so no new tenant can move in under an in-flight
+       invalidation — the epoch-guarded grace period. *)
+    let finish () =
+      Loader.unmap_module t.linked m.h_id;
+      t.free <- List.sort compare ((m.h_base, m.h_span) :: t.free);
+      t.generation <- t.generation + 1;
+      Hashtbl.remove t.map_generations m.h_id;
+      Hashtbl.remove t.retiring m.h_name
+    in
+    match t.unmap_barrier with
+    | None -> finish ()
+    | Some b ->
+        let completed = ref false in
+        let complete () =
+          if not !completed then begin
+            completed := true;
+            finish ()
+          end
+        in
+        let force = b ~span_base ~span_end ~complete in
+        if not !completed then begin
+          t.stats.grace_unmaps <- t.stats.grace_unmaps + 1;
+          Hashtbl.replace t.retiring m.h_name force
+        end
   end
 
 let flush_pending t =
@@ -252,4 +328,12 @@ let flush_pending t =
   List.iter (fun f -> f ()) ps
 
 let pending_invalidations t = List.length t.pending
+
+let force_retiring t =
+  let forces = Hashtbl.fold (fun _ f acc -> f :: acc) t.retiring [] in
+  let n = List.length forces in
+  List.iter (fun f -> f ()) forces;
+  t.stats.forced_unmaps <- t.stats.forced_unmaps + n;
+  n
+
 let dlsym t sym = Linkmap.lookup_addr t.linked.Loader.linkmap sym

@@ -37,6 +37,12 @@ type stats = {
           pointed into the closed range *)
   mutable stable_hits : int;  (** snapshot entries installed on reopen *)
   mutable stable_misses : int;  (** snapshot entries rejected as stale *)
+  mutable grace_unmaps : int;
+      (** final closes whose unmap had to wait on the barrier (coherence
+          acks still outstanding when [dlclose] returned) *)
+  mutable forced_unmaps : int;
+      (** grace periods resolved early — by a reopen of the retiring
+          module or {!force_retiring} — timing out laggard cores *)
 }
 
 val create :
@@ -71,6 +77,42 @@ val flush_pending : t -> unit
 (** Run invalidations deferred by [dlclose ~defer_invalidate:true], FIFO. *)
 
 val pending_invalidations : t -> int
+
+(** {2 Epoch-guarded unmap grace period}
+
+    On a multi-core topology the invalidation stores a [dlclose] issues
+    travel to other cores over the coherence bus, and the unmap must not
+    complete — in particular, the freed range must not become reusable —
+    until every core has acknowledged them.  The embedder expresses that
+    window as a barrier: called with the closing span, it arranges for
+    [complete] to run once all in-flight invalidations are resolved
+    (typically {!Dlink_mach.Coherence.fence}) and returns a closure that
+    forces resolution now, timing out laggards.  Without a barrier
+    installed (the default, and any single-core embedder) the unmap
+    completes inside [dlclose] exactly as before. *)
+
+type barrier =
+  span_base:Addr.t -> span_end:Addr.t -> complete:(unit -> unit) -> unit -> unit
+
+val set_unmap_barrier : t -> barrier option -> unit
+
+val generation : t -> int
+(** The mapping-generation clock: bumped on every map and completed
+    unmap.  Stamp coherence messages with {!generation_at} of their slot
+    and validate on delivery to detect messages that outlived their
+    mapping (the first-fit ABA hazard). *)
+
+val generation_at : t -> Addr.t -> int option
+(** Generation of the mapping owning [addr] ([Some 0] for statically
+    loaded images, [None] if unmapped). *)
+
+val retiring_count : t -> int
+(** Modules whose unmap is still waiting on the barrier. *)
+
+val force_retiring : t -> int
+(** Force every pending grace period to resolve now (laggard cores are
+    timed out through the barrier), returning how many were forced.  Used
+    at end of run / before tearing down the topology. *)
 
 val dlsym : t -> string -> Addr.t option
 (** Current visible binding of a (possibly versioned) symbol reference. *)

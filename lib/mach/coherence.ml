@@ -1,64 +1,237 @@
 open Dlink_isa
 
 type subscriber = { core : int; notify : src:int -> Addr.t -> unit }
-type fate = Deliver | Drop | Delay
+type fate = Deliver | Drop | Delay | Reorder
+
+(* One in-flight invalidation.  [m_attempts] counts delivery attempts lost
+   to a [Drop] fate; a message whose attempt count exceeds the retry limit
+   is abandoned and its destinations notified through [on_timeout].
+   [m_due] is the drain tick before which the message is not retried — the
+   backoff clock. *)
+type msg = {
+  m_seq : int;
+  m_src : int;
+  m_stamp : int;
+  m_addr : Addr.t;
+  m_reorder : bool;
+  mutable m_attempts : int;
+  mutable m_due : int;
+}
+
+type fence = { f_seq : int; f_complete : unit -> unit; f_done : bool ref }
 
 type t = {
   mutable subscribers : subscriber list; (* ascending core id *)
   mutable published : int;
   mutable delivered : int;
+  mutable acked : int;
   mutable dropped : int;
+  mutable retries : int;
+  mutable reorders : int;
+  mutable timeouts : int;
+  mutable stale_discards : int;
+  retry_limit : int;
   mutable fault : (src:int -> Addr.t -> fate) option;
-  (* Messages a fault hook chose to hold back; most-recent-first, so a
-     drain replays them out of publication order (the reorder fault). *)
-  mutable delayed : (int * Addr.t) list;
+  mutable validate : (src:int -> stamp:int -> Addr.t -> bool) option;
+  mutable on_timeout : (core:int -> src:int -> Addr.t -> unit) option;
+  (* Held-back messages in publication order; [drain] walks them oldest
+     first, so recovery preserves store order unless a [Reorder] fate
+     explicitly asked for inversion. *)
+  mutable pending : msg list;
+  mutable seq : int;
+  mutable tick : int;
+  mutable fences : fence list;
 }
 
-let create () =
+let default_retry_limit = 3
+
+let create ?(retry_limit = default_retry_limit) () =
+  if retry_limit < 0 then
+    invalid_arg "Coherence.create: retry_limit must be non-negative";
   {
     subscribers = [];
     published = 0;
     delivered = 0;
+    acked = 0;
     dropped = 0;
+    retries = 0;
+    reorders = 0;
+    timeouts = 0;
+    stale_discards = 0;
+    retry_limit;
     fault = None;
-    delayed = [];
+    validate = None;
+    on_timeout = None;
+    pending = [];
+    seq = 0;
+    tick = 0;
+    fences = [];
   }
 
 let subscribe t ~core notify =
   if List.exists (fun s -> s.core = core) t.subscribers then
-    invalid_arg (Printf.sprintf "Coherence.subscribe: core %d already present" core);
+    invalid_arg
+      (Printf.sprintf "Coherence.subscribe: core %d already present" core);
   t.subscribers <-
     List.sort
       (fun a b -> compare a.core b.core)
       ({ core; notify } :: t.subscribers)
 
-let deliver t ~src addr =
-  List.iter
-    (fun s ->
-      if s.core <> src then begin
-        t.delivered <- t.delivered + 1;
-        s.notify ~src addr
-      end)
-    t.subscribers
+(* A fence completes once no unresolved message published before it
+   remains; resolution is delivery, timeout, or stale discard. *)
+let check_fences t =
+  match t.fences with
+  | [] -> ()
+  | _ ->
+      let min_pending =
+        List.fold_left (fun acc m -> min acc m.m_seq) max_int t.pending
+      in
+      let fire, keep =
+        List.partition (fun f -> f.f_seq < min_pending) t.fences
+      in
+      t.fences <- keep;
+      List.iter
+        (fun f ->
+          if not !(f.f_done) then begin
+            f.f_done := true;
+            f.f_complete ()
+          end)
+        fire
 
-let publish t ~src addr =
-  t.published <- t.published + 1;
-  let fate =
-    match t.fault with None -> Deliver | Some f -> f ~src addr
+(* Deliver to every subscriber except the source; in this synchronous
+   model each delivery is immediately acknowledged, so a delivered message
+   is a fully acked message.  The epoch guard runs first: a message whose
+   stamp no longer matches the live generation of its address is discarded
+   rather than applied — the ABA protection for reused ranges. *)
+let deliver_now t ~src ~stamp addr =
+  let stale =
+    match t.validate with None -> false | Some v -> not (v ~src ~stamp addr)
   in
+  if stale then begin
+    t.stale_discards <- t.stale_discards + 1;
+    false
+  end
+  else begin
+    List.iter
+      (fun s ->
+        if s.core <> src then begin
+          t.delivered <- t.delivered + 1;
+          s.notify ~src addr
+        end)
+      t.subscribers;
+    t.acked <- t.acked + 1;
+    true
+  end
+
+let park t ~fate ~src ~stamp addr =
+  if fate = Drop then t.dropped <- t.dropped + 1;
+  t.pending <-
+    t.pending
+    @ [
+        {
+          m_seq = t.seq;
+          m_src = src;
+          m_stamp = stamp;
+          m_addr = addr;
+          m_reorder = fate = Reorder;
+          m_attempts = (if fate = Drop then 1 else 0);
+          m_due = t.tick + 1;
+        };
+      ]
+
+let publish ?(stamp = 0) t ~src addr =
+  t.seq <- t.seq + 1;
+  t.published <- t.published + 1;
+  let fate = match t.fault with None -> Deliver | Some f -> f ~src addr in
   match fate with
-  | Deliver -> deliver t ~src addr
-  | Drop -> t.dropped <- t.dropped + 1
-  | Delay -> t.delayed <- (src, addr) :: t.delayed
+  | Deliver -> ignore (deliver_now t ~src ~stamp addr : bool)
+  | (Drop | Delay | Reorder) as fate -> park t ~fate ~src ~stamp addr
+
+let time_out t m =
+  t.timeouts <- t.timeouts + 1;
+  match t.on_timeout with
+  | None -> ()
+  | Some f ->
+      List.iter
+        (fun s ->
+          if s.core <> m.m_src then f ~core:s.core ~src:m.m_src m.m_addr)
+        t.subscribers
 
 let drain t =
-  let held = t.delayed in
-  t.delayed <- [];
-  List.iter (fun (src, addr) -> deliver t ~src addr) held;
-  List.length held
+  t.tick <- t.tick + 1;
+  let ready, waiting = List.partition (fun m -> m.m_due <= t.tick) t.pending in
+  t.pending <- waiting;
+  (* Publication order for honest messages; reorder-fated ones replay
+     most-recent-first after them — the old wart, now opt-in and counted. *)
+  let inorder, reordered = List.partition (fun m -> not m.m_reorder) ready in
+  let released = ref 0 in
+  let attempt m =
+    (* Retries re-consult the fault hook, so a burst of [Drop] fates is
+       survivable: once the injector's credits run out the message goes
+       through.  A message that keeps drawing [Drop] past the retry limit
+       is abandoned as timed out. *)
+    let fate =
+      if m.m_attempts = 0 then Deliver
+      else begin
+        t.retries <- t.retries + 1;
+        match t.fault with None -> Deliver | Some f -> f ~src:m.m_src m.m_addr
+      end
+    in
+    match fate with
+    | Deliver | Reorder ->
+        if m.m_reorder then t.reorders <- t.reorders + 1;
+        if deliver_now t ~src:m.m_src ~stamp:m.m_stamp m.m_addr then
+          incr released
+    | Delay ->
+        m.m_due <- t.tick + 1;
+        t.pending <- t.pending @ [ m ]
+    | Drop ->
+        t.dropped <- t.dropped + 1;
+        m.m_attempts <- m.m_attempts + 1;
+        if m.m_attempts > t.retry_limit then time_out t m
+        else begin
+          (* Exponential backoff in drain ticks. *)
+          m.m_due <- t.tick + (1 lsl min m.m_attempts 6);
+          t.pending <- t.pending @ [ m ]
+        end
+  in
+  List.iter attempt inorder;
+  List.iter attempt (List.rev reordered);
+  t.pending <- List.sort (fun a b -> compare a.m_seq b.m_seq) t.pending;
+  check_fences t;
+  !released
+
+let fence t ~complete =
+  let fseq = t.seq in
+  let done_ = ref false in
+  let f = { f_seq = fseq; f_complete = complete; f_done = done_ } in
+  (if List.exists (fun m -> m.m_seq <= fseq) t.pending then
+     t.fences <- t.fences @ [ f ]
+   else begin
+     done_ := true;
+     complete ()
+   end);
+  fun () ->
+    if not !done_ then begin
+      let give_up, keep =
+        List.partition (fun m -> m.m_seq <= fseq) t.pending
+      in
+      t.pending <- keep;
+      List.iter (fun m -> time_out t m) give_up;
+      t.fences <- List.filter (fun g -> g.f_done != done_) t.fences;
+      done_ := true;
+      complete ()
+    end
 
 let set_fault t f = t.fault <- f
+let set_validate t v = t.validate <- v
+let set_on_timeout t f = t.on_timeout <- f
 let published t = t.published
 let delivered t = t.delivered
+let acked t = t.acked
 let dropped t = t.dropped
-let pending t = List.length t.delayed
+let retries t = t.retries
+let reorders t = t.reorders
+let timeouts t = t.timeouts
+let stale_discards t = t.stale_discards
+let pending t = List.length t.pending

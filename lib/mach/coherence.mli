@@ -1,4 +1,4 @@
-(** Cross-core GOT-store coherence bus.
+(** Cross-core GOT-store coherence bus with acknowledged delivery.
 
     The paper's mechanism must observe GOT writes made by {e other} cores
     (§3.2: hardware snoops invalidations of guarded lines).  This module is
@@ -8,37 +8,84 @@
     Bloom filter and clear.
 
     Delivery is synchronous and in ascending core-id order, keeping
-    multi-core runs deterministic. *)
+    multi-core runs deterministic.  Unlike the original fire-and-forget
+    bus, every message is tracked until it is {e resolved}: delivered to
+    (and thereby acknowledged by) every destination core, discarded as
+    stale by the epoch guard, or abandoned after a bounded number of
+    retries — in which case the destinations are told through the timeout
+    callback so they can degrade gracefully instead of running on stale
+    state.  [Drop] and [Delay] fault fates are therefore recoverable
+    events, not silent divergence. *)
 
 open Dlink_isa
 
 type t
 
-val create : unit -> t
+val default_retry_limit : int
+(** 3: a message survives up to three consecutive [Drop] fates before
+    timing out. *)
+
+val create : ?retry_limit:int -> unit -> t
+(** Raises [Invalid_argument] if [retry_limit] is negative.
+    [retry_limit = 0] times a message out on its second [Drop]. *)
 
 val subscribe : t -> core:int -> (src:int -> Addr.t -> unit) -> unit
 (** Register a core's invalidation handler.  Raises [Invalid_argument] if
     the core id is already subscribed. *)
 
-val publish : t -> src:int -> Addr.t -> unit
-(** Broadcast a retired GOT store to every subscriber except [src]. *)
+val publish : ?stamp:int -> t -> src:int -> Addr.t -> unit
+(** Broadcast a retired GOT store to every subscriber except [src].
+    [stamp] (default 0) carries the generation of the stored-to address's
+    owning module mapping; the epoch guard installed with {!set_validate}
+    compares it against the live generation at delivery time and discards
+    the message if they differ — the ABA protection for first-fit address
+    reuse. *)
 
-type fate = Deliver | Drop | Delay
+type fate = Deliver | Drop | Delay | Reorder
 (** What the fault hook decides for one published message.  [Deliver] is
-    normal operation; [Drop] loses the message forever; [Delay] parks it
-    until the next {!drain} (and drains replay most-recent-first, so two
-    delayed messages also arrive reordered). *)
+    normal operation.  [Drop] loses this delivery attempt: the message is
+    parked and retried at subsequent {!drain}s with exponential backoff,
+    re-consulting the fault hook each time, until it gets through or
+    exceeds the retry limit and times out.  [Delay] parks it until the
+    next {!drain} (drains replay in publication order, so a delayed
+    message arrives late but in order).  [Reorder] parks it flagged for
+    most-recent-first replay — the explicit out-of-order fault, counted
+    in {!reorders}. *)
 
 val set_fault : t -> (src:int -> Addr.t -> fate) option -> unit
-(** Install / remove a fault hook consulted on every publish.  [None]
-    (the default) means every message is delivered.  This exists for the
-    fault-injection harness only. *)
+(** Install / remove a fault hook consulted on every publish and on every
+    retry of a parked message.  [None] (the default) means every message
+    is delivered.  This exists for the fault-injection harness only. *)
+
+val set_validate : t -> (src:int -> stamp:int -> Addr.t -> bool) option -> unit
+(** The epoch guard: consulted at delivery time with the message's source
+    core and stamp; returning [false] discards the message (counted in
+    {!stale_discards}) instead of applying it.  [None] (the default)
+    applies every message. *)
+
+val set_on_timeout : t -> (core:int -> src:int -> Addr.t -> unit) option -> unit
+(** Called once per destination core when a message exhausts its retries
+    (or a {!fence} is forced): that core never saw the invalidation and
+    must degrade — flush and fall back to the architectural path — rather
+    than keep trusting possibly-stale state. *)
 
 val drain : t -> int
-(** Deliver every delayed message (most-recent-first) to all subscribers
-    except its original source, returning how many were released.  The
-    scheduler calls this at quantum boundaries, bounding how long a
-    delayed invalidation can stay in flight. *)
+(** Advance the bus one tick: deliver every parked message that is due, in
+    publication order ([Reorder]-fated messages after the in-order ones,
+    most-recent-first), retrying dropped ones, and return how many were
+    delivered.  The scheduler calls this at quantum boundaries, bounding
+    how long an in-flight invalidation can stay unresolved. *)
+
+val fence : t -> complete:(unit -> unit) -> unit -> unit
+(** [fence t ~complete] registers a barrier at the current publication
+    point: [complete] fires exactly once, as soon as every message
+    published before the fence has been resolved (delivered, discarded or
+    timed out) — possibly immediately, from inside the call.  The
+    returned closure {e forces} the fence: everything still in flight
+    before it is timed out (destinations notified via the timeout
+    callback) and [complete] fires now.  Idempotent.  [Dynload] uses this
+    as the unmap grace period: the freed range is not reusable until the
+    fence completes. *)
 
 val published : t -> int
 (** Stores broadcast so far. *)
@@ -46,8 +93,27 @@ val published : t -> int
 val delivered : t -> int
 (** Per-remote-core deliveries so far. *)
 
+val acked : t -> int
+(** Messages fully acknowledged by all destination cores.  Every published
+    message ends up exactly one of: acked, timed out, stale-discarded, or
+    still pending. *)
+
 val dropped : t -> int
-(** Messages lost to an injected [Drop] fate. *)
+(** Delivery attempts lost to an injected [Drop] fate (counts retries). *)
+
+val retries : t -> int
+(** Re-delivery attempts made for parked dropped messages. *)
+
+val reorders : t -> int
+(** Messages delivered out of publication order under a [Reorder] fate. *)
+
+val timeouts : t -> int
+(** Messages abandoned after exhausting the retry limit or a forced
+    fence. *)
+
+val stale_discards : t -> int
+(** Messages discarded by the epoch guard — invalidations that outlived
+    their module mapping (the ABA hazard, caught). *)
 
 val pending : t -> int
-(** Delayed messages currently awaiting {!drain}. *)
+(** Parked messages currently awaiting retry or delay release. *)

@@ -84,6 +84,11 @@ type t = {
      clear; returning [true] suppresses the clear (models a lost clear
      pulse).  Never set outside the fault harness. *)
   mutable clear_veto : (unit -> bool) option;
+  (* Whole-core degradation after a timed-out coherence invalidation: the
+     unit was flushed and skips stay suppressed for this many further
+     opportunities (entry present and otherwise skippable), so the core
+     runs architecturally until the window drains. *)
+  mutable degraded : int;
 }
 
 let create ?(config = default_config) ~counters ~btb_update ~btb_predict
@@ -105,6 +110,7 @@ let create ?(config = default_config) ~counters ~btb_update ~btb_predict
     pending_target = Addr.none;
     quarantined = Hashtbl.create 8;
     clear_veto = None;
+    degraded = 0;
   }
 
 let abtb t = t.abtb
@@ -145,6 +151,8 @@ let set_asid t asid =
   (* The idiom window never spans a context switch. *)
   t.pending_pc <- Addr.none
 
+let degraded_remaining t = t.degraded
+
 let flush t =
   Abtb.clear t.abtb;
   Bloom.clear t.bloom;
@@ -153,6 +161,18 @@ let flush t =
   Hashtbl.clear t.exact_slots;
   Hashtbl.clear t.live_asids;
   t.pending_pc <- Addr.none
+
+(* Graceful degradation after a timed-out coherence invalidation: this
+   core never saw the message, so nothing it cached about guarded GOT
+   state can be trusted.  Flush everything and suppress skips for a
+   window of opportunities — the resolver path is always correct. *)
+let degrade t ~window =
+  if window <= 0 then invalid_arg "Skip.degrade: window must be positive";
+  flush t;
+  if t.degraded = 0 then
+    t.counters.Counters.timeout_degrades <-
+      t.counters.Counters.timeout_degrades + 1;
+  t.degraded <- max t.degraded window
 
 let record_clear t ~addr ~asid =
   t.counters.Counters.abtb_clears <- t.counters.Counters.abtb_clears + 1;
@@ -205,6 +225,16 @@ let on_fetch_call t ~pc ~arch_target =
   let predicted = t.btb_predict pc in
   let entry = Abtb.lookup_default ~asid:t.asid t.abtb arch_target in
   if entry == Abtb.no_entry then begin
+    if predicted <> Addr.none && predicted <> arch_target then
+      t.on_stale_prediction ();
+    arch_target
+  end
+  else if t.degraded > 0 then begin
+    (* Whole-core degradation after a coherence timeout: the entry (warm
+       again after the flush) is ignored and the trampoline executes
+       architecturally until the window drains.  Each suppressed skip
+       opportunity shortens the sentence. *)
+    t.degraded <- t.degraded - 1;
     if predicted <> Addr.none && predicted <> arch_target then
       t.on_stale_prediction ();
     arch_target

@@ -146,6 +146,18 @@ val report_mis_skip : t -> tramp:Addr.t -> unit
 val quarantined_sets : t -> int
 (** Sets currently serving a quarantine sentence. *)
 
+val degrade : t -> window:int -> unit
+(** Whole-core graceful degradation, the response to a timed-out
+    coherence invalidation ({!Dlink_mach.Coherence.set_on_timeout}): this
+    core never saw an invalidation it was owed, so {!flush} everything
+    and suppress the next [window] skip opportunities — the trampoline /
+    resolver path is always architecturally correct.  Extends (never
+    shortens) an existing window; bumps [timeout_degrades] when arming a
+    fresh one.  Raises [Invalid_argument] if [window <= 0]. *)
+
+val degraded_remaining : t -> int
+(** Skip opportunities still to be suppressed by {!degrade} (0 = healthy). *)
+
 val set_clear_veto : t -> (unit -> bool) option -> unit
 (** Fault-injection hook: when the callback returns [true], a
     filter-driven clear (local or remote) is suppressed — the fault model

@@ -22,6 +22,7 @@ type t = {
   mutable mis_skips : int;
   mutable lost_skips : int;
   mutable quarantine_entries : int;
+  mutable timeout_degrades : int;
   mutable fault_injected : int;
 }
 
@@ -50,6 +51,7 @@ let create () =
     mis_skips = 0;
     lost_skips = 0;
     quarantine_entries = 0;
+    timeout_degrades = 0;
     fault_injected = 0;
   }
 
@@ -77,6 +79,7 @@ let reset t =
   t.mis_skips <- 0;
   t.lost_skips <- 0;
   t.quarantine_entries <- 0;
+  t.timeout_degrades <- 0;
   t.fault_injected <- 0
 
 let copy t = { t with instructions = t.instructions }
@@ -107,6 +110,7 @@ let diff ~after ~before =
     mis_skips = after.mis_skips - before.mis_skips;
     lost_skips = after.lost_skips - before.lost_skips;
     quarantine_entries = after.quarantine_entries - before.quarantine_entries;
+    timeout_degrades = after.timeout_degrades - before.timeout_degrades;
     fault_injected = after.fault_injected - before.fault_injected;
   }
 
@@ -135,6 +139,7 @@ let add ~into t =
   into.mis_skips <- into.mis_skips + t.mis_skips;
   into.lost_skips <- into.lost_skips + t.lost_skips;
   into.quarantine_entries <- into.quarantine_entries + t.quarantine_entries;
+  into.timeout_degrades <- into.timeout_degrades + t.timeout_degrades;
   into.fault_injected <- into.fault_injected + t.fault_injected
 
 let ipc_denominator t = max 1 t.instructions
@@ -166,10 +171,11 @@ let pp ppf t =
      mis skips           %d@,\
      lost skips          %d@,\
      quarantined sets    %d@,\
+     timeout degrades    %d@,\
      faults injected     %d@]"
     t.instructions t.cycles t.icache_misses t.dcache_misses t.l2_misses
     t.itlb_misses t.dtlb_misses t.branches t.branch_mispredictions t.btb_misses
     t.tramp_instructions t.tramp_calls t.tramp_skips t.abtb_hits t.abtb_inserts
     t.abtb_clears t.abtb_false_clears t.coherence_invalidations t.got_stores
     t.resolver_runs t.mis_skips t.lost_skips t.quarantine_entries
-    t.fault_injected
+    t.timeout_degrades t.fault_injected

@@ -36,6 +36,10 @@ type t = {
           and reached the same function — performance-only *)
   mutable quarantine_entries : int;
       (** ABTB sets quarantined by the graceful-degradation fallback *)
+  mutable timeout_degrades : int;
+      (** whole-core degradations forced by a timed-out coherence
+          invalidation: the skip unit flushed and fell back to the
+          architectural path for a window of skip opportunities *)
   mutable fault_injected : int;
       (** fault-plan actions applied by the injection layer *)
 }

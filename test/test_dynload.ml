@@ -161,6 +161,154 @@ let test_deferred_invalidation_flushes_fifo () =
   let stub = Option.get (Image.plt_entry img_a "b_fn") + 6 in
   checki "slot rewritten at flush" stub (Memory.read mem slot)
 
+(* Two providers closed (deferred) within one scheduling quantum must
+   flush in close order at the next quantum boundary — the soak loop
+   calls [flush_pending] at each op, so a LIFO queue would replay the
+   unload hazards backwards.  Eager binding writes resolved addresses at
+   dlopen, so the consumer's slots point into the providers without
+   running any code, and a recording [store] observes the flush order
+   directly. *)
+let test_deferred_invalidations_flush_in_close_order () =
+  let app =
+    Objfile.create_exn ~name:"app" [ func ~exported:false "main" [ Body.Compute 4 ] ]
+  in
+  let pb = Objfile.create_exn ~name:"pb" [ func "b_fn" [ Body.Compute 4 ] ] in
+  let pc = Objfile.create_exn ~name:"pc" [ func "c_fn" [ Body.Compute 4 ] ] in
+  let pa =
+    Objfile.create_exn ~name:"pa"
+      [ func "a_main" [ Body.Call_import "b_fn"; Body.Call_import "c_fn" ] ]
+  in
+  let opts = { Loader.default_options with Loader.mode = Mode.Eager_binding } in
+  let linked = Loader.load_exn ~opts [ app ] in
+  let mem : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let writes = ref [] in
+  let store a v =
+    writes := a :: !writes;
+    Hashtbl.replace mem a v
+  in
+  let read a = Option.value (Hashtbl.find_opt mem a) ~default:0 in
+  let d = Dynload.create ~store ~read linked in
+  let hb = Dynload.dlopen d pb in
+  let hc = Dynload.dlopen d pc in
+  ignore (Dynload.dlopen d pa : Dynload.handle);
+  let img_a = Option.get (Space.image_by_name linked.Loader.space "pa") in
+  let slot_b = Option.get (Image.got_slot img_a "b_fn") in
+  let slot_c = Option.get (Image.got_slot img_a "c_fn") in
+  checki "b bound eagerly" (Option.get (Dynload.dlsym d "b_fn")) (read slot_b);
+  checki "c bound eagerly" (Option.get (Dynload.dlsym d "c_fn")) (read slot_c);
+  let bound_b = read slot_b and bound_c = read slot_c in
+  Dynload.dlclose ~defer_invalidate:true d hb;
+  Dynload.dlclose ~defer_invalidate:true d hc;
+  checki "two pending" 2 (Dynload.pending_invalidations d);
+  (* The quantum in between: both mappings are gone, both stale bindings
+     are still live. *)
+  checki "b's stale binding survives" bound_b (read slot_b);
+  checki "c's stale binding survives" bound_c (read slot_c);
+  writes := [];
+  Dynload.flush_pending d;
+  checki "queue drained" 0 (Dynload.pending_invalidations d);
+  checkb "both slots invalidated" true
+    (read slot_b <> bound_b && read slot_c <> bound_c);
+  let order = List.rev !writes in
+  let pos slot =
+    let rec go i = function
+      | [] -> Alcotest.failf "slot 0x%x never rewritten" slot
+      | a :: _ when a = slot -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 order
+  in
+  checkb "FIFO: first close flushes first" true (pos slot_b < pos slot_c);
+  (* Flushing an empty queue at the next boundary is a no-op. *)
+  writes := [];
+  Dynload.flush_pending d;
+  checki "no writes on empty flush" 0 (List.length !writes)
+
+(* ---------------- grace-period unmap and the ABA hazard ---------------- *)
+
+module Coherence = Dlink_mach.Coherence
+
+let test_aba_reuse_discards_delayed_invalidation () =
+  (* The first-fit ABA hazard at unit level: an invalidation delayed past
+     its module's dlclose must not be applied once the address range
+     belongs to a new mapping.  The generation stamp is the defence. *)
+  let m = Churn.make_machine ~link_mode:Mode.Lazy_binding scen in
+  let d = m.Churn.dynload in
+  let bus = Coherence.create () in
+  let delivered = ref 0 in
+  Coherence.subscribe bus ~core:1 (fun ~src:_ _addr -> incr delivered);
+  Coherence.set_validate bus
+    (Some
+       (fun ~src:_ ~stamp addr ->
+         (match Dynload.generation_at d addr with Some g -> g | None -> -1)
+         = stamp));
+  let h1 = Dynload.dlopen d scen.Churn.plugins.(0) in
+  let base = Dynload.base_of d h1 in
+  let g1 = Option.get (Dynload.generation_at d base) in
+  Coherence.set_fault bus (Some (fun ~src:_ _ -> Coherence.Delay));
+  Coherence.publish ~stamp:g1 bus ~src:0 base;
+  Coherence.set_fault bus None;
+  checki "invalidation parked in flight" 1 (Coherence.pending bus);
+  Dynload.dlclose d h1;
+  let h2 = Dynload.dlopen d scen.Churn.plugins.(0) in
+  checki "range reused first-fit" base (Dynload.base_of d h2);
+  let g2 = Option.get (Dynload.generation_at d base) in
+  checkb "generation advanced across close/reopen" true (g2 > g1);
+  ignore (Coherence.drain bus : int);
+  checki "stale invalidation not applied" 0 !delivered;
+  checki "counted as an ABA discard" 1 (Coherence.stale_discards bus);
+  checki "resolved, not parked" 0 (Coherence.pending bus);
+  (* A message stamped with the live generation goes through. *)
+  Coherence.publish ~stamp:g2 bus ~src:0 base;
+  checki "fresh invalidation applied" 1 !delivered
+
+let test_unmap_grace_period_and_force () =
+  let m = Churn.make_machine ~link_mode:Mode.Lazy_binding scen in
+  let d = m.Churn.dynload in
+  let bus = Coherence.create () in
+  Coherence.subscribe bus ~core:1 (fun ~src:_ _ -> ());
+  let timeouts = ref 0 in
+  Coherence.set_on_timeout bus
+    (Some (fun ~core:_ ~src:_ _addr -> incr timeouts));
+  Dynload.set_unmap_barrier d
+    (Some
+       (fun ~span_base:_ ~span_end:_ ~complete -> Coherence.fence bus ~complete));
+  let park_message addr =
+    Coherence.set_fault bus (Some (fun ~src:_ _ -> Coherence.Delay));
+    Coherence.publish bus ~src:0 addr;
+    Coherence.set_fault bus None
+  in
+  let h = Dynload.dlopen d scen.Churn.plugins.(0) in
+  let base = Dynload.base_of d h in
+  park_message base;
+  Dynload.dlclose d h;
+  checkb "handle closed immediately" true (not (Dynload.is_open d h));
+  checki "unmap parked on the barrier" 1 (Dynload.retiring_count d);
+  checki "grace period counted" 1 (Dynload.stats d).Dynload.grace_unmaps;
+  (* Natural completion: the drain delivers the laggard, every ack
+     arrives, and the unmap lands without forcing anyone. *)
+  ignore (Coherence.drain bus : int);
+  checki "grace period over" 0 (Dynload.retiring_count d);
+  checki "nothing forced" 0 (Dynload.stats d).Dynload.forced_unmaps;
+  checki "nobody timed out" 0 !timeouts;
+  (* Reuse pressure: a dlopen of the retiring module forces the barrier
+     rather than waiting for a drain that may never come. *)
+  let h2 = Dynload.dlopen d scen.Churn.plugins.(0) in
+  park_message base;
+  Dynload.dlclose d h2;
+  checki "second grace period" 1 (Dynload.retiring_count d);
+  let h3 = Dynload.dlopen d scen.Churn.plugins.(0) in
+  checki "reopen forced the unmap" 1 (Dynload.stats d).Dynload.forced_unmaps;
+  checki "laggard core timed out" 1 !timeouts;
+  checki "range reusable after the forced unmap" base (Dynload.base_of d h3);
+  checki "nothing retiring" 0 (Dynload.retiring_count d);
+  (* Teardown: force_retiring resolves whatever is still waiting. *)
+  park_message base;
+  Dynload.dlclose d h3;
+  checki "one forced at teardown" 1 (Dynload.force_retiring d);
+  checki "teardown force counted" 2 (Dynload.stats d).Dynload.forced_unmaps;
+  checki "idempotent" 0 (Dynload.force_retiring d)
+
 (* ---------------- churn driver and stable linking ---------------- *)
 
 let test_stable_beats_lazy_resolver_runs () =
@@ -302,6 +450,15 @@ let () =
             test_dlclose_rebinds_other_modules;
           Alcotest.test_case "deferred invalidation" `Quick
             test_deferred_invalidation_flushes_fifo;
+          Alcotest.test_case "deferred invalidations flush in close order"
+            `Quick test_deferred_invalidations_flush_in_close_order;
+        ] );
+      ( "grace_period",
+        [
+          Alcotest.test_case "ABA reuse discards delayed invalidation" `Quick
+            test_aba_reuse_discards_delayed_invalidation;
+          Alcotest.test_case "unmap grace period and force" `Quick
+            test_unmap_grace_period_and_force;
         ] );
       ( "churn_driver",
         [

@@ -52,7 +52,20 @@ let test_plan_parse_errors () =
       "seed=1;-2:got_rewrite";
       "seed=1;3:suppress_clear*0";
       "seed=1;3:bloom_flip*2";
+      "seed=1;3:reorder_msgs*0";
+      "seed=1;3:reorder_msgs*-1";
     ]
+
+let test_plan_coherence_actions () =
+  (* The bus fault actions parse, round-trip, and carry their counts. *)
+  let p =
+    Result.get_ok
+      (P.of_string "seed=4;10:drop_msgs*2;20:delay_msgs*5;30:reorder_msgs*3")
+  in
+  checkb "actions decoded" true
+    (List.map (fun e -> e.P.action) p.P.events
+    = [ P.Drop_msgs 2; P.Delay_msgs 5; P.Reorder_msgs 3 ]);
+  checkb "round trips" true (P.of_string (P.to_string p) = Ok p)
 
 let test_plan_accessors () =
   let p =
@@ -287,6 +300,37 @@ let test_saved_reproducer_replays () =
   checki "the one fault fired" 1 t.F.report.O.faults_injected;
   checki "cooldown is mis-skip-free" 0 t.F.report.O.cooldown_mis_skips
 
+(* ---------------- pinned soak reproducer ---------------- *)
+
+module S = Dlink_fault.Soak
+module I = Dlink_fault.Invariant
+
+let test_saved_soak_reproducer_replays () =
+  (* Regression pin for the soak harness: this is the ddmin output of
+     `dlinksim soak --check` on a five-event chaos plan — the shrinker
+     isolated the one Got_rewrite.  Replaying it must keep producing the
+     identical catch: ten stale skips, all on the same core, every other
+     soak property intact.  If the classification drifts, the soak
+     topology and the invariant checker have diverged. *)
+  let saved = "seed=5;900:got_rewrite" in
+  let plan = Result.get_ok (P.of_string saved) in
+  let params = { S.default_params with S.rate = 50; ops = 2000; seed = 42 } in
+  let scen = Dlink_workloads.Churn.scenario () in
+  let r = S.run ~plan params scen in
+  checkb "the violation is still caught" true (S.failed ~plan r);
+  checki "exactly ten stale skips" 10 r.S.violations;
+  checki "all classified stale-skip" 10 r.S.stale_skips;
+  checki "no unmapped fetches" 0 r.S.fetch_unmapped;
+  checki "no stale messages applied" 0 r.S.stale_messages;
+  checki "no crashes" 0 r.S.crashes;
+  checki "the one fault fired" 1 r.S.faults_injected;
+  checkb "first violation op recorded" true (r.S.first_violation_op <> None);
+  (match r.S.recorded with
+  | I.Stale_skip { core; _ } :: _ -> checki "caught on core 2" 2 core
+  | _ -> Alcotest.fail "expected a recorded stale-skip violation");
+  checkb "properties beyond the seeded violation hold" true
+    (S.check ~plan r = [])
+
 let () =
   Alcotest.run "dlink_fault"
     [
@@ -296,6 +340,8 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_plan_parse_errors;
           Alcotest.test_case "accessors" `Quick test_plan_accessors;
           Alcotest.test_case "churn actions" `Quick test_plan_churn_actions;
+          Alcotest.test_case "coherence actions" `Quick
+            test_plan_coherence_actions;
         ] );
       ( "skip hardening",
         [
@@ -322,5 +368,10 @@ let () =
             test_shrink_to_minimal_plan;
           Alcotest.test_case "saved reproducer replays" `Quick
             test_saved_reproducer_replays;
+        ] );
+      ( "soak reproducer",
+        [
+          Alcotest.test_case "saved soak reproducer replays" `Quick
+            test_saved_soak_reproducer_replays;
         ] );
     ]

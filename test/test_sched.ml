@@ -205,7 +205,9 @@ let test_bus_delivery_order_and_self_exclusion () =
 
 (* ---------------- injected bus faults ---------------- *)
 
-let test_bus_drop_and_delay_faults () =
+let test_bus_drop_retries_and_recovers () =
+  (* A dropped message is no longer lost: it is parked and retried at the
+     next drain, where the fault hook (its credits spent) lets it through. *)
   let bus = Coherence.create () in
   let seen = ref [] in
   List.iter
@@ -225,19 +227,54 @@ let test_bus_drop_and_delay_faults () =
   Coherence.publish bus ~src:0 0xB;
   Coherence.publish bus ~src:0 0xC;
   checki "published counts all three" 3 (Coherence.published bus);
-  checki "one dropped" 1 (Coherence.dropped bus);
-  checki "one pending" 1 (Coherence.pending bus);
+  checki "one dropped attempt" 1 (Coherence.dropped bus);
+  checki "dropped and delayed both pending" 2 (Coherence.pending bus);
   checkb "only the delivered one arrived" true (!seen = [ (1, 0xC) ]);
-  checki "drain releases the delayed one" 1 (Coherence.drain bus);
-  checkb "delayed message arrived after drain" true (List.mem (1, 0xB) !seen);
-  checkb "dropped message never arrives" false
-    (List.exists (fun (_, a) -> a = 0xA) !seen);
+  checki "drain releases both parked messages" 2 (Coherence.drain bus);
+  Alcotest.(check (list (pair int int)))
+    "recovery preserves publication order" [ (1, 0xC); (1, 0xA); (1, 0xB) ]
+    (List.rev !seen);
+  checki "the drop cost one retry" 1 (Coherence.retries bus);
   checki "nothing left pending" 0 (Coherence.pending bus);
+  checki "no timeout" 0 (Coherence.timeouts bus);
+  checki "all three acked" 3 (Coherence.acked bus);
   Coherence.set_fault bus None;
   Coherence.publish bus ~src:0 0xD;
   checkb "normal delivery after hook removal" true (List.mem (1, 0xD) !seen)
 
-let test_bus_delay_reorders () =
+let test_bus_drop_burst_times_out () =
+  (* A message that keeps drawing Drop past the retry limit is abandoned:
+     the destination core is notified through on_timeout so it can degrade
+     instead of silently running on stale state. *)
+  let bus = Coherence.create ~retry_limit:2 () in
+  let seen = ref [] in
+  let timed_out = ref [] in
+  List.iter
+    (fun core ->
+      Coherence.subscribe bus ~core (fun ~src:_ addr -> seen := (core, addr) :: !seen))
+    [ 0; 1; 2 ];
+  Coherence.set_on_timeout bus
+    (Some (fun ~core ~src addr -> timed_out := (core, src, addr) :: !timed_out));
+  Coherence.set_fault bus (Some (fun ~src:_ _ -> Coherence.Drop));
+  Coherence.publish bus ~src:1 0xDEAD;
+  checki "parked after the publish-time drop" 1 (Coherence.pending bus);
+  (* Backoff doubles the wait between retries; drain until resolution. *)
+  let rec pump n = if n > 0 && Coherence.pending bus > 0 then begin ignore (Coherence.drain bus); pump (n - 1) end in
+  pump 32;
+  checki "message timed out" 1 (Coherence.timeouts bus);
+  checki "nothing pending after timeout" 0 (Coherence.pending bus);
+  checkb "never delivered" true (!seen = []);
+  Alcotest.(check (list (triple int int int)))
+    "both destination cores notified, ascending"
+    [ (0, 1, 0xDEAD); (2, 1, 0xDEAD) ]
+    (List.rev !timed_out);
+  (* attempts: 1 at publish + retry_limit retries before abandoning *)
+  checki "bounded retries" 2 (Coherence.retries bus);
+  checki "dropped counts every lost attempt" 3 (Coherence.dropped bus)
+
+let test_bus_delay_drains_in_order () =
+  (* The old wart — delayed messages replayed most-recent-first — is gone:
+     a plain Delay drains in publication order. *)
   let bus = Coherence.create () in
   let seen = ref [] in
   Coherence.subscribe bus ~core:1 (fun ~src:_ addr -> seen := addr :: !seen);
@@ -247,8 +284,78 @@ let test_bus_delay_reorders () =
   checki "both held" 2 (Coherence.pending bus);
   checki "both drained" 2 (Coherence.drain bus);
   Alcotest.(check (list int))
-    "drain replays most-recent-first (reordered)" [ 0xB; 0xA ]
-    (List.rev !seen)
+    "drain replays in publication order" [ 0xA; 0xB ]
+    (List.rev !seen);
+  checki "no reorders counted" 0 (Coherence.reorders bus)
+
+let test_bus_reorder_fate () =
+  (* Out-of-order replay is still available, but only as the explicit
+     Reorder fate — and it is counted. *)
+  let bus = Coherence.create () in
+  let seen = ref [] in
+  Coherence.subscribe bus ~core:1 (fun ~src:_ addr -> seen := addr :: !seen);
+  Coherence.set_fault bus (Some (fun ~src:_ _ -> Coherence.Reorder));
+  Coherence.publish bus ~src:0 0xA;
+  Coherence.publish bus ~src:0 0xB;
+  Coherence.set_fault bus None;
+  checki "both drained" 2 (Coherence.drain bus);
+  Alcotest.(check (list int))
+    "reorder fate replays most-recent-first" [ 0xB; 0xA ]
+    (List.rev !seen);
+  checki "reorders counted" 2 (Coherence.reorders bus)
+
+let test_bus_validate_discards_stale () =
+  (* The epoch guard: a message whose stamp no longer matches the live
+     generation of its address is discarded, not applied. *)
+  let bus = Coherence.create () in
+  let seen = ref [] in
+  Coherence.subscribe bus ~core:1 (fun ~src:_ addr -> seen := addr :: !seen);
+  let live_gen = ref 7 in
+  Coherence.set_validate bus
+    (Some (fun ~src:_ ~stamp _addr -> stamp = !live_gen));
+  Coherence.publish ~stamp:7 bus ~src:0 0xA;
+  checkb "fresh message applied" true (!seen = [ 0xA ]);
+  (* Delay the next message past a generation bump: ABA in miniature. *)
+  Coherence.set_fault bus (Some (fun ~src:_ _ -> Coherence.Delay));
+  Coherence.publish ~stamp:7 bus ~src:0 0xB;
+  Coherence.set_fault bus None;
+  live_gen := 8;
+  checki "drain delivers nothing" 0 (Coherence.drain bus);
+  checkb "stale message never applied" true (!seen = [ 0xA ]);
+  checki "stale discard counted" 1 (Coherence.stale_discards bus)
+
+let test_bus_fence () =
+  let bus = Coherence.create () in
+  Coherence.subscribe bus ~core:1 (fun ~src:_ _ -> ());
+  (* Nothing in flight: the fence completes synchronously. *)
+  let fired = ref 0 in
+  let _force = Coherence.fence bus ~complete:(fun () -> incr fired) in
+  checki "empty fence completes immediately" 1 !fired;
+  (* With a delayed message in flight, completion waits for the drain. *)
+  Coherence.set_fault bus (Some (fun ~src:_ _ -> Coherence.Delay));
+  Coherence.publish bus ~src:0 0xA;
+  Coherence.set_fault bus None;
+  let fired2 = ref 0 in
+  let force2 = Coherence.fence bus ~complete:(fun () -> incr fired2) in
+  checki "fence waits for the in-flight message" 0 !fired2;
+  (* Traffic published after the fence does not hold it up. *)
+  ignore (Coherence.drain bus);
+  checki "fence completes once the message resolves" 1 !fired2;
+  force2 ();
+  checki "forcing a completed fence is a no-op" 1 !fired2;
+  (* Forcing an unresolved fence times out the laggards and completes. *)
+  let timed_out = ref 0 in
+  Coherence.set_on_timeout bus (Some (fun ~core:_ ~src:_ _ -> incr timed_out));
+  Coherence.set_fault bus (Some (fun ~src:_ _ -> Coherence.Delay));
+  Coherence.publish bus ~src:0 0xB;
+  Coherence.set_fault bus None;
+  let fired3 = ref 0 in
+  let force3 = Coherence.fence bus ~complete:(fun () -> incr fired3) in
+  checki "unresolved fence not yet complete" 0 !fired3;
+  force3 ();
+  checki "forced fence completes" 1 !fired3;
+  checki "laggard timed out by force" 1 !timed_out;
+  checki "laggard removed from flight" 0 (Coherence.pending bus)
 
 let test_scheduler_drains_delayed_messages () =
   (* Every coherence message is delayed by the fault hook; the scheduler's
@@ -355,10 +462,16 @@ let () =
             test_flush_policy_publishes_nothing;
           Alcotest.test_case "bus order and self-exclusion" `Quick
             test_bus_delivery_order_and_self_exclusion;
-          Alcotest.test_case "drop and delay faults" `Quick
-            test_bus_drop_and_delay_faults;
-          Alcotest.test_case "delay reorders delivery" `Quick
-            test_bus_delay_reorders;
+          Alcotest.test_case "drop retries and recovers" `Quick
+            test_bus_drop_retries_and_recovers;
+          Alcotest.test_case "drop burst times out" `Quick
+            test_bus_drop_burst_times_out;
+          Alcotest.test_case "delay drains in order" `Quick
+            test_bus_delay_drains_in_order;
+          Alcotest.test_case "reorder fate" `Quick test_bus_reorder_fate;
+          Alcotest.test_case "epoch guard discards stale" `Quick
+            test_bus_validate_discards_stale;
+          Alcotest.test_case "fence" `Quick test_bus_fence;
           Alcotest.test_case "scheduler drains delayed messages" `Quick
             test_scheduler_drains_delayed_messages;
         ] );

@@ -1,0 +1,199 @@
+(* Tests for the multi-core soak/chaos harness and the multi-core
+   differential oracle.
+
+   The invariants:
+   - a soak is a pure function of its arguments: equal params and plan
+     give bit-identical reports;
+   - a [cores = 1] soak retires counters bit-identical to the equivalent
+     churn-grid cell, so multi-core soaks stay comparable to the perf
+     grid (crosscheck);
+   - a clean soak — no fault plan — finishes with zero violations, zero
+     crashes, a fully conserved bus, and nothing left in flight;
+   - every seeded fault class ends either recovered (retry, epoch-guard
+     discard, timeout-degrade) or caught as a classified violation,
+     never as a silent wrong-target skip;
+   - a failing plan ddmin-shrinks to a minimal sub-plan that still
+     fails. *)
+
+module C = Dlink_uarch.Counters
+module P = Dlink_fault.Plan
+module S = Dlink_fault.Soak
+module I = Dlink_fault.Invariant
+module CO = Dlink_fault.Churn_oracle
+module Policy = Dlink_pipeline.Policy
+module Mode = Dlink_linker.Mode
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let scen = Dlink_workloads.Churn.scenario ()
+
+let plan_exn s =
+  match P.of_string s with Ok p -> p | Error e -> Alcotest.fail e
+
+let params ?(cores = 4) ?(rate = 100) ?(ops = 1500) ?(seed = 7) () =
+  { S.default_params with S.cores; rate; ops; seed }
+
+(* ---------------- determinism and bit-identity ---------------- *)
+
+let test_soak_deterministic () =
+  let go () = S.run (params ()) scen in
+  checkb "bit-identical reports" true (go () = go ())
+
+let test_crosscheck_matches_churn_cell () =
+  (* The request loop mirrors Churn.run_cell draw for draw; the
+     crosscheck runs both at cores=1 and compares full counter sets. *)
+  match S.crosscheck (params ~seed:11 ()) scen with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* ---------------- clean-run safety ---------------- *)
+
+let test_clean_soak_no_violations () =
+  let r = S.run (params ()) scen in
+  checkb "the soak exercised churn" true (r.S.churn_events > 0);
+  checkb "the thread migrated" true (r.S.migrations > 0);
+  checkb "invariants were checked" true (r.S.checks > 0);
+  checki "no violations" 0 r.S.violations;
+  checki "no crashes" 0 r.S.crashes;
+  checkb "bus carried traffic" true (r.S.bus.S.published > 0);
+  checki "everything acked" r.S.bus.S.published r.S.bus.S.acked;
+  checki "nothing unresolved" 0 r.S.bus.S.unresolved;
+  checki "nothing retiring after quiesce" 0 r.S.retiring;
+  checki "four per-core counter sets" 4 (Array.length r.S.per_core);
+  checkb "every core retired work" true
+    (Array.for_all (fun c -> c.C.instructions > 0) r.S.per_core);
+  checkb "clean-plan properties all hold" true (S.check r = [])
+
+(* ---------------- seeded fault classes ---------------- *)
+
+let test_dropped_invalidations_recovered_by_retry () =
+  let plan = plan_exn "seed=3;200:drop_msgs*2" in
+  (* quantum 1: the bus drains every op, so the retry reaches the parked
+     message before any unmap fence can force it out as a timeout. *)
+  let r = S.run ~plan { (params ()) with S.quantum = 1 } scen in
+  checkb "drops were injected" true (r.S.bus.S.dropped > 0);
+  checkb "the bus retried" true (r.S.bus.S.retries > 0);
+  checki "every message got through" 0 r.S.bus.S.timeouts;
+  checki "no violations" 0 r.S.violations;
+  checkb "recovered, not failed" false (S.failed ~plan r);
+  checkb "seeded-plan properties hold" true (S.check ~plan r = [])
+
+let test_drop_burst_times_out_and_degrades () =
+  (* A burst larger than the retry budget can absorb: laggard cores are
+     timed out and degraded (whole-core flush + skip suppression), which
+     keeps them correct — zero violations — at the cost of skips. *)
+  let plan = plan_exn "seed=3;100:drop_msgs*400" in
+  let r = S.run ~plan (params ()) scen in
+  checkb "messages timed out" true (r.S.bus.S.timeouts > 0);
+  checkb "timed-out cores degraded" true (r.S.counters.C.timeout_degrades > 0);
+  checki "degradation kept execution correct" 0 r.S.violations;
+  checki "no crashes" 0 r.S.crashes;
+  checkb "conservation holds under the burst" true (S.check ~plan r = [])
+
+let test_delay_reorder_recovered_in_order () =
+  (* Delayed and reordered messages drain at quantum boundaries (or are
+     timed out by a forced unmap fence); either way no stale state is
+     trusted and no violation escapes. *)
+  let plan = plan_exn "seed=3;150:delay_msgs*30;400:reorder_msgs*30" in
+  let r = S.run ~plan (params ()) scen in
+  checki "no violations" 0 r.S.violations;
+  checkb "properties hold" true (S.check ~plan r = [])
+
+let test_got_rewrite_caught_as_stale_skip () =
+  (* The one fault that bypasses the retire stream (and hence the Bloom
+     filter and the bus).  Low churn rate widens the stale window so the
+     skip unit actually consumes the poisoned entry — and the checker
+     must catch every such skip. *)
+  let plan = plan_exn "seed=5;900:got_rewrite" in
+  let r = S.run ~plan (params ~rate:50 ~ops:2000 ~seed:42 ()) scen in
+  checkb "caught" true (S.failed ~plan r);
+  checkb "classified as stale skips" true (r.S.stale_skips > 0);
+  checki "every violation is the stale skip" r.S.violations r.S.stale_skips;
+  checkb "first violation op recorded" true (r.S.first_violation_op <> None);
+  (match r.S.recorded with
+  | I.Stale_skip _ :: _ -> ()
+  | _ -> Alcotest.fail "expected a recorded stale-skip violation");
+  checkb "properties beyond the seeded violation hold" true
+    (S.check ~plan r = [])
+
+(* ---------------- shrinking ---------------- *)
+
+let test_shrink_isolates_the_culprit () =
+  let plan =
+    plan_exn "seed=5;400:bloom_flip;500:spurious_clear;700:drop_msgs*2;900:got_rewrite"
+  in
+  let p = params ~rate:50 ~ops:2000 ~seed:42 () in
+  let r = S.run ~plan p scen in
+  checkb "full plan fails" true (S.failed ~plan r);
+  let shrunk, sr = S.shrink p ~plan scen in
+  checkb "shrunk plan still fails" true (S.failed ~plan:shrunk sr);
+  checki "minimal plan is a single event" 1 (List.length shrunk.P.events);
+  checkb "the culprit is the rewrite" true (P.has_rewrite shrunk);
+  (* The printed form replays to the same report. *)
+  let replayed = plan_exn (P.to_string shrunk) in
+  checkb "reproducer replays bit-identically" true
+    (S.run ~plan:replayed p scen = sr)
+
+(* ---------------- multi-core differential oracle ---------------- *)
+
+let run_multi ?plan ~rate ~ops ~seed () =
+  CO.run_multi ?plan ~cores:4 ~quantum:64 ~policy:Policy.Asid_shared_guard
+    ~link_mode:Mode.Lazy_binding ~rate ~ops ~seed scen
+
+let test_run_multi_clean () =
+  let r = run_multi ~rate:150 ~ops:800 ~seed:9 () in
+  checkb "churned" true (r.CO.m_churn_events > 0);
+  checkb "migrated" true (r.CO.m_migrations > 0);
+  checki "no mis-skips" 0 r.CO.m_mis_skips;
+  checki "nothing unclassified" 0 r.CO.m_unclassified;
+  checki "no stale-unload divergences" 0 r.CO.m_stale_unload;
+  checki "four per-core classifications" 4 (Array.length r.CO.m_per_core)
+
+let test_run_multi_classifies_rewrite_per_core () =
+  let plan = plan_exn "seed=5;900:got_rewrite" in
+  let r = run_multi ~plan ~rate:50 ~ops:2000 ~seed:42 () in
+  checkb "divergences observed" true (r.CO.m_mis_skips > 0);
+  let per_core_sum =
+    Array.fold_left (fun a c -> a + c.CO.c_mis_skips) 0 r.CO.m_per_core
+  in
+  checki "per-core mis-skips sum to the system total" r.CO.m_mis_skips
+    per_core_sum
+
+let () =
+  Alcotest.run "dlink_soak"
+    [
+      ( "identity",
+        [
+          Alcotest.test_case "deterministic" `Quick test_soak_deterministic;
+          Alcotest.test_case "cores=1 bit-identical to churn cell" `Quick
+            test_crosscheck_matches_churn_cell;
+        ] );
+      ( "clean",
+        [
+          Alcotest.test_case "clean 4-core soak holds every invariant" `Quick
+            test_clean_soak_no_violations;
+        ] );
+      ( "fault classes",
+        [
+          Alcotest.test_case "drop recovered by retry" `Quick
+            test_dropped_invalidations_recovered_by_retry;
+          Alcotest.test_case "drop burst times out and degrades" `Quick
+            test_drop_burst_times_out_and_degrades;
+          Alcotest.test_case "delay and reorder recovered" `Quick
+            test_delay_reorder_recovered_in_order;
+          Alcotest.test_case "got rewrite caught as stale skip" `Quick
+            test_got_rewrite_caught_as_stale_skip;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "isolates the culprit event" `Slow
+            test_shrink_isolates_the_culprit;
+        ] );
+      ( "multi-core oracle",
+        [
+          Alcotest.test_case "clean plan is divergence-free" `Quick
+            test_run_multi_clean;
+          Alcotest.test_case "rewrite classified per core" `Quick
+            test_run_multi_classifies_rewrite_per_core;
+        ] );
+    ]
