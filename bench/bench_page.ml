@@ -1,0 +1,138 @@
+(* Bench trajectory dashboard.
+
+   Usage: bench_page [-o PAGE.md] [BENCH_pr5.json BENCH_pr6.json ...]
+
+   Renders every committed per-PR bench dump side by side as one markdown
+   table — rows are the gated metric leaves (replay_mips / sim_mips) plus
+   the tramp_pki opportunity leaves, columns are PRs in ascending order —
+   so a regression that stayed inside a single gate's tolerance is still
+   visible as a trend across PRs.  With no file arguments the current
+   directory is scanned for BENCH_pr<N>.json.  A leaf absent from some
+   PR's dump (sections grow over time) renders as an em dash, not an
+   error: old baselines stay comparable without recommitting them. *)
+
+module Json = Dlink_util.Json
+
+let row_keys = [ "replay_mips"; "sim_mips"; "tramp_pki" ]
+
+let read_json path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Json.of_string s with
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "%s: parse error: %s\n" path e;
+      exit 2
+
+let rec leaves prefix = function
+  | Json.Obj fields ->
+      List.concat_map
+        (fun (k, v) ->
+          let p = if prefix = "" then k else prefix ^ "." ^ k in
+          leaves p v)
+        fields
+  | Json.Float f -> [ (prefix, f) ]
+  | Json.Int i -> [ (prefix, float_of_int i) ]
+  | _ -> []
+
+let is_row k =
+  match String.rindex_opt k '.' with
+  | Some i ->
+      String.length k > i + 1
+      && List.mem (String.sub k (i + 1) (String.length k - i - 1)) row_keys
+  | None -> List.mem k row_keys
+
+(* "BENCH_pr12.json" -> (12, "pr12"); unparseable names sort last in
+   lexical order so hand-named dumps still get a column. *)
+let pr_label path =
+  let base = Filename.remove_extension (Filename.basename path) in
+  let label =
+    if String.length base > 6 && String.sub base 0 6 = "BENCH_" then
+      String.sub base 6 (String.length base - 6)
+    else base
+  in
+  let num =
+    if String.length label > 2 && String.sub label 0 2 = "pr" then
+      int_of_string_opt (String.sub label 2 (String.length label - 2))
+    else None
+  in
+  (match num with Some n -> (0, n) | None -> (1, 0)), label
+
+let discover () =
+  Sys.readdir "."
+  |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 8
+         && String.sub f 0 8 = "BENCH_pr"
+         && Filename.check_suffix f ".json")
+
+let () =
+  let out = ref None in
+  let files = ref [] in
+  let rec scan = function
+    | "-o" :: path :: rest ->
+        out := Some path;
+        scan rest
+    | "-o" :: [] ->
+        prerr_endline "bench_page: -o needs a path";
+        exit 2
+    | f :: rest ->
+        files := f :: !files;
+        scan rest
+    | [] -> ()
+  in
+  scan (List.tl (Array.to_list Sys.argv));
+  let files = if !files = [] then discover () else List.rev !files in
+  if files = [] then begin
+    prerr_endline "bench_page: no BENCH_pr*.json files given or found";
+    exit 2
+  end;
+  let cols =
+    List.map (fun f -> (pr_label f, f)) files
+    |> List.sort compare
+    |> List.map (fun ((_, label), f) ->
+           (label, List.filter (fun (k, _) -> is_row k) (leaves "" (read_json f))))
+  in
+  (* Row order: first appearance across PRs in ascending order, so new
+     sections append below the long-lived ones. *)
+  let rows = ref [] in
+  List.iter
+    (fun (_, ls) ->
+      List.iter
+        (fun (k, _) -> if not (List.mem k !rows) then rows := k :: !rows)
+        ls)
+    cols;
+  let rows = List.rev !rows in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# Bench trajectory\n\n";
+  Buffer.add_string buf
+    "Gated throughput (`replay_mips`, `sim_mips`) and trampoline\n\
+     opportunity (`tramp_pki`) leaves from every committed per-PR bench\n\
+     dump.  Units: Mi/s for throughput, events per kilo-instruction for\n\
+     PKI.  An em dash means the section did not exist in that PR.\n\n";
+  Buffer.add_string buf "| metric |";
+  List.iter (fun (label, _) -> Buffer.add_string buf (" " ^ label ^ " |")) cols;
+  Buffer.add_string buf "\n|---|";
+  List.iter (fun _ -> Buffer.add_string buf "---:|") cols;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (Printf.sprintf "| `%s` |" row);
+      List.iter
+        (fun (_, ls) ->
+          match List.assoc_opt row ls with
+          | Some v -> Buffer.add_string buf (Printf.sprintf " %.2f |" v)
+          | None -> Buffer.add_string buf " — |")
+        cols;
+      Buffer.add_char buf '\n')
+    rows;
+  match !out with
+  | None -> print_string (Buffer.contents buf)
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "bench_page: wrote %s (%d metrics x %d PRs)\n" path
+        (List.length rows) (List.length cols)

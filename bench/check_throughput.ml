@@ -1,14 +1,17 @@
 (* CI regression gate for simulator throughput.
 
-   Usage: check_throughput BASELINE.json CURRENT.json [--tolerance 0.30]
+   Usage: check_throughput BASELINE.json CURRENT.json [--tolerance 0.15]
 
    Both files are bench `--json` dumps.  Every numeric leaf under the
    "throughput" object whose key is [replay_mips] or [sim_mips] in the
    baseline must be present in the current dump and must not fall more
    than the tolerance fraction below the committed value.  The tolerance
-   is generous (30% by default) because absolute Mi/s moves with the
-   runner; the gate exists to catch order-of-magnitude regressions like a
-   bulk clear going back to O(capacity), not single-digit noise.
+   (15% by default) absorbs runner noise while still catching real
+   regressions — a bulk clear going back to O(capacity), a bounds check
+   reappearing in the replay loop — not just order-of-magnitude cliffs.
+   Both dumps' [jobs] leaves are echoed before the comparison so a
+   baseline recorded at a different domain count is visible at a glance
+   rather than silently skewing every ratio.
 
    The comparison is bidirectional: a gated leaf in the current dump
    with no counterpart in the baseline means the baseline is stale (a
@@ -73,8 +76,19 @@ let gated path v =
       exit 2
   | l -> l
 
+(* Echo every [jobs] leaf (the domain count each aggregate was measured
+   at) so mismatched baselines are visible in the gate's own output. *)
+let print_jobs path v =
+  List.iter
+    (fun (k, jobs) ->
+      match String.rindex_opt k '.' with
+      | Some i when String.sub k (i + 1) (String.length k - i - 1) = "jobs" ->
+          Printf.printf "%s: %s measured at %.0f jobs\n" path k jobs
+      | _ -> ())
+    (leaves "" v)
+
 let () =
-  let tolerance = ref 0.30 in
+  let tolerance = ref 0.15 in
   let files = ref [] in
   let rec scan = function
     | "--tolerance" :: v :: rest -> (
@@ -93,8 +107,12 @@ let () =
   scan (List.tl (Array.to_list Sys.argv));
   match List.rev !files with
   | [ baseline_path; current_path ] ->
-      let baseline = gated baseline_path (read_json baseline_path) in
-      let current_all = leaves "" (read_json current_path) in
+      let baseline_json = read_json baseline_path in
+      let current_json = read_json current_path in
+      print_jobs baseline_path baseline_json;
+      print_jobs current_path current_json;
+      let baseline = gated baseline_path baseline_json in
+      let current_all = leaves "" current_json in
       let current =
         List.map (fun (k, v) -> (drop_section k, v)) current_all
       in

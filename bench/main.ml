@@ -28,6 +28,7 @@ module Replay = Dlink_trace.Replay
 module Tcache = Dlink_trace.Cache
 module Sreplay = Dlink_trace.Sched_replay
 module Parallel = Dlink_util.Parallel
+module Dpool = Dlink_util.Dpool
 module W = Dlink_workloads
 module Table = Dlink_util.Table
 module Plot = Dlink_util.Ascii_plot
@@ -59,8 +60,9 @@ let () =
         Printf.eprintf "cannot write --json file: %s\n" e;
         exit 2)
 
-(* --jobs N: forked workers for the per-workload simulations and the
-   quantum sweep (0 = auto-detect from DLINK_JOBS / core count). *)
+(* --jobs N: shared-memory domain workers for the per-workload
+   simulations and the sweeps (0 = auto-detect from DLINK_JOBS / core
+   count). *)
 let jobs =
   let rec scan = function
     | "--jobs" :: n :: _ -> (
@@ -193,34 +195,21 @@ let make_triple ?(verbose = true) name =
   if verbose then Printf.printf " done\n%!";
   { wl; base; enhanced; patched }
 
-(* A workload value holds closures and cannot cross a pipe, so parallel
-   workers ship back only the runs and the parent rebuilds the workload. *)
+(* Domain workers share the heap, so triples — workload closures
+   included — come back directly, and every trace a worker records lands
+   in the shared mutex-guarded cache where the later sections replay it
+   instead of re-recording (the fork pool lost the children's
+   recordings to copy-on-write). *)
 let make_triples () =
   if jobs <= 1 then List.map (fun n -> (n, make_triple n)) workload_names
   else begin
-    Printf.printf "  running %d workloads across %d jobs ...%!"
+    Printf.printf "  running %d workloads across %d domains ...%!"
       (List.length workload_names) jobs;
-    (* Record each Base trace in the parent first: forked workers inherit
-       the warm cache copy-on-write, and the sections that run after the
-       fork replay the same traces instead of re-recording them. *)
-    List.iter
-      (fun n ->
-        let wl = (Option.get (W.Registry.find n)) ?seed:None () in
-        ignore (Tcache.get ~mode:Sim.Base wl))
-      workload_names;
-    let runs =
-      Parallel.map ~jobs
-        (fun n ->
-          let tr = make_triple ~verbose:false n in
-          (n, tr.base, tr.enhanced, tr.patched))
-        workload_names
+    let triples =
+      Dpool.map ~jobs (fun n -> (n, make_triple ~verbose:false n)) workload_names
     in
     Printf.printf " done\n%!";
-    List.map
-      (fun (n, base, enhanced, patched) ->
-        let wl = (Option.get (W.Registry.find n)) ?seed:None () in
-        (n, { wl; base; enhanced; patched }))
-      runs
+    triples
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1179,6 +1168,7 @@ let throughput () =
       ~headers:
         [ "workload"; "mode"; "generate Mi/s"; "replay Mi/s"; "speedup"; "equal" ]
   in
+  let seq_counters = ref [] in
   let entries =
     List.concat_map
       (fun name ->
@@ -1191,6 +1181,7 @@ let throughput () =
             let gen = E.run ~mode wl in
             let rep = Replay.run ~mode wl in
             let equal = gen.E.counters = rep.E.counters in
+            seq_counters := ((name, mode), rep.E.counters) :: !seq_counters;
             let gen_mips = gen.E.sim_mips in
             let rep_mips =
               median_mips (fun () ->
@@ -1213,12 +1204,69 @@ let throughput () =
                   ("generate_mips", Json.Float gen_mips);
                   ("replay_mips", Json.Float rep_mips);
                   ("speedup", Json.Float speedup);
+                  ("tramp_pki", Json.Float (E.tramp_pki rep));
                   ("counters_equal", Json.Bool equal);
                 ] ))
           [ Sim.Base; Sim.Enhanced ])
       workload_names
   in
   Table.print t;
+  (* Aggregate replay throughput: every (workload, mode) cell replayed
+     concurrently on the domain pool, total retired instructions over the
+     batch's wall clock.  This is the sweep-scale number the roadmap's
+     10x target is stated against; counters must stay bit-equal to the
+     sequential replays above or the parallelism is buying wrong
+     answers. *)
+  let aggregate_entry =
+    let cells =
+      List.concat_map
+        (fun name ->
+          List.map (fun mode -> (name, mode)) [ Sim.Base; Sim.Enhanced ])
+        workload_names
+    in
+    let batch () =
+      let t0 = Unix.gettimeofday () in
+      let runs =
+        Dpool.map ~jobs
+          (fun (name, mode) ->
+            let wl = (Option.get (W.Registry.find name)) ?seed:None () in
+            Replay.run ~mode wl)
+          cells
+      in
+      (runs, Unix.gettimeofday () -. t0)
+    in
+    let runs, wall = batch () in
+    let instructions =
+      List.fold_left (fun a (r : E.run) -> a + r.E.counters.C.instructions) 0 runs
+    in
+    let equal =
+      List.for_all2
+        (fun cell (r : E.run) ->
+          r.E.counters = List.assoc cell !seq_counters)
+        cells runs
+    in
+    let mips =
+      median_mips (fun () ->
+          if repeat = 1 then E.mips ~instructions ~wall_s:wall
+          else
+            let _, w = batch () in
+            E.mips ~instructions ~wall_s:w)
+    in
+    Printf.printf
+      "  aggregate replay: %.2f Mi/s over %d cells at --jobs %d (%d \
+       instructions, counters bit-equal: %s)\n"
+      mips (List.length cells) jobs instructions
+      (if equal then "yes" else "NO");
+    ( "aggregate",
+      Json.Obj
+        [
+          ("sim_mips", Json.Float mips);
+          ("instructions", Json.Int instructions);
+          ("jobs", Json.Int jobs);
+          ("cells", Json.Int (List.length cells));
+          ("counters_equal", Json.Bool equal);
+        ] )
+  in
   Printf.printf "  trace cache: %d hit(s), %d miss(es), %.2f MB packed\n"
     (Tcache.hits ()) (Tcache.misses ())
     (float_of_int (Tcache.footprint_bytes ()) /. 1048576.0);
@@ -1226,7 +1274,8 @@ let throughput () =
     "  Replay drives the identical retire chain from the packed trace —\n\
     \  counters are bit-equal — but skips request generation, linking and\n\
     \  the architectural interpreter, and allocates nothing per event.";
-  json_add "throughput" (Json.Obj (entries @ Lazy.force flush_sweeps))
+  json_add "throughput"
+    (Json.Obj ((entries @ [ aggregate_entry ]) @ Lazy.force flush_sweeps))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core structures.                     *)

@@ -855,8 +855,8 @@ let soak_cmd =
   let module Mode = Dlink_linker.Mode in
   let module Policy = Dlink_pipeline.Policy in
   let soak_modes = [ "lazy"; "eager"; "stable" ] in
-  let action cores quantum policy_str mode_str rate ops events seed faults
-      plan_str check json_path repro_path =
+  let action cores quantum policy_str mode_str rate ops events seed seeds jobs
+      faults plan_str check json_path repro_path =
     if cores <= 0 then begin
       prerr_endline "dlinksim: --cores must be positive";
       exit 2
@@ -869,6 +869,15 @@ let soak_cmd =
       prerr_endline "dlinksim: --rate must be in 0..1000";
       exit 2
     end;
+    if seeds <= 0 then begin
+      prerr_endline "dlinksim: --seeds must be positive";
+      exit 2
+    end;
+    (match jobs with
+    | Some j when j <= 0 ->
+        prerr_endline "dlinksim: --jobs must be positive";
+        exit 2
+    | _ -> ());
     let policy =
       match Policy.of_string policy_str with
       | Some p -> p
@@ -890,7 +899,7 @@ let soak_cmd =
             (String.concat ", " soak_modes);
           exit 2
     in
-    let plan =
+    let plan_for seed =
       match (plan_str, faults) with
       | Some s, _ -> (
           match Plan.of_string s with
@@ -903,21 +912,35 @@ let soak_cmd =
           Plan.generate ~coherence:true ~churn:true ~seed ~budget:ops ~faults:f
             ()
     in
-    let scen = Dlink_workloads.Churn.scenario ~seed () in
-    let params =
-      {
-        Soak.default_params with
-        Soak.cores;
-        quantum;
-        policy;
-        link_mode;
-        rate;
-        ops;
-        min_instructions = events;
-        seed;
-      }
+    (* A soak run is inherently sequential (one shared bus, RNG drawn in
+       lock-step with the crosscheck), so parallelism comes from running
+       independent seeds — one domain each — rather than from inside a
+       run. *)
+    let run_one seed =
+      let plan = plan_for seed in
+      let scen = Dlink_workloads.Churn.scenario ~seed () in
+      let params =
+        {
+          Soak.default_params with
+          Soak.cores;
+          quantum;
+          policy;
+          link_mode;
+          rate;
+          ops;
+          min_instructions = events;
+          seed;
+        }
+      in
+      (seed, plan, scen, params, Soak.run ~plan params scen)
     in
-    let r = Soak.run ~plan params scen in
+    let jobs = Option.value jobs ~default:1 in
+    let results =
+      Dlink_util.Dpool.map ~jobs run_one (List.init seeds (fun i -> seed + i))
+    in
+    let json_docs = ref [] in
+    let any_failed = ref false in
+    let report (seed, plan, scen, params, r) =
     Printf.printf
       "soak cores=%d quantum=%d policy=%s mode=%s rate=%d seed=%d\n" cores
       quantum (Policy.to_string policy) (Mode.to_string link_mode) rate seed;
@@ -949,7 +972,7 @@ let soak_cmd =
     print_counters r.Soak.counters;
     (match json_path with
     | None -> ()
-    | Some path ->
+    | Some _ ->
         let module J = Dlink_util.Json in
         let doc =
           J.Obj
@@ -983,8 +1006,7 @@ let soak_cmd =
               ("counters", counters_json r.Soak.counters);
             ]
         in
-        if path = "-" then print_endline (J.to_string doc)
-        else J.write_file path doc);
+        json_docs := (Printf.sprintf "seed_%d" seed, doc) :: !json_docs);
     if check then begin
       let failures = Soak.check ~plan r in
       let cross_ok =
@@ -1016,10 +1038,26 @@ let soak_cmd =
         List.iter
           (fun f -> Printf.eprintf "dlinksim: soak property failed: %s\n" f)
           failures;
-        exit 1
+        any_failed := true
       end
       else print_endline "ok: all soak properties hold"
     end
+    in
+    List.iter report results;
+    (match json_path with
+    | None -> ()
+    | Some path ->
+        let module J = Dlink_util.Json in
+        let doc =
+          (* Single seed keeps the flat report shape; a seed sweep nests
+             one report per seed. *)
+          match List.rev !json_docs with
+          | [ (_, d) ] when seeds = 1 -> d
+          | docs -> J.Obj docs
+        in
+        if path = "-" then print_endline (J.to_string doc)
+        else J.write_file path doc);
+    if !any_failed then exit 1
   in
   let cores_arg =
     Arg.(
@@ -1066,6 +1104,21 @@ let soak_cmd =
       value & opt int 42
       & info [ "seed" ] ~docv:"SEED" ~doc:"Scenario, rotation and plan seed.")
   in
+  let seeds_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:
+            "Soak N consecutive seeds (starting at --seed), one \
+             independent run each.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Run the seed sweep across N domains (default 1).")
+  in
   let faults_arg =
     Arg.(
       value & opt int 0
@@ -1110,8 +1163,8 @@ let soak_cmd =
          "Multi-core churn soak: invariant checking under coherence faults")
     Term.(
       const action $ cores_arg $ quantum_arg $ policy_arg $ mode_arg $ rate_arg
-      $ ops_arg $ events_arg $ seed_arg $ faults_arg $ plan_arg $ check_arg
-      $ json_arg $ repro_arg)
+      $ ops_arg $ events_arg $ seed_arg $ seeds_arg $ jobs_arg $ faults_arg
+      $ plan_arg $ check_arg $ json_arg $ repro_arg)
 
 let list_cmd =
   let action () =
@@ -1119,7 +1172,7 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List available workloads") Term.(const action $ const ())
 
-let version = "0.7.0"
+let version = "0.8.0"
 
 let () =
   let doc = "Simulator for 'Architectural Support for Dynamic Linking' (ASPLOS'15)" in

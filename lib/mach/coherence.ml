@@ -41,6 +41,14 @@ type t = {
   mutable seq : int;
   mutable tick : int;
   mutable fences : fence list;
+  (* Batched mode: [Deliver]-fated publishes are queued (newest first)
+     instead of applied inside the publisher's retire loop, and flushed in
+     generation (sequence) order at the next drain, fence, or explicit
+     flush.  Opt-in, because deferral is only observably identical under a
+     cooperative schedule where no other core executes — and no epoch
+     guard runs — between publish and the boundary drain. *)
+  mutable batched : bool;
+  mutable batch : msg list;
 }
 
 let default_retry_limit = 3
@@ -66,6 +74,8 @@ let create ?(retry_limit = default_retry_limit) () =
     seq = 0;
     tick = 0;
     fences = [];
+    batched = false;
+    batch = [];
   }
 
 let subscribe t ~core notify =
@@ -144,8 +154,40 @@ let publish ?(stamp = 0) t ~src addr =
   t.published <- t.published + 1;
   let fate = match t.fault with None -> Deliver | Some f -> f ~src addr in
   match fate with
-  | Deliver -> ignore (deliver_now t ~src ~stamp addr : bool)
+  | Deliver ->
+      if t.batched then
+        t.batch <-
+          {
+            m_seq = t.seq;
+            m_src = src;
+            m_stamp = stamp;
+            m_addr = addr;
+            m_reorder = false;
+            m_attempts = 0;
+            m_due = 0;
+          }
+          :: t.batch
+      else ignore (deliver_now t ~src ~stamp addr : bool)
   | (Drop | Delay | Reorder) as fate -> park t ~fate ~src ~stamp addr
+
+(* Apply every batched delivery in one generation-ordered block.  The
+   messages carry ascending [m_seq] stamps and the batch list is newest
+   first, so one reversal restores publication order. *)
+let flush_batch t =
+  match t.batch with
+  | [] -> 0
+  | b ->
+      t.batch <- [];
+      let n = ref 0 in
+      List.iter
+        (fun m ->
+          if deliver_now t ~src:m.m_src ~stamp:m.m_stamp m.m_addr then incr n)
+        (List.rev b);
+      !n
+
+let set_batched t b =
+  if (not b) && t.batch <> [] then ignore (flush_batch t : int);
+  t.batched <- b
 
 let time_out t m =
   t.timeouts <- t.timeouts + 1;
@@ -158,6 +200,10 @@ let time_out t m =
         t.subscribers
 
 let drain t =
+  (* Batched deliveries land first — they were published before this
+     boundary — then the parked messages get their retry tick.  The
+     return value counts only released parked messages, as before. *)
+  ignore (flush_batch t : int);
   t.tick <- t.tick + 1;
   let ready, waiting = List.partition (fun m -> m.m_due <= t.tick) t.pending in
   t.pending <- waiting;
@@ -202,6 +248,9 @@ let drain t =
   !released
 
 let fence t ~complete =
+  (* Batched deliveries published before the fence point resolve now, so
+     the fence only ever waits on genuinely parked (faulted) messages. *)
+  ignore (flush_batch t : int);
   let fseq = t.seq in
   let done_ = ref false in
   let f = { f_seq = fseq; f_complete = complete; f_done = done_ } in
@@ -234,4 +283,4 @@ let retries t = t.retries
 let reorders t = t.reorders
 let timeouts t = t.timeouts
 let stale_discards t = t.stale_discards
-let pending t = List.length t.pending
+let pending t = List.length t.pending + List.length t.batch

@@ -70,11 +70,28 @@ val set_on_timeout : t -> (core:int -> src:int -> Addr.t -> unit) option -> unit
     than keep trusting possibly-stale state. *)
 
 val drain : t -> int
-(** Advance the bus one tick: deliver every parked message that is due, in
-    publication order ([Reorder]-fated messages after the in-order ones,
-    most-recent-first), retrying dropped ones, and return how many were
-    delivered.  The scheduler calls this at quantum boundaries, bounding
+(** Advance the bus one tick: flush the delivery batch (batched mode),
+    then deliver every parked message that is due, in publication order
+    ([Reorder]-fated messages after the in-order ones, most-recent-first),
+    retrying dropped ones, and return how many parked messages were
+    delivered (batched deliveries are not counted — they were never
+    parked).  The scheduler calls this at quantum boundaries, bounding
     how long an in-flight invalidation can stay unresolved. *)
+
+val set_batched : t -> bool -> unit
+(** Batched mode: [Deliver]-fated publishes queue instead of applying
+    their cross-core invalidations inside the publisher's retire loop;
+    the queue is applied as one generation-ordered block at the next
+    {!drain}, {!fence} registration, or {!flush_batch}.  Observably
+    identical under a cooperative schedule — where no other core executes
+    between a publish and the boundary drain — which is why the
+    multi-core topology enables it and the free-running soak harness does
+    not.  Turning batching off flushes anything still queued. *)
+
+val flush_batch : t -> int
+(** Apply the batched deliveries now, in publication order, returning how
+    many were delivered (excluding stale discards).  No-op outside
+    batched mode. *)
 
 val fence : t -> complete:(unit -> unit) -> unit -> unit
 (** [fence t ~complete] registers a barrier at the current publication
@@ -116,4 +133,5 @@ val stale_discards : t -> int
     their module mapping (the ABA hazard, caught). *)
 
 val pending : t -> int
-(** Parked messages currently awaiting retry or delay release. *)
+(** Unresolved messages: parked ones awaiting retry or delay release,
+    plus batched deliveries not yet flushed. *)

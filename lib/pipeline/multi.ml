@@ -54,6 +54,13 @@ let create ?ucfg ?skip_cfg ~with_skip ~policy ~quantum ~cores specs =
   let specs = Array.of_list specs in
   let n = Array.length specs in
   let bus = Coherence.create () in
+  (* Cores are cooperatively time-sliced — between a mid-quantum GOT
+     store and the quantum-boundary drain no other core retires a single
+     event — so deferring cross-core invalidations into one
+     generation-ordered batch applied at the drain is bit-identical to
+     delivering them inside the retire loop, and keeps the subscriber
+     walk out of the hot path. *)
+  Coherence.set_batched bus true;
   let n_cores = min cores n in
   let cores_arr =
     Array.init n_cores (fun core_id ->
@@ -228,5 +235,9 @@ let retire_got_store t ~pid addr =
       Skip.on_retire_packed s ~pc:0 ~size:4 ~store:addr ~kind:Event.Kind.none
         ~target:Addr.none ~aux:Addr.none
   | None -> ());
-  if t.policy = Policy.Asid_shared_guard then
-    Coherence.publish t.bus ~src:c.core_id addr
+  if t.policy = Policy.Asid_shared_guard then begin
+    Coherence.publish t.bus ~src:c.core_id addr;
+    (* Probes arrive outside any quantum, so there is no boundary drain
+       coming: apply the invalidation now, as the unbatched bus would. *)
+    ignore (Coherence.flush_batch t.bus : int)
+  end

@@ -41,7 +41,7 @@ let sweep ?ucfg ?skip_cfg ?mode ?requests ?(cores = 1) ?jobs
       (fun quantum -> List.map (fun policy -> (quantum, policy)) policies)
       quanta
   in
-  Dlink_util.Parallel.map ?jobs
+  Dlink_util.Dpool.map ?jobs
     (fun (quantum, policy) ->
       let sched =
         Scheduler.create ?ucfg ?skip_cfg ?mode ?requests ~policy ~quantum

@@ -34,8 +34,8 @@ val sweep :
 (** Cartesian product of [quanta] x [policies] (defaults: {!default_quanta}
     x [[Flush; Asid]]), each combination simulated independently with one
     core unless [cores] is given.  Points are ordered by quantum, then
-    policy — deterministically, even with [jobs > 1], which forks that many
-    worker processes via {!Dlink_util.Parallel.map}. *)
+    policy — deterministically, even with [jobs > 1], which runs that many
+    shared-memory domains via {!Dlink_util.Dpool.map}. *)
 
 val table : point list -> Dlink_util.Table.t
 val plot : point list -> string

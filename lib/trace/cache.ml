@@ -20,9 +20,19 @@ let table : (key, Trace.t) Hashtbl.t = Hashtbl.create 16
 let hit_count = ref 0
 let miss_count = ref 0
 
-let hits () = !hit_count
-let misses () = !miss_count
-let clear () = Hashtbl.reset table
+(* The cache is process-global and the domain pool shares the heap, so
+   every table access is guarded.  The lock is never held across a
+   recording: two domains missing on the same key both record (recording
+   is deterministic — identical traces) and the second [replace] wins. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let hits () = locked (fun () -> !hit_count)
+let misses () = locked (fun () -> !miss_count)
+let clear () = locked (fun () -> Hashtbl.reset table)
 
 let get ?seed ?aslr_seed ?warmup ?requests ~mode (w : Workload.t) =
   let warmup = Option.value warmup ~default:w.Workload.warmup_requests in
@@ -37,9 +47,9 @@ let get ?seed ?aslr_seed ?warmup ?requests ~mode (w : Workload.t) =
       warmup;
     }
   in
-  match Hashtbl.find_opt table key with
+  match locked (fun () -> Hashtbl.find_opt table key) with
   | Some tr when Trace.measured_requests tr >= n ->
-      incr hit_count;
+      locked (fun () -> incr hit_count);
       tr
   | cached ->
       (* Miss, or a cached trace too short for this run: re-record with
@@ -49,10 +59,11 @@ let get ?seed ?aslr_seed ?warmup ?requests ~mode (w : Workload.t) =
         | Some tr -> max n (Trace.measured_requests tr)
         | None -> n
       in
-      incr miss_count;
+      locked (fun () -> incr miss_count);
       let tr = Record.record ?aslr_seed ~warmup ~requests:n ~mode w in
-      Hashtbl.replace table key tr;
+      locked (fun () -> Hashtbl.replace table key tr);
       tr
 
 let footprint_bytes () =
-  Hashtbl.fold (fun _ tr acc -> acc + Trace.storage_bytes tr) table 0
+  locked (fun () ->
+      Hashtbl.fold (fun _ tr acc -> acc + Trace.storage_bytes tr) table 0)

@@ -6,7 +6,7 @@ module Kernel = Dlink_pipeline.Kernel
 module Multi = Dlink_pipeline.Multi
 module Policy = Dlink_sched.Policy
 module Quantum_sweep = Dlink_sched.Quantum_sweep
-module Parallel = Dlink_util.Parallel
+module Dpool = Dlink_util.Dpool
 
 (* Replay mirror of Dlink_sched.Scheduler: per-process cursors into
    single-process traces driving the same multi-core kernel topology
@@ -104,8 +104,9 @@ let point_of_result ~quantum ~policy (r : result) =
 let sweep ?ucfg ?skip_cfg ?(mode = Sim.Enhanced) ?requests ?(cores = 1) ?jobs
     ?(policies = [ Policy.Flush; Policy.Asid ])
     ?(quanta = Quantum_sweep.default_quanta) workloads =
-  (* One recording per workload serves the whole grid; forked sweep
-     workers inherit the warm cache copy-on-write. *)
+  (* One recording per workload serves the whole grid; sweep cells run
+     on the shared-memory domain pool and read the same trace values
+     (immutable once recorded — each cell builds its own kernels). *)
   let pairs =
     List.map
       (fun (w : Workload.t) ->
@@ -117,7 +118,7 @@ let sweep ?ucfg ?skip_cfg ?(mode = Sim.Enhanced) ?requests ?(cores = 1) ?jobs
       (fun quantum -> List.map (fun policy -> (quantum, policy)) policies)
       quanta
   in
-  Parallel.map ?jobs
+  Dpool.map ?jobs
     (fun (quantum, policy) ->
       point_of_result ~quantum ~policy
         (run ?ucfg ?skip_cfg ~mode ?requests ~policy ~quantum ~cores pairs))

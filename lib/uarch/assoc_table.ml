@@ -1,43 +1,56 @@
 module Site_hash = Dlink_util.Site_hash
 
-(* Values live in a plain ['v array]: validity is carried by the companion
-   [keys] array (-1 = never written), so [insert]/[find] never allocate a
-   [Some] cell on the hot path.  Invalid slots hold [dummy], an unboxed
-   placeholder never returned to callers.  This is safe because every
-   access to [values] happens at the polymorphic type ['v] inside this
-   module (the compiler emits dynamically-checked array primitives), and
-   the array is created from an immediate so it is never a flat float
-   array.
+(* All scalar per-slot state — keys, tags, LRU stamps, write epochs, the
+   per-set reconciliation stamps and the per-tag clear floors — lives in
+   [Bigarray.Array1] int vectors: unboxed, flat, off the OCaml heap (never
+   scanned by the GC, safely shareable across domains), and accessed with
+   the [.{i}] operators so the [-O3 -unsafe] release profile compiles each
+   access to a single unchecked load/store.  Values keep a plain ['v array]:
+   the payload is polymorphic (ints for BTB/TLB/cache tags, records for the
+   ABTB) and validity is carried by the companion [keys] vector (-1 = never
+   written), so [insert]/[find] never allocate a [Some] cell on the hot
+   path.  Invalid slots hold [dummy], an unboxed placeholder never returned
+   to callers.  This is safe because every access to [values] happens at
+   the polymorphic type ['v] inside this module (the compiler emits
+   dynamically-checked array primitives), and the array is created from an
+   immediate so it is never a flat float array.
 
    Flash clears are O(1) generation bumps, modelling the single-cycle
    valid-bit reset of the hardware structures this table backs (the ABTB's
    store-triggered clear is the extreme case: one per guarded GOT store).
    [clock] counts clears; every write stamps its slot with the current
    clock, and [clear] bumps the clock and raises the matching validity
-   floor ([global_floor], or [tag_floors.(tag)] for a single address
+   floor ([global_floor], or [tag_floors.{tag}] for a single address
    space).  Reclamation is per-set and lazy: the first operation to touch
    a set after a clear reconciles it — physically invalidating every slot
    whose stamp sits below an applicable floor — and records the clock in
    [seen_clock], so the scan and victim loops afterwards run exactly the
    byte-for-byte logic of an eagerly-cleared table.  The steady-state
-   lookup pays one extra load-and-compare ([seen_clock.(set) = clock]);
+   lookup pays one extra load-and-compare ([seen_clock.{set} = clock]);
    the clear itself walks nothing. *)
+
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let make_ints n init : ints =
+  let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  Bigarray.Array1.fill a init;
+  a
 
 type 'v t = {
   sets : int;
   ways : int;
-  keys : int array; (* sets*ways; -1 = invalid *)
-  tags : int array; (* address-space id of each entry; 0 when untagged *)
+  keys : ints; (* sets*ways; -1 = invalid *)
+  tags : ints; (* address-space id of each entry; 0 when untagged *)
   values : 'v array;
   dummy : 'v; (* placeholder stored in invalid slots *)
-  stamps : int array; (* LRU recency; larger = more recent *)
+  stamps : ints; (* LRU recency; larger = more recent *)
   mutable tick : int;
-  epochs : int array; (* clear-clock value at each slot's last write *)
-  seen_clock : int array; (* per-set clock at last reconciliation *)
+  epochs : ints; (* clear-clock value at each slot's last write *)
+  seen_clock : ints; (* per-set clock at last reconciliation *)
   mutable clock : int; (* bumped by every flash clear *)
   mutable global_floor : int; (* minimum live epoch, all tags *)
-  mutable tag_floors : int array; (* per-tag minimum live epoch; grown on
-                                     demand, missing tags have floor 0 *)
+  mutable tag_floors : ints; (* per-tag minimum live epoch; grown on
+                                demand, missing tags have floor 0 *)
 }
 
 let create ~sets ~ways =
@@ -49,17 +62,17 @@ let create ~sets ~ways =
   {
     sets;
     ways;
-    keys = Array.make n (-1);
-    tags = Array.make n 0;
+    keys = make_ints n (-1);
+    tags = make_ints n 0;
     values = Array.make n dummy;
     dummy;
-    stamps = Array.make n 0;
+    stamps = make_ints n 0;
     tick = 0;
-    epochs = Array.make n 0;
-    seen_clock = Array.make sets 0;
+    epochs = make_ints n 0;
+    seen_clock = make_ints sets 0;
     clock = 0;
     global_floor = 0;
-    tag_floors = Array.make 8 0;
+    tag_floors = make_ints 8 0;
   }
 
 let sets t = t.sets
@@ -77,13 +90,14 @@ let next_tick t =
   t.tick
 
 let tag_floor t tag =
-  if tag >= 0 && tag < Array.length t.tag_floors then t.tag_floors.(tag) else 0
+  if tag >= 0 && tag < Bigarray.Array1.dim t.tag_floors then t.tag_floors.{tag}
+  else 0
 
 let invalidate_slot t i =
-  t.keys.(i) <- -1;
-  t.tags.(i) <- 0;
+  t.keys.{i} <- -1;
+  t.tags.{i} <- 0;
   t.values.(i) <- t.dummy;
-  t.stamps.(i) <- 0
+  t.stamps.{i} <- 0
 
 (* Bring one set up to date with every flash clear since it was last
    touched: a written slot is stale — and is physically invalidated here —
@@ -94,37 +108,37 @@ let reconcile_set t s =
   let base = s * t.ways in
   for w = 0 to t.ways - 1 do
     let i = base + w in
-    if t.keys.(i) >= 0 then begin
-      let e = t.epochs.(i) in
-      if e < t.global_floor || e < tag_floor t t.tags.(i) then
+    if t.keys.{i} >= 0 then begin
+      let e = t.epochs.{i} in
+      if e < t.global_floor || e < tag_floor t t.tags.{i} then
         invalidate_slot t i
     end
   done;
-  t.seen_clock.(s) <- t.clock
+  t.seen_clock.{s} <- t.clock
 
 let reconcile_all t =
   for s = 0 to t.sets - 1 do
-    if t.seen_clock.(s) <> t.clock then reconcile_set t s
+    if t.seen_clock.{s} <> t.clock then reconcile_set t s
   done
 
 (* The scans are top-level functions rather than local closures: a local
    [let rec] capturing its environment is heap-allocated per call, which
    would put ~7 words on every cache/TLB/BTB access of the replay loop. *)
-let rec scan_slot keys tags base ways w key tag =
+let rec scan_slot (keys : ints) (tags : ints) base ways w key tag =
   if w >= ways then -1
-  else if keys.(base + w) = key && tags.(base + w) = tag then base + w
+  else if keys.{base + w} = key && tags.{base + w} = tag then base + w
   else scan_slot keys tags base ways (w + 1) key tag
 
 let find_slot t key tag =
   let s = set_of t key in
-  if t.seen_clock.(s) <> t.clock then reconcile_set t s;
+  if t.seen_clock.{s} <> t.clock then reconcile_set t s;
   scan_slot t.keys t.tags (s * t.ways) t.ways 0 key tag
 
 let find t ?(tag = 0) key =
   let i = find_slot t key tag in
   if i < 0 then None
   else begin
-    t.stamps.(i) <- next_tick t;
+    t.stamps.{i} <- next_tick t;
     Some t.values.(i)
   end
 
@@ -132,7 +146,7 @@ let find_default t ~tag key ~default =
   let i = find_slot t key tag in
   if i < 0 then default
   else begin
-    t.stamps.(i) <- next_tick t;
+    t.stamps.{i} <- next_tick t;
     t.values.(i)
   end
 
@@ -146,14 +160,14 @@ let probe_default t ?(tag = 0) key ~default =
 
 let rec first_invalid t base ways w =
   if w >= ways then -1
-  else if t.keys.(base + w) = -1 then base + w
+  else if t.keys.{base + w} = -1 then base + w
   else first_invalid t base ways (w + 1)
 
-let rec lru_slot stamps base ways w best =
+let rec lru_slot (stamps : ints) base ways w best =
   if w >= ways then best
   else
     lru_slot stamps base ways (w + 1)
-      (if stamps.(base + w) < stamps.(best) then base + w else best)
+      (if stamps.{base + w} < stamps.{best} then base + w else best)
 
 (* First invalid way, otherwise the least recently used.  Only called
    after [find_slot] has reconciled the set, so flash-cleared slots show
@@ -168,18 +182,18 @@ let victim_slot t key =
 let insert_slot t tag key v =
   let i = find_slot t key tag in
   let i = if i >= 0 then i else victim_slot t key in
-  t.keys.(i) <- key;
-  t.tags.(i) <- tag;
+  t.keys.{i} <- key;
+  t.tags.{i} <- tag;
   t.values.(i) <- v;
-  t.stamps.(i) <- next_tick t;
-  t.epochs.(i) <- t.clock
+  t.stamps.{i} <- next_tick t;
+  t.epochs.{i} <- t.clock
 
 let insert t ~tag key v = insert_slot t tag key v
 
 let touch t ~tag key v =
   let i = find_slot t key tag in
   if i >= 0 then begin
-    t.stamps.(i) <- next_tick t;
+    t.stamps.{i} <- next_tick t;
     true
   end
   else begin
@@ -188,10 +202,10 @@ let touch t ~tag key v =
   end
 
 let grow_tag_floors t tag =
-  let n = Array.length t.tag_floors in
+  let n = Bigarray.Array1.dim t.tag_floors in
   if tag >= n then begin
-    let bigger = Array.make (max (2 * n) (tag + 1)) 0 in
-    Array.blit t.tag_floors 0 bigger 0 n;
+    let bigger = make_ints (max (2 * n) (tag + 1)) 0 in
+    Bigarray.Array1.blit t.tag_floors (Bigarray.Array1.sub bigger 0 n);
     t.tag_floors <- bigger
   end
 
@@ -206,13 +220,13 @@ let clear ?tag t =
   | Some tag when tag >= 0 ->
       t.clock <- t.clock + 1;
       grow_tag_floors t tag;
-      t.tag_floors.(tag) <- t.clock
+      t.tag_floors.{tag} <- t.clock
   | Some tag ->
       (* Negative tags have no floor slot; fall back to the eager walk
          (never reached by the simulator, which uses ASIDs >= 0). *)
-      Array.iteri
-        (fun i k -> if k >= 0 && t.tags.(i) = tag then invalidate_slot t i)
-        t.keys
+      for i = 0 to Bigarray.Array1.dim t.keys - 1 do
+        if t.keys.{i} >= 0 && t.tags.{i} = tag then invalidate_slot t i
+      done
 
 let set_of_key t key = set_of t key
 
@@ -225,15 +239,17 @@ let clear_set t s =
 let valid_count ?tag t =
   reconcile_all t;
   let counted i =
-    t.keys.(i) >= 0
-    && match tag with None -> true | Some tag -> t.tags.(i) = tag
+    t.keys.{i} >= 0
+    && match tag with None -> true | Some tag -> t.tags.{i} = tag
   in
   let n = ref 0 in
-  for i = 0 to Array.length t.keys - 1 do
+  for i = 0 to Bigarray.Array1.dim t.keys - 1 do
     if counted i then incr n
   done;
   !n
 
 let iter f t =
   reconcile_all t;
-  Array.iteri (fun i k -> if k >= 0 then f k t.values.(i)) t.keys
+  for i = 0 to Bigarray.Array1.dim t.keys - 1 do
+    if t.keys.{i} >= 0 then f t.keys.{i} t.values.(i)
+  done

@@ -1,15 +1,25 @@
 open Dlink_isa
 
-(* The bit field is packed 32 bits per OCaml int, with a per-word
-   generation stamp: a word's bits only count while its stamp equals the
-   filter's current epoch, so [clear] — which the mechanism fires on every
-   guarded GOT store — is a single epoch bump, like the hardware's
-   one-cycle flash reset, instead of an O(bits) fill.  Stale words are
-   lazily re-zeroed by the first [set_bit] that lands in them. *)
+(* The bit field is packed 32 bits per element of a [Bigarray.Array1] int
+   vector, with a per-word generation stamp in a companion vector: a word's
+   bits only count while its stamp equals the filter's current epoch, so
+   [clear] — which the mechanism fires on every guarded GOT store — is a
+   single epoch bump, like the hardware's one-cycle flash reset, instead of
+   an O(bits) fill.  Stale words are lazily re-zeroed by the first
+   [set_bit] that lands in them.  Bigarray storage keeps the field unboxed,
+   flat and off the OCaml heap, and the [.{i}] accesses compile to
+   unchecked loads under the [-O3 -unsafe] release profile. *)
+
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let make_ints n init : ints =
+  let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  Bigarray.Array1.fill a init;
+  a
 
 type t = {
-  words : int array; (* 32 field bits per element *)
-  word_epoch : int array; (* stamp under which each word's bits are live *)
+  words : ints; (* 32 field bits per element *)
+  word_epoch : ints; (* stamp under which each word's bits are live *)
   mutable epoch : int;
   mask : int;
   hashes : int;
@@ -22,8 +32,8 @@ let create ~bits ~hashes =
   if hashes < 1 || hashes > 8 then invalid_arg "Bloom.create: hashes out of range";
   let n_words = (bits + 31) / 32 in
   {
-    words = Array.make n_words 0;
-    word_epoch = Array.make n_words 0;
+    words = make_ints n_words 0;
+    word_epoch = make_ints n_words 0;
     epoch = 0;
     mask = bits - 1;
     hashes;
@@ -52,7 +62,7 @@ let bit_pos t ~asid (a : Addr.t) k =
   mix2 v (k + 1) land t.mask
 
 (* A stale word reads as all-zeroes without being written back. *)
-let word_at t w = if t.word_epoch.(w) = t.epoch then t.words.(w) else 0
+let word_at t w = if t.word_epoch.{w} = t.epoch then t.words.{w} else 0
 
 let get_bit t i = (word_at t (i lsr 5) lsr (i land 31)) land 1 <> 0
 
@@ -61,8 +71,8 @@ let set_bit t i =
   let cur = word_at t w in
   let m = 1 lsl (i land 31) in
   if cur land m = 0 then begin
-    t.words.(w) <- cur lor m;
-    t.word_epoch.(w) <- t.epoch;
+    t.words.{w} <- cur lor m;
+    t.word_epoch.{w} <- t.epoch;
     t.set_bits <- t.set_bits + 1
   end
 
@@ -87,7 +97,7 @@ let clear_bit t i =
   if get_bit t i then begin
     (* [get_bit] implies the word's stamp is current. *)
     let w = i lsr 5 in
-    t.words.(w) <- t.words.(w) land lnot (1 lsl (i land 31));
+    t.words.{w} <- t.words.{w} land lnot (1 lsl (i land 31));
     t.set_bits <- t.set_bits - 1
   end
 

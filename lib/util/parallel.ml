@@ -8,7 +8,16 @@
 
 let default_jobs () =
   match Sys.getenv_opt "DLINK_JOBS" with
-  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1)
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> n
+      | _ ->
+          Printf.eprintf
+            "warning: DLINK_JOBS=%s is not a positive integer; running with 1 \
+             job\n\
+             %!"
+            s;
+          1)
   | None -> ( try Domain.recommended_domain_count () with _ -> 1)
 
 type 'b reply = (int * ('b, string) result) list

@@ -15,8 +15,16 @@
 
 val default_jobs : unit -> int
 (** [DLINK_JOBS] when set to a positive integer, else the runtime's
-    recommended domain count (≈ core count), else 1. *)
+    recommended domain count (≈ core count), else 1.  An invalid value
+    (e.g. [DLINK_JOBS=all]) prints a one-line warning to stderr and
+    yields 1 instead of degrading silently. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Sequential [List.map] when [jobs <= 1], on non-Unix platforms, or for
     lists of at most one element. *)
+
+val forked_map : int -> ('a -> 'b) -> 'a list -> 'b list
+(** The fork pool itself, without [map]'s sequential short-circuits.
+    Kept as the fallback for non-reentrant paths — code that mutates
+    process-global state per item and relies on fork's copy-on-write
+    isolation — where the shared-heap {!Dpool} would race. *)

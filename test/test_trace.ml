@@ -14,6 +14,7 @@ module Trace = Dlink_trace.Trace
 module Tcache = Dlink_trace.Cache
 module Replay = Dlink_trace.Replay
 module Parallel = Dlink_util.Parallel
+module Dpool = Dlink_util.Dpool
 module Json = Dlink_util.Json
 
 let wl name =
@@ -225,6 +226,29 @@ let test_parallel_map () =
   | _ -> Alcotest.fail "worker exception should surface as Failure"
   | exception Failure _ -> ()
 
+let test_dpool_map () =
+  let xs = List.init 37 Fun.id in
+  let f x = (x * x) - 3 in
+  let expect = List.map f xs in
+  Alcotest.(check (list int)) "jobs=1" expect (Dpool.map ~jobs:1 f xs);
+  Alcotest.(check (list int)) "jobs=2" expect (Dpool.map ~jobs:2 f xs);
+  Alcotest.(check (list int)) "jobs=4" expect (Dpool.map ~jobs:4 f xs);
+  Alcotest.(check (list int))
+    "more jobs than items" [ 0; 1; 2 ]
+    (Dpool.map ~jobs:8 Fun.id [ 0; 1; 2 ]);
+  Alcotest.(check (list int)) "empty" [] (Dpool.map ~jobs:3 f []);
+  Alcotest.(check bool) "default_jobs positive" true (Dpool.default_jobs () >= 1);
+  (* Domains share the heap, so — unlike the fork pool — results may be
+     closures. *)
+  let gs = Dpool.map ~jobs:2 (fun x () -> x + 1) xs in
+  Alcotest.(check (list int))
+    "closures cross domains"
+    (List.map (fun x -> x + 1) xs)
+    (List.map (fun g -> g ()) gs);
+  match Dpool.map ~jobs:2 (fun x -> if x = 5 then failwith "boom" else x) xs with
+  | _ -> Alcotest.fail "domain exception should surface as Failure"
+  | exception Failure _ -> ()
+
 let test_json_atomic () =
   let path = Filename.temp_file "dlink_trace_test" ".json" in
   let v = Json.Obj [ ("sim_mips", Json.Float 12.5); ("ok", Json.Bool true) ] in
@@ -285,6 +309,31 @@ let test_zero_alloc () =
        %.3f words/event (%d)"
       per_control control per_event events
 
+(* Same property under the domain pool: each domain replays the shared
+   trace with its own kernel, and minor-heap accounting is per-domain, so
+   the measured words are that domain's replay loop alone.  A 300-request
+   replay must not allocate measurably more than a 100-request one. *)
+let test_domain_zero_alloc () =
+  Tcache.clear ();
+  let w = wl "synth" in
+  let tr = Tcache.get ~warmup:4 ~requests:300 ~mode:Sim.Base w in
+  let deltas =
+    Dpool.map ~jobs:2
+      (fun n ->
+        ignore (Replay.replay_counters ~mode:Sim.Base ~requests:n tr);
+        let before = Gc.minor_words () in
+        ignore (Replay.replay_counters ~mode:Sim.Base ~requests:n tr);
+        Gc.minor_words () -. before)
+      [ 100; 300 ]
+  in
+  match deltas with
+  | [ d100; d300 ] ->
+      if Float.abs (d300 -. d100) > 512.0 then
+        Alcotest.failf
+          "domain replay allocates per request: 100->%.0f 300->%.0f words"
+          d100 d300
+  | _ -> Alcotest.fail "dpool dropped a result"
+
 let () =
   Alcotest.run "trace"
     [
@@ -297,8 +346,14 @@ let () =
       ( "infra",
         [
           Alcotest.test_case "parallel map" `Quick test_parallel_map;
+          Alcotest.test_case "domain pool map" `Quick test_dpool_map;
           Alcotest.test_case "atomic json" `Quick test_json_atomic;
         ] );
-      ("alloc", [ Alcotest.test_case "replay is allocation-free" `Quick test_zero_alloc ]);
+      ( "alloc",
+        [
+          Alcotest.test_case "replay is allocation-free" `Quick test_zero_alloc;
+          Alcotest.test_case "domain replay is allocation-free" `Quick
+            test_domain_zero_alloc;
+        ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]
