@@ -9,22 +9,33 @@
    visible as a trend across PRs.  With no file arguments the current
    directory is scanned for BENCH_pr<N>.json.  A leaf absent from some
    PR's dump (sections grow over time) renders as an em dash, not an
-   error: old baselines stay comparable without recommitting them. *)
+   error: old baselines stay comparable without recommitting them.
+   Likewise a missing or unparseable file — PR numbers can have gaps, and
+   an explicit CI file list may outlive a renamed dump — costs only its
+   column (with a warning on stderr), not the whole page. *)
 
 module Json = Dlink_util.Json
 
-let row_keys = [ "replay_mips"; "sim_mips"; "tramp_pki" ]
+let row_keys =
+  [ "replay_mips"; "sim_mips"; "tramp_pki"; "goodput_rps"; "p99_us" ]
 
+(* [None] for a missing or malformed dump: the page renders from whatever
+   columns remain. *)
 let read_json path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  match Json.of_string s with
-  | Ok v -> v
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Json.of_string s
+  with
+  | Ok v -> Some v
   | Error e ->
-      Printf.eprintf "%s: parse error: %s\n" path e;
-      exit 2
+      Printf.eprintf "bench_page: skipping %s: parse error: %s\n" path e;
+      None
+  | exception Sys_error e ->
+      Printf.eprintf "bench_page: skipping %s: %s\n" path e;
+      None
 
 let rec leaves prefix = function
   | Json.Obj fields ->
@@ -92,9 +103,16 @@ let () =
   let cols =
     List.map (fun f -> (pr_label f, f)) files
     |> List.sort compare
-    |> List.map (fun ((_, label), f) ->
-           (label, List.filter (fun (k, _) -> is_row k) (leaves "" (read_json f))))
+    |> List.filter_map (fun ((_, label), f) ->
+           match read_json f with
+           | Some v ->
+               Some (label, List.filter (fun (k, _) -> is_row k) (leaves "" v))
+           | None -> None)
   in
+  if cols = [] then begin
+    prerr_endline "bench_page: no readable BENCH dumps";
+    exit 2
+  end;
   (* Row order: first appearance across PRs in ascending order, so new
      sections append below the long-lived ones. *)
   let rows = ref [] in
@@ -108,10 +126,12 @@ let () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "# Bench trajectory\n\n";
   Buffer.add_string buf
-    "Gated throughput (`replay_mips`, `sim_mips`) and trampoline\n\
-     opportunity (`tramp_pki`) leaves from every committed per-PR bench\n\
-     dump.  Units: Mi/s for throughput, events per kilo-instruction for\n\
-     PKI.  An em dash means the section did not exist in that PR.\n\n";
+    "Gated throughput (`replay_mips`, `sim_mips`), trampoline\n\
+     opportunity (`tramp_pki`) and open-loop serving (`goodput_rps`,\n\
+     `p99_us`) leaves from every committed per-PR bench dump.  Units:\n\
+     Mi/s for throughput, events per kilo-instruction for PKI,\n\
+     requests/s and scaled microseconds for serving.  An em dash means\n\
+     the section did not exist in that PR.\n\n";
   Buffer.add_string buf "| metric |";
   List.iter (fun (label, _) -> Buffer.add_string buf (" " ^ label ^ " |")) cols;
   Buffer.add_string buf "\n|---|";

@@ -2,13 +2,17 @@
 
    Usage: check_throughput BASELINE.json CURRENT.json [--tolerance 0.15]
 
-   Both files are bench `--json` dumps.  Every numeric leaf under the
-   "throughput" object whose key is [replay_mips] or [sim_mips] in the
-   baseline must be present in the current dump and must not fall more
-   than the tolerance fraction below the committed value.  The tolerance
-   (15% by default) absorbs runner noise while still catching real
-   regressions — a bulk clear going back to O(capacity), a bounds check
-   reappearing in the replay loop — not just order-of-magnitude cliffs.
+   Both files are bench `--json` dumps.  Every numeric leaf in the
+   baseline whose key is [replay_mips], [sim_mips] or [goodput_rps]
+   (higher is better: gated against a floor) or [p99_us] (lower is
+   better: gated against a ceiling) must be present in the current dump
+   and must not cross its bound by more than the tolerance fraction of
+   the committed value.  The tolerance (15% by default) absorbs runner
+   noise on the wall-clock leaves while still catching real regressions —
+   a bulk clear going back to O(capacity), a bounds check reappearing in
+   the replay loop — not just order-of-magnitude cliffs; the serving
+   leaves are pure simulated-cycle quantities, so for them any trip is a
+   behavioral change.
    Both dumps' [jobs] leaves are echoed before the comparison so a
    baseline recorded at a different domain count is visible at a glance
    rather than silently skewing every ratio.
@@ -22,7 +26,9 @@
 
 module Json = Dlink_util.Json
 
-let gated_keys = [ "replay_mips"; "sim_mips" ]
+let floor_keys = [ "replay_mips"; "sim_mips"; "goodput_rps" ]
+let ceiling_keys = [ "p99_us" ]
+let gated_keys = floor_keys @ ceiling_keys
 
 let read_json path =
   let ic = open_in_bin path in
@@ -60,12 +66,13 @@ let section key =
   | Some i -> String.sub key 0 i
   | None -> key
 
-let is_gated k =
+let leaf_name k =
   match String.rindex_opt k '.' with
-  | Some i ->
-      String.length k > i + 1
-      && List.mem (String.sub k (i + 1) (String.length k - i - 1)) gated_keys
-  | None -> List.mem k gated_keys
+  | Some i when String.length k > i + 1 ->
+      String.sub k (i + 1) (String.length k - i - 1)
+  | _ -> k
+
+let is_gated k = List.mem (leaf_name k) gated_keys
 
 let gated path v =
   List.filter (fun (k, _) -> is_gated k) (leaves "" v)
@@ -128,7 +135,14 @@ let () =
               incr failures;
               Printf.printf "FAIL %-55s missing from %s\n" key current_path
           | Some now ->
-              let floor = committed *. (1.0 -. !tolerance) in
+              (* Floor leaves (throughput, goodput) fail when they fall
+                 below committed * (1 - tol); ceiling leaves (tail
+                 latency) fail when they rise above committed * (1 + tol). *)
+              let is_ceiling = List.mem (leaf_name key) ceiling_keys in
+              let bound =
+                if is_ceiling then committed *. (1.0 +. !tolerance)
+                else committed *. (1.0 -. !tolerance)
+              in
               let delta =
                 if committed = 0.0 then 0.0
                 else (now -. committed) /. committed
@@ -143,11 +157,14 @@ let () =
               in
               sum := !sum +. delta;
               incr count;
-              let verdict = if now < floor then "FAIL" else "ok" in
-              if now < floor then incr failures;
+              let failed = if is_ceiling then now > bound else now < bound in
+              let verdict = if failed then "FAIL" else "ok" in
+              if failed then incr failures;
               Printf.printf
-                "%-4s %-55s baseline %8.2f  now %8.2f  floor %8.2f  %+6.1f%%\n"
-                verdict key committed now floor (100.0 *. delta))
+                "%-4s %-55s baseline %8.2f  now %8.2f  %s %8.2f  %+6.1f%%\n"
+                verdict key committed now
+                (if is_ceiling then "ceil " else "floor")
+                bound (100.0 *. delta))
         baseline;
       (* Leaves gated in the current run with no baseline counterpart:
          the baseline is stale and the new section is not being gated. *)

@@ -10,6 +10,7 @@
      multi     multi-process scheduler: flush vs ASID context switching
      fuzz      seeded fault-injection stress with a differential oracle
      churn     dlopen/dlclose rotation: clear rate, skip rate, stable linking
+     serve     open-loop serving cells: offered load vs goodput and tail latency
      list      available workloads *)
 
 module C = Dlink_uarch.Counters
@@ -1166,13 +1167,260 @@ let soak_cmd =
       $ ops_arg $ events_arg $ seed_arg $ seeds_arg $ jobs_arg $ faults_arg
       $ plan_arg $ check_arg $ json_arg $ repro_arg)
 
+let serve_cmd =
+  let module Serve = Dlink_core.Serve in
+  let module Arrival = Dlink_util.Arrival in
+  let module J = Dlink_util.Json in
+  (* Every axis value is validated up front with the full list of valid
+     spellings — a typo'd load or arrival exits 2, never a stack trace. *)
+  let parse_load s =
+    match float_of_string_opt (String.trim s) with
+    | Some l when Float.is_finite l && l > 0.0 -> l
+    | _ ->
+        Printf.eprintf
+          "dlinksim: bad load %s (want a positive real fraction of base \
+           capacity, e.g. 0.9)\n"
+          (String.trim s);
+        exit 2
+  in
+  let parse_arrival s =
+    match Arrival.of_string s with
+    | Some a -> a
+    | None ->
+        Printf.eprintf "dlinksim: unknown arrival process %s (valid: %s)\n" s
+          (String.concat ", " Arrival.names);
+        exit 2
+  in
+  let parse_flush s =
+    match Serve.flush_of_string (String.trim s) with
+    | Some f -> f
+    | None ->
+        Printf.eprintf "dlinksim: unknown flush policy %s (valid: %s)\n"
+          (String.trim s)
+          (String.concat ", " Serve.flush_names);
+        exit 2
+  in
+  let action name mode_str load loads_str arrival_str queue_cap requests
+      flush_str flush_every seed sweep modes_str flushes_str jobs hist
+      json_path =
+    if queue_cap <= 0 then begin
+      prerr_endline "dlinksim: --queue-cap must be positive";
+      exit 2
+    end;
+    if flush_every <= 0 then begin
+      prerr_endline "dlinksim: --flush-every must be positive";
+      exit 2
+    end;
+    (match requests with
+    | Some n when n < 0 ->
+        prerr_endline "dlinksim: --requests must be non-negative";
+        exit 2
+    | _ -> ());
+    (match jobs with
+    | Some j when j <= 0 ->
+        prerr_endline "dlinksim: --jobs must be positive";
+        exit 2
+    | _ -> ());
+    let arrival = parse_arrival arrival_str in
+    let w = get_workload name seed in
+    let cell_seed = Option.value seed ~default:Serve.default_config.Serve.seed in
+    let requests =
+      Option.value requests ~default:Serve.default_config.Serve.requests
+    in
+    let cfg =
+      {
+        Serve.default_config with
+        Serve.arrival;
+        queue_cap;
+        requests;
+        flush_every;
+        seed = cell_seed;
+      }
+    in
+    let cells =
+      if sweep then
+        let split s = String.split_on_char ',' s in
+        let loads = List.map parse_load (split loads_str) in
+        let modes = List.map resolve_mode (split modes_str) in
+        let flushes = List.map parse_flush (split flushes_str) in
+        Dlink_trace.Serve_replay.sweep ?jobs ~cfg ~loads ~modes ~flushes w
+      else
+        let cfg =
+          {
+            cfg with
+            Serve.mode = resolve_mode mode_str;
+            load = parse_load load;
+            flush = parse_flush flush_str;
+          }
+        in
+        [ Dlink_trace.Serve_replay.run_cell ~cfg w ]
+    in
+    let mean_service =
+      match cells with
+      | c :: _ -> c.Serve.mean_service_cycles
+      | [] -> 0
+    in
+    Printf.printf "workload=%s requests=%d queue_cap=%d seed=%d mean_service=%d cycles\n"
+      name requests queue_cap cell_seed mean_service;
+    let t =
+      Table.create
+        ~headers:
+          [
+            "mode"; "arrival"; "flush"; "load"; "served"; "drops";
+            "offered r/s"; "goodput r/s"; "util"; "p50 us"; "p99 us";
+            "p999 us";
+          ]
+    in
+    List.iter
+      (fun (c : Serve.cell) ->
+        Table.add_row t
+          [
+            Sim.mode_to_string c.Serve.cfg.Serve.mode;
+            Arrival.to_string c.Serve.cfg.Serve.arrival;
+            Serve.flush_to_string c.Serve.cfg.Serve.flush;
+            fmt c.Serve.cfg.Serve.load;
+            string_of_int c.Serve.served;
+            string_of_int c.Serve.dropped;
+            fmt ~decimals:0 c.Serve.offered_rps;
+            fmt ~decimals:0 c.Serve.goodput_rps;
+            fmt ~decimals:3 c.Serve.util;
+            fmt ~decimals:1 c.Serve.p50_us;
+            fmt ~decimals:1 c.Serve.p99_us;
+            fmt ~decimals:1 c.Serve.p999_us;
+          ])
+      cells;
+    Table.print ~title:("Open-loop serving: " ^ name) t;
+    (if not sweep then
+       match cells with
+       | [ c ] ->
+           let rt =
+             Table.create ~headers:[ "request type"; "served"; "mean us"; "p99 us" ]
+           in
+           Array.iter
+             (fun (s : Serve.rtype_stats) ->
+               if s.Serve.rt_served > 0 then
+                 Table.add_row rt
+                   [
+                     s.Serve.rt_name;
+                     string_of_int s.Serve.rt_served;
+                     fmt ~decimals:1 s.Serve.rt_mean_us;
+                     fmt ~decimals:1 s.Serve.rt_p99_us;
+                   ])
+             c.Serve.by_rtype;
+           Table.print ~title:"Per request type" rt
+       | _ -> ());
+    match json_path with
+    | None -> ()
+    | Some path ->
+        let doc =
+          J.Obj
+            [
+              ("workload", J.String name);
+              ("requests", J.Int requests);
+              ("queue_cap", J.Int queue_cap);
+              ("seed", J.Int cell_seed);
+              ("mean_service_cycles", J.Int mean_service);
+              ("cells", J.List (List.map (Serve.cell_json ~hist) cells));
+            ]
+        in
+        if path = "-" then print_endline (J.to_string doc)
+        else J.write_file path doc
+  in
+  let load_arg =
+    Arg.(
+      value & opt string "0.8"
+      & info [ "load" ] ~docv:"L"
+          ~doc:"Offered load as a fraction of base-mode capacity (single cell).")
+  in
+  let loads_arg =
+    Arg.(
+      value
+      & opt string "0.5,0.7,0.85,0.95,1.05"
+      & info [ "loads" ] ~docv:"L1,L2,.."
+          ~doc:"Offered loads to sweep (with $(b,--sweep)).")
+  in
+  let arrival_arg =
+    Arg.(
+      value & opt string "poisson"
+      & info [ "arrival" ] ~docv:"PROC"
+          ~doc:"Arrival process: poisson or mmpp (bursty).")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.queue_cap
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Admission queue bound; arrivals beyond it are dropped.")
+  in
+  let flush_arg =
+    Arg.(
+      value & opt string "none"
+      & info [ "flush" ] ~docv:"POLICY"
+          ~doc:"Flush policy between requests: none, flush or asid (single cell).")
+  in
+  let flushes_arg =
+    Arg.(
+      value & opt string "none"
+      & info [ "flushes" ] ~docv:"P1,P2,.."
+          ~doc:"Flush policies to sweep (with $(b,--sweep)).")
+  in
+  let flush_every_arg =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.flush_every
+      & info [ "flush-every" ] ~docv:"K"
+          ~doc:"Apply the flush policy every K requests of the stream.")
+  in
+  let sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:"Sweep $(b,--modes) x $(b,--flushes) x $(b,--loads) instead of one cell.")
+  in
+  let modes_arg =
+    Arg.(
+      value & opt string "base,enhanced"
+      & info [ "modes" ] ~docv:"M1,M2,.."
+          ~doc:"Link modes to sweep (with $(b,--sweep)).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains for $(b,--sweep); the cell grid is identical \
+             regardless of N.")
+  in
+  let hist_arg =
+    Arg.(
+      value & flag
+      & info [ "hist" ]
+          ~doc:"Include the log-bucket latency histogram in $(b,--json) output.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write cells as JSON to FILE ($(b,-) or bare flag: stdout).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Open-loop serving: offered load vs goodput and tail latency")
+    Term.(
+      const action $ workload_arg $ mode_arg $ load_arg $ loads_arg
+      $ arrival_arg $ queue_cap_arg $ requests_arg $ flush_arg
+      $ flush_every_arg $ seed_arg $ sweep_arg $ modes_arg $ flushes_arg
+      $ jobs_arg $ hist_arg $ json_arg)
+
 let list_cmd =
   let action () =
     List.iter print_endline Dlink_workloads.Registry.names
   in
   Cmd.v (Cmd.info "list" ~doc:"List available workloads") Term.(const action $ const ())
 
-let version = "0.8.0"
+let version = "0.9.0"
 
 let () =
   let doc = "Simulator for 'Architectural Support for Dynamic Linking' (ASPLOS'15)" in
@@ -1188,6 +1436,7 @@ let () =
         multi_cmd;
         fuzz_cmd;
         churn_cmd;
+        serve_cmd;
         soak_cmd;
         dump_cmd;
         trace_cmd;

@@ -28,6 +28,8 @@ let run ?ucfg ?skip_cfg ?requests ?warmup ?(record_stream = false)
   let n = Option.value requests ~default:w.Workload.default_requests in
   let run_one i =
     let req = w.Workload.gen_request i in
+    Dlink_pipeline.Kernel.note_boundary (Sim.kernel sim)
+      ~rtype:req.Workload.rtype;
     let before = (Sim.counters sim).Counters.cycles in
     Sim.call sim ~mname:req.Workload.mname ~fname:req.Workload.fname;
     (req.Workload.rtype, Workload.cycles_to_us w ((Sim.counters sim).Counters.cycles - before))

@@ -1,0 +1,359 @@
+open Dlink_uarch
+module Arrival = Dlink_util.Arrival
+module Json = Dlink_util.Json
+module Latency = Dlink_stats.Latency
+module Kernel = Dlink_pipeline.Kernel
+
+(* Open-loop serving cells: the driver that turns "skip mechanism saves X
+   PKI" into "skip mechanism buys Y% more requests/sec at the same p99".
+
+   A cell fixes a workload, a link mode, an offered load, an arrival
+   process, and a flush policy, then plays an open-loop client against a
+   single-server bounded admission queue whose service times come from
+   actually executing each request on the pipeline kernel — so service
+   depends on the link mode and on the microarchitectural state carried
+   across requests, exactly like the closed-loop experiments.  Request
+   latency = queue wait + service, in simulated cycles; the host clock
+   never enters, so every cell is bit-reproducible from its seed.
+
+   The cell is a trace-driven queueing simulation: the execution stream
+   is always the full closed-loop request sequence (flush policy keyed by
+   stream index), yielding a per-request service-time vector, and the
+   bounded queue is pure arithmetic over that vector plus the arrival
+   times.  Admission drops therefore affect queueing only, never machine
+   state — which is what makes the generate driver here
+   ([run_cell_generate], over {!Sim}) and the packed-trace replay driver
+   ({!Dlink_trace.Serve_replay}) bit-identical: the service vector
+   reduces to the kernel equivalence the pipeline matrix already proves,
+   and the queueing arithmetic is shared. *)
+
+(* ------------------------------------------------------------------ *)
+(* Flush policy: what happens to the server's microarchitectural state
+   every [flush_every] served requests — nothing, a full flush (untagged
+   hardware), or an ASID-retaining switch (tagged hardware).  Models a
+   co-scheduled tenant touching the core between bursts of our requests. *)
+
+type flush = No_flush | Flush | Asid
+
+let flush_names = [ "none"; "flush"; "asid" ]
+
+let flush_to_string = function
+  | No_flush -> "none"
+  | Flush -> "flush"
+  | Asid -> "asid"
+
+let flush_of_string = function
+  | "none" -> Some No_flush
+  | "flush" -> Some Flush
+  | "asid" -> Some Asid
+  | _ -> None
+
+type config = {
+  mode : Sim.mode;
+  load : float;  (** offered load as a fraction of base-mode capacity *)
+  arrival : Arrival.process;
+  queue_cap : int;
+  requests : int;
+  flush : flush;
+  flush_every : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    mode = Sim.Base;
+    load = 0.8;
+    arrival = Arrival.Poisson;
+    queue_cap = 64;
+    requests = 400;
+    flush = No_flush;
+    flush_every = 32;
+    seed = 42;
+  }
+
+let check_config cfg =
+  if not (Float.is_finite cfg.load) || cfg.load <= 0.0 then
+    invalid_arg "Serve: load must be a positive real";
+  if cfg.queue_cap <= 0 then invalid_arg "Serve: queue_cap must be positive";
+  if cfg.requests < 0 then invalid_arg "Serve: requests must be non-negative";
+  if cfg.flush_every <= 0 then invalid_arg "Serve: flush_every must be positive"
+
+(* ------------------------------------------------------------------ *)
+(* The queue engine.  Admission is lazy, as in [Multi.quantum_open]: all
+   arrivals up to the current virtual time are admitted (or dropped at a
+   full queue) immediately before each service starts, which reproduces
+   exactly the occupancy a real-time interleaving would have seen because
+   the queue only drains at those same instants. *)
+
+type queue_stats = {
+  q_served : int;
+  q_dropped : int;
+  q_reqs : int array;  (** request index per served request, serve order *)
+  q_lat_cycles : int array;  (** queue wait + service, serve order *)
+  q_wait_cycles : int array;
+  q_busy : int;
+  q_span : int;  (** completion time of the last served request *)
+}
+
+let simulate_queue ~arrivals ~queue_cap ~service =
+  if queue_cap <= 0 then
+    invalid_arg "Serve.simulate_queue: queue_cap must be positive";
+  let n = Array.length arrivals in
+  let q = Queue.create () in
+  let reqs = ref [] and lats = ref [] and waits = ref [] in
+  let now = ref 0 and busy = ref 0 in
+  let served = ref 0 and dropped = ref 0 and next = ref 0 in
+  let admit () =
+    while !next < n && arrivals.(!next) <= !now do
+      if Queue.length q < queue_cap then Queue.add !next q else incr dropped;
+      incr next
+    done
+  in
+  while !served + !dropped < n do
+    admit ();
+    if Queue.is_empty q then begin
+      (* Idle until the earliest un-admitted arrival. *)
+      if arrivals.(!next) > !now then now := arrivals.(!next);
+      admit ()
+    end;
+    let r = Queue.pop q in
+    let start = !now in
+    let s = service ~nth:!served ~req:r in
+    if s < 0 then invalid_arg "Serve.simulate_queue: negative service time";
+    busy := !busy + s;
+    now := !now + s;
+    reqs := r :: !reqs;
+    lats := (!now - arrivals.(r)) :: !lats;
+    waits := (start - arrivals.(r)) :: !waits;
+    incr served
+  done;
+  {
+    q_served = !served;
+    q_dropped = !dropped;
+    q_reqs = Array.of_list (List.rev !reqs);
+    q_lat_cycles = Array.of_list (List.rev !lats);
+    q_wait_cycles = Array.of_list (List.rev !waits);
+    q_busy = !busy;
+    q_span = !now;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+type rtype_stats = {
+  rt_name : string;
+  rt_served : int;
+  rt_mean_us : float;
+  rt_p99_us : float;
+}
+
+type cell = {
+  cfg : config;
+  workload_name : string;
+  mean_service_cycles : int;  (** base-mode calibration behind [load] *)
+  served : int;
+  dropped : int;
+  lat_cycles : int array;  (** per served request, serve order *)
+  recorder : Latency.t;  (** the same latencies in scaled microseconds *)
+  offered_rps : float;
+  goodput_rps : float;
+  util : float;
+  span_us : float;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  mean_wait_us : float;
+  by_rtype : rtype_stats array;
+  counters : Counters.t;
+}
+
+let finish_cell ~cfg ~(w : Workload.t) ~mean_service ~(qs : queue_stats)
+    ~counters =
+  let recorder = Latency.create () in
+  Array.iter
+    (fun lc -> Latency.record recorder (Workload.cycles_to_us w lc))
+    qs.q_lat_cycles;
+  let span_us = Workload.cycles_to_us w qs.q_span in
+  let span_s = span_us *. 1e-6 in
+  let mean_gap = float_of_int mean_service /. cfg.load in
+  let gap_s = Workload.cycles_to_us w (int_of_float mean_gap) *. 1e-6 in
+  let mean_wait_us =
+    if qs.q_served = 0 then Float.nan
+    else
+      Workload.cycles_to_us w (Array.fold_left ( + ) 0 qs.q_wait_cycles)
+      /. float_of_int qs.q_served
+  in
+  let by_rtype =
+    let n_rt = Array.length w.Workload.request_type_names in
+    let buckets = Array.init n_rt (fun _ -> Latency.create ()) in
+    Array.iteri
+      (fun i r ->
+        let rt = (w.Workload.gen_request r).Workload.rtype in
+        Latency.record buckets.(rt) (Workload.cycles_to_us w qs.q_lat_cycles.(i)))
+      qs.q_reqs;
+    Array.mapi
+      (fun rt name ->
+        {
+          rt_name = name;
+          rt_served = Latency.count buckets.(rt);
+          rt_mean_us = Latency.mean buckets.(rt);
+          rt_p99_us = Latency.p99 buckets.(rt);
+        })
+      w.Workload.request_type_names
+  in
+  {
+    cfg;
+    workload_name = w.Workload.wname;
+    mean_service_cycles = mean_service;
+    served = qs.q_served;
+    dropped = qs.q_dropped;
+    lat_cycles = qs.q_lat_cycles;
+    recorder;
+    offered_rps = (if gap_s > 0.0 then 1.0 /. gap_s else Float.nan);
+    goodput_rps =
+      (if span_s > 0.0 then float_of_int qs.q_served /. span_s else 0.0);
+    util =
+      (if qs.q_span > 0 then
+         float_of_int qs.q_busy /. float_of_int qs.q_span
+       else 0.0);
+    span_us;
+    mean_us = Latency.mean recorder;
+    p50_us = Latency.p50 recorder;
+    p99_us = Latency.p99 recorder;
+    p999_us = Latency.p999 recorder;
+    mean_wait_us;
+    by_rtype;
+    counters;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Base-mode capacity calibration: the mean service time (cycles per
+   request, closed loop) every load level is expressed against.  Always
+   measured in [Base] so "load 1.0" means the same client behavior for
+   every mode under comparison — the enhanced modes then run the same
+   arrival sequence with shorter service times, which is precisely the
+   capacity head-room being measured. *)
+
+let calibrate_generate ?ucfg ?skip_cfg ?requests ?warmup (w : Workload.t) =
+  let n = Option.value requests ~default:w.Workload.default_requests in
+  let r = Experiment.run ?ucfg ?skip_cfg ~requests:n ?warmup ~mode:Sim.Base w in
+  max 1 (r.Experiment.counters.Counters.cycles / max 1 n)
+
+(* The shared serving loop body: arrivals from the seed, service times
+   from the driver's precomputed vector.  Keeping the queue a pure
+   function of (arrivals, services) is what decouples admission drops
+   from machine state — see the header comment. *)
+let run_queue ~cfg ~mean_service ~services =
+  if Array.length services <> cfg.requests then
+    invalid_arg "Serve.run_queue: services length <> requests";
+  let arrivals =
+    Arrival.times ~seed:cfg.seed
+      ~mean_gap:(float_of_int mean_service /. cfg.load)
+      ~n:cfg.requests cfg.arrival
+  in
+  simulate_queue ~arrivals ~queue_cap:cfg.queue_cap
+    ~service:(fun ~nth:_ ~req -> services.(req))
+
+(* Generate-mode cell driver: live interpreter over [Sim].  The replay
+   mirror lives in {!Dlink_trace.Serve_replay}; both must produce
+   bit-identical [lat_cycles] for replay-compatible configurations. *)
+let run_cell_generate ?ucfg ?skip_cfg ?mean_service ~cfg (w : Workload.t) =
+  check_config cfg;
+  let mean_service =
+    match mean_service with
+    | Some m -> m
+    | None -> calibrate_generate ?ucfg ?skip_cfg ~requests:cfg.requests w
+  in
+  let sim =
+    Sim.create ?ucfg ?skip_cfg ~func_align:w.Workload.func_align ~mode:cfg.mode
+      w.Workload.objs
+  in
+  let kernel = Sim.kernel sim in
+  let call (rq : Workload.request) =
+    Kernel.note_boundary kernel ~rtype:rq.Workload.rtype;
+    Sim.call sim ~mname:rq.Workload.mname ~fname:rq.Workload.fname
+  in
+  for i = 0 to w.Workload.warmup_requests - 1 do
+    call (w.Workload.gen_request (-1 - i))
+  done;
+  Sim.mark_measurement_start sim;
+  let counters = Sim.counters sim in
+  let services = Array.make cfg.requests 0 in
+  for i = 0 to cfg.requests - 1 do
+    (match cfg.flush with
+    | No_flush -> ()
+    | Flush when i > 0 && i mod cfg.flush_every = 0 -> Sim.context_switch sim
+    | Asid when i > 0 && i mod cfg.flush_every = 0 ->
+        Sim.context_switch ~retain_asid:true sim
+    | Flush | Asid -> ());
+    let before = counters.Counters.cycles in
+    call (w.Workload.gen_request i);
+    services.(i) <- counters.Counters.cycles - before
+  done;
+  let qs = run_queue ~cfg ~mean_service ~services in
+  finish_cell ~cfg ~w ~mean_service ~qs ~counters:(Sim.measured_counters sim)
+
+(* ------------------------------------------------------------------ *)
+
+let cell_json ?(hist = false) (c : cell) =
+  let f v = Json.Float v in
+  let fields =
+    [
+      ("workload", Json.String c.workload_name);
+      ("mode", Json.String (Sim.mode_to_string c.cfg.mode));
+      ("arrival", Json.String (Arrival.to_string c.cfg.arrival));
+      ("flush", Json.String (flush_to_string c.cfg.flush));
+      ("load", f c.cfg.load);
+      ("queue_cap", Json.Int c.cfg.queue_cap);
+      ("requests", Json.Int c.cfg.requests);
+      ("seed", Json.Int c.cfg.seed);
+      ("mean_service_cycles", Json.Int c.mean_service_cycles);
+      ("served", Json.Int c.served);
+      ("dropped", Json.Int c.dropped);
+      ("offered_rps", f c.offered_rps);
+      ("goodput_rps", f c.goodput_rps);
+      ("util", f c.util);
+      ("span_us", f c.span_us);
+      ("mean_us", f c.mean_us);
+      ("mean_wait_us", f c.mean_wait_us);
+      ("p50_us", f c.p50_us);
+      ("p99_us", f c.p99_us);
+      ("p999_us", f c.p999_us);
+      ( "by_rtype",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun rt ->
+                  Json.Obj
+                    [
+                      ("rtype", Json.String rt.rt_name);
+                      ("served", Json.Int rt.rt_served);
+                      ("mean_us", f rt.rt_mean_us);
+                      ("p99_us", f rt.rt_p99_us);
+                    ])
+                c.by_rtype)) );
+    ]
+  in
+  let fields =
+    if hist then
+      fields
+      @ [
+          ( "hist_us",
+            Json.List
+              (List.map
+                 (fun (lo, hi, n) ->
+                   Json.List [ f lo; f hi; Json.Int n ])
+                 (Latency.buckets c.recorder)) );
+        ]
+    else fields
+  in
+  Json.Obj fields
+
+(* Stable cell label for sweep output and bench leaf naming:
+   "<mode>/<arrival>/<flush>@<load>". *)
+let cell_label (c : cell) =
+  Printf.sprintf "%s_%s_%s_load%g"
+    (Sim.mode_to_string c.cfg.mode)
+    (Arrival.to_string c.cfg.arrival)
+    (flush_to_string c.cfg.flush)
+    c.cfg.load

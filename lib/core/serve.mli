@@ -1,0 +1,141 @@
+(** Open-loop serving cells: offered load x link mode x flush policy,
+    reporting goodput and tail latency per cell.
+
+    A cell plays a deterministic open-loop client (Poisson or MMPP
+    arrivals from {!Dlink_util.Arrival}) against a single-server bounded
+    admission queue whose service times come from executing each request
+    on the pipeline kernel.  Latency = queue wait + service, in simulated
+    cycles; no host clock anywhere, so cells are bit-reproducible from
+    their seeds.  The generate driver lives here; the packed-trace replay
+    mirror is {!Dlink_trace.Serve_replay}, and both share the queue
+    engine below over the same service-time vector, so their per-request
+    latencies are bit-identical. *)
+
+open Dlink_uarch
+
+(** What happens to the server's microarchitectural state every
+    [flush_every] served requests — nothing, a full flush, or an
+    ASID-retaining switch. *)
+type flush = No_flush | Flush | Asid
+
+val flush_names : string list
+val flush_to_string : flush -> string
+val flush_of_string : string -> flush option
+
+type config = {
+  mode : Sim.mode;
+  load : float;  (** offered load as a fraction of base-mode capacity *)
+  arrival : Dlink_util.Arrival.process;
+  queue_cap : int;
+  requests : int;
+  flush : flush;
+  flush_every : int;
+  seed : int;
+}
+
+val default_config : config
+
+val check_config : config -> unit
+(** Raises [Invalid_argument] on a non-positive/non-finite load or
+    non-positive queue_cap/flush_every. *)
+
+(** {2 Queue engine} *)
+
+type queue_stats = {
+  q_served : int;
+  q_dropped : int;
+  q_reqs : int array;  (** request index per served request, serve order *)
+  q_lat_cycles : int array;  (** queue wait + service, serve order *)
+  q_wait_cycles : int array;
+  q_busy : int;
+  q_span : int;  (** completion time of the last served request *)
+}
+
+val simulate_queue :
+  arrivals:int array ->
+  queue_cap:int ->
+  service:(nth:int -> req:int -> int) ->
+  queue_stats
+(** Single-server bounded FIFO queue over sorted absolute [arrivals].
+    [service ~nth ~req] executes request [req] (its arrival index) as the
+    [nth] request served and returns its service time; an arrival finding
+    the queue full is dropped; an empty queue idles to the next
+    arrival. *)
+
+(** {2 Cells} *)
+
+type rtype_stats = {
+  rt_name : string;
+  rt_served : int;
+  rt_mean_us : float;
+  rt_p99_us : float;
+}
+
+type cell = {
+  cfg : config;
+  workload_name : string;
+  mean_service_cycles : int;  (** base-mode calibration behind [load] *)
+  served : int;
+  dropped : int;
+  lat_cycles : int array;  (** per served request, serve order *)
+  recorder : Dlink_stats.Latency.t;
+  offered_rps : float;
+  goodput_rps : float;
+  util : float;
+  span_us : float;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+  mean_wait_us : float;
+  by_rtype : rtype_stats array;
+  counters : Counters.t;
+}
+
+val calibrate_generate :
+  ?ucfg:Config.t ->
+  ?skip_cfg:Dlink_pipeline.Skip.config ->
+  ?requests:int ->
+  ?warmup:int ->
+  Workload.t ->
+  int
+(** Mean base-mode service cycles per request (closed loop) — the
+    capacity every [load] value is expressed against, measured in [Base]
+    for every mode so all modes see the same arrival sequence. *)
+
+val run_queue :
+  cfg:config -> mean_service:int -> services:int array -> queue_stats
+(** Arrival generation + {!simulate_queue} for one cell over a
+    precomputed per-request service-time vector; shared by the generate
+    and replay drivers.  Cells are trace-driven queueing simulations: the
+    execution stream is always the full closed-loop sequence (flush
+    policy keyed by stream index), so drops affect queueing only, never
+    machine state — the property that makes generate and replay cells
+    bit-identical. *)
+
+val finish_cell :
+  cfg:config ->
+  w:Workload.t ->
+  mean_service:int ->
+  qs:queue_stats ->
+  counters:Counters.t ->
+  cell
+
+val run_cell_generate :
+  ?ucfg:Config.t ->
+  ?skip_cfg:Dlink_pipeline.Skip.config ->
+  ?mean_service:int ->
+  cfg:config ->
+  Workload.t ->
+  cell
+(** One cell via live interpretation ({!Sim}); calibrates with
+    {!calibrate_generate} unless [mean_service] is given.  Raises
+    [Invalid_argument] on a bad config. *)
+
+val cell_json : ?hist:bool -> cell -> Dlink_util.Json.t
+(** Cell report; with [hist], includes the log-bucket latency histogram
+    as [(lo_us, hi_us, count)] triples. *)
+
+val cell_label : cell -> string
+(** Stable "<mode>_<arrival>_<flush>_load<l>" key for sweeps and bench
+    leaves. *)

@@ -30,6 +30,11 @@ type t = {
   (* Boxed-event tap, generate sources only: the fault oracle's projected
      control-flow collector hangs here. *)
   mutable tap : (Event.t -> unit) option;
+  (* Request-boundary tap: every driver (generate, replay, multi-process)
+     announces the start of each request here with its request-type id.
+     A tap, not a retire-path branch — the packed retire loop never
+     consults it. *)
+  mutable boundary_tap : (rtype:int -> unit) option;
 }
 
 let no_read_got (_ : Addr.t) = 0
@@ -56,7 +61,7 @@ let create ?(ucfg = Config.xeon_e5450) ?skip_cfg ~with_skip () =
     else None
   in
   { ucfg; engine; counters; skip; read_got; profile = None; got_sink = None;
-    tap = None }
+    tap = None; boundary_tap = None }
 
 let ucfg t = t.ucfg
 let engine t = t.engine
@@ -67,6 +72,10 @@ let set_read_got t f = t.read_got := f
 let set_profile t p = t.profile <- p
 let set_got_sink t f = t.got_sink <- f
 let set_tap t f = t.tap <- f
+let set_boundary_tap t f = t.boundary_tap <- f
+
+let note_boundary t ~rtype =
+  match t.boundary_tap with Some f -> f ~rtype | None -> ()
 
 let context_switch ?(retain_asid = false) t =
   Engine.context_switch ~retain_asid t.engine;

@@ -53,6 +53,18 @@ val set_got_sink : t -> (Addr.t -> unit) option -> unit
     projected control-flow collector hangs here. *)
 val set_tap : t -> (Event.t -> unit) option -> unit
 
+(** Attach a request-boundary tap.  Every driver — generate, packed-trace
+    replay, and the multi-process topology — announces the start of each
+    request through {!note_boundary} with the workload's request-type id,
+    so request-level instrumentation (the serving stack's latency
+    attribution, invariant checkers) sees the same boundaries on every
+    execution path.  A tap, not a retire-path branch: the packed retire
+    loop never consults it. *)
+val set_boundary_tap : t -> (rtype:int -> unit) option -> unit
+
+(** Announce a request boundary to the attached tap (no-op without one). *)
+val note_boundary : t -> rtype:int -> unit
+
 (** Flush microarchitectural state on a context switch; unless
     [retain_asid], the skip controller's tables flush too. *)
 val context_switch : ?retain_asid:bool -> t -> unit

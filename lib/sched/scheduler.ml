@@ -45,6 +45,14 @@ let quanta (p : proc) = Multi.quanta p.m p.pid
 let proc_linked (p : proc) = p.linked
 let proc_process (p : proc) = p.process
 let latencies_us (p : proc) = Multi.latencies_us p.m p.pid
+let latencies_cycles (p : proc) = Multi.latencies_cycles p.m p.pid
+let drops (p : proc) = Multi.drops p.m p.pid
+
+(* Open-loop serving: delegate to the topology, which owns the admission
+   queue, idle clock, and drop accounting. *)
+let set_open_loop t ~pid ~arrivals ~queue_cap =
+  ignore (proc t pid);
+  Multi.set_open_loop t.m ~pid ~arrivals ~queue_cap
 
 let core t i =
   if i < 0 || i >= Multi.n_cores t.m then
@@ -131,9 +139,10 @@ let create ?ucfg ?skip_cfg ?(mode = Sim.Enhanced) ?requests ~policy ~quantum
         | -1 -> 0
         | rpid -> Memory.read (Process.memory procs.(rpid).process) slot)
   done;
-  Multi.set_exec m (fun _c ~pid ~req ->
+  Multi.set_exec m (fun c ~pid ~req ->
       let p = procs.(pid) in
       let rq = p.workload.Workload.gen_request req in
+      Kernel.note_boundary (Multi.kernel c) ~rtype:rq.Workload.rtype;
       let addr =
         func_addr_exn p.linked ~mname:rq.Workload.mname ~fname:rq.Workload.fname
       in

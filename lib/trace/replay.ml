@@ -67,6 +67,7 @@ let replay ?ucfg ?skip_cfg ?(record_stream = false) ?context_switch_every
   let c = Trace.Cursor.create tr in
   let warmup = Trace.warmup tr in
   for r = 0 to warmup - 1 do
+    Kernel.note_boundary m ~rtype:(Trace.request_rtype tr r);
     Kernel.replay_request m c r
   done;
   Kernel.set_profile m (Some profile);
@@ -81,6 +82,7 @@ let replay ?ucfg ?skip_cfg ?(record_stream = false) ?context_switch_every
     | _ -> ());
     let before = counters.Counters.cycles in
     let r = warmup + i in
+    Kernel.note_boundary m ~rtype:(Trace.request_rtype tr r);
     Kernel.replay_request m c r;
     let us = Workload.cycles_to_us w (counters.Counters.cycles - before) in
     let b = buckets.(Trace.request_rtype tr r) in

@@ -58,7 +58,10 @@ let create ?ucfg ?skip_cfg ?(mode = Sim.Enhanced) ?requests ~policy ~quantum
   let cursors =
     Array.of_list (List.map (fun (_, tr) -> Trace.Cursor.create tr) pairs)
   in
+  let traces = Array.of_list (List.map snd pairs) in
   Multi.set_exec m (fun c ~pid ~req ->
+      Kernel.note_boundary (Multi.kernel c)
+        ~rtype:(Trace.request_rtype traces.(pid) req);
       Kernel.replay_request (Multi.kernel c) cursors.(pid) req);
   {
     m;

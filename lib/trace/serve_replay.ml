@@ -1,0 +1,110 @@
+module Sim = Dlink_core.Sim
+module Serve = Dlink_core.Serve
+module Workload = Dlink_core.Workload
+module Counters = Dlink_uarch.Counters
+module Kernel = Dlink_pipeline.Kernel
+module Dpool = Dlink_util.Dpool
+
+(* Replay mirror of Dlink_core.Serve: the same open-loop queue engine fed
+   by packed-trace replay instead of live interpretation.  Service times
+   come from [Kernel.replay_request] against the cached trace, so a sweep
+   records each (workload, mode) stream once and replays it at every load
+   level — and because the queueing arithmetic is shared and the kernel is
+   bit-identical across event sources, per-request latencies match the
+   generate driver bit for bit (asserted by the pipeline equivalence
+   matrix). *)
+
+let calibrate ?ucfg ?skip_cfg ?requests ?warmup (w : Workload.t) =
+  let n = Option.value requests ~default:w.Workload.default_requests in
+  let tr = Cache.get ?warmup ~requests:n ~mode:Sim.Base w in
+  let c = Replay.replay_counters ?ucfg ?skip_cfg ~mode:Sim.Base ~requests:n tr in
+  max 1 (c.Counters.cycles / max 1 n)
+
+(* One cell over a (pre-recorded) trace.  Falls back to the generate
+   driver for configurations the replay invariants exclude, like
+   [Replay.run]. *)
+let run_cell ?ucfg ?skip_cfg ?mean_service ?tr ~cfg (w : Workload.t) =
+  Serve.check_config cfg;
+  if not (Replay.compatible ?skip_cfg ~mode:cfg.Serve.mode ()) then
+    Serve.run_cell_generate ?ucfg ?skip_cfg ?mean_service ~cfg w
+  else begin
+    let mean_service =
+      match mean_service with
+      | Some m -> m
+      | None -> calibrate ?ucfg ?skip_cfg ~requests:cfg.Serve.requests w
+    in
+    let tr =
+      match tr with
+      | Some tr -> tr
+      | None -> Cache.get ~requests:cfg.Serve.requests ~mode:cfg.Serve.mode w
+    in
+    let m = Replay.make_machine ?ucfg ?skip_cfg ~mode:cfg.Serve.mode () in
+    let c = Trace.Cursor.create tr in
+    let warmup = Trace.warmup tr in
+    for r = 0 to warmup - 1 do
+      Kernel.note_boundary m ~rtype:(Trace.request_rtype tr r);
+      Kernel.replay_request m c r
+    done;
+    let counters = Kernel.counters m in
+    let snapshot = Counters.copy counters in
+    let services = Array.make cfg.Serve.requests 0 in
+    for i = 0 to cfg.Serve.requests - 1 do
+      (match cfg.Serve.flush with
+      | Serve.No_flush -> ()
+      | Serve.Flush when i > 0 && i mod cfg.Serve.flush_every = 0 ->
+          Kernel.context_switch m
+      | Serve.Asid when i > 0 && i mod cfg.Serve.flush_every = 0 ->
+          Kernel.context_switch ~retain_asid:true m
+      | Serve.Flush | Serve.Asid -> ());
+      let r = warmup + i in
+      Kernel.note_boundary m ~rtype:(Trace.request_rtype tr r);
+      let before = counters.Counters.cycles in
+      Kernel.replay_request m c r;
+      services.(i) <- counters.Counters.cycles - before
+    done;
+    let qs = Serve.run_queue ~cfg ~mean_service ~services in
+    Serve.finish_cell ~cfg ~w ~mean_service ~qs
+      ~counters:(Counters.diff ~after:counters ~before:snapshot)
+  end
+
+(* Load x mode x flush sweep on the shared-memory domain pool.  Traces
+   and the calibration are computed once, sequentially, before the pool
+   spins up — cells then only read immutable trace values, so the merge
+   is deterministic regardless of [jobs]. *)
+let sweep ?ucfg ?skip_cfg ?jobs ?(cfg = Serve.default_config) ~loads ~modes
+    ~flushes (w : Workload.t) =
+  if loads = [] then invalid_arg "Serve_replay.sweep: no loads";
+  if modes = [] then invalid_arg "Serve_replay.sweep: no modes";
+  if flushes = [] then invalid_arg "Serve_replay.sweep: no flushes";
+  List.iter
+    (fun load -> Serve.check_config { cfg with Serve.load })
+    loads;
+  let mean_service =
+    calibrate ?ucfg ?skip_cfg ~requests:cfg.Serve.requests w
+  in
+  let traces =
+    List.map
+      (fun mode ->
+        let tr =
+          if Replay.compatible ?skip_cfg ~mode () then
+            Some (Cache.get ~requests:cfg.Serve.requests ~mode w)
+          else None
+        in
+        (mode, tr))
+      (List.sort_uniq compare modes)
+  in
+  let combos =
+    List.concat_map
+      (fun mode ->
+        List.concat_map
+          (fun flush ->
+            List.map (fun load -> (mode, flush, load)) loads)
+          flushes)
+      modes
+  in
+  Dpool.map ?jobs
+    (fun (mode, flush, load) ->
+      let cfg = { cfg with Serve.mode; flush; load } in
+      let tr = Option.join (List.assoc_opt mode traces) in
+      run_cell ?ucfg ?skip_cfg ~mean_service ?tr ~cfg w)
+    combos

@@ -1,0 +1,44 @@
+(** Replay mirror of {!Dlink_core.Serve}: open-loop serving cells whose
+    service times come from packed-trace replay.  Shares the queue engine
+    with the generate driver, so per-request latencies are bit-identical
+    between the two for replay-compatible configurations. *)
+
+module Sim = Dlink_core.Sim
+module Serve = Dlink_core.Serve
+module Workload = Dlink_core.Workload
+
+val calibrate :
+  ?ucfg:Dlink_uarch.Config.t ->
+  ?skip_cfg:Dlink_pipeline.Skip.config ->
+  ?requests:int ->
+  ?warmup:int ->
+  Workload.t ->
+  int
+(** Mean base-mode service cycles per request via counters-only replay;
+    bit-identical to {!Serve.calibrate_generate}. *)
+
+val run_cell :
+  ?ucfg:Dlink_uarch.Config.t ->
+  ?skip_cfg:Dlink_pipeline.Skip.config ->
+  ?mean_service:int ->
+  ?tr:Trace.t ->
+  cfg:Serve.config ->
+  Workload.t ->
+  Serve.cell
+(** One cell over the cached (or given) trace; falls back to the generate
+    driver for configurations the replay invariants exclude. *)
+
+val sweep :
+  ?ucfg:Dlink_uarch.Config.t ->
+  ?skip_cfg:Dlink_pipeline.Skip.config ->
+  ?jobs:int ->
+  ?cfg:Serve.config ->
+  loads:float list ->
+  modes:Sim.mode list ->
+  flushes:Serve.flush list ->
+  Workload.t ->
+  Serve.cell list
+(** Mode x flush x load grid (in that nesting order) on the shared-memory
+    domain pool; traces and the calibration are computed before the pool
+    starts, so results are deterministic and independent of [jobs].
+    Raises [Invalid_argument] on an empty axis or a bad load. *)

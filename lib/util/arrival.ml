@@ -1,0 +1,55 @@
+(* Open-loop arrival processes for the serving stack.
+
+   An arrival process turns a seed and a mean inter-arrival gap into a
+   non-decreasing array of absolute arrival times, measured on whatever
+   clock the caller uses (the serving drivers use simulated cycles).
+   Everything flows through [Rng], so a (process, seed, mean_gap, n)
+   quadruple always produces the same arrivals — the property the
+   generate-vs-replay bit-identity tests rely on.
+
+   [Poisson] is the textbook open-loop client: i.i.d. exponential gaps.
+   [Mmpp] is a two-state Markov-modulated Poisson process — a calm and a
+   burst state, each holding for a geometrically distributed number of
+   arrivals, with exponential gaps whose means differ by [burst].  The
+   state means are chosen so the long-run mean gap stays [mean_gap]:
+   gap_burst = 2g/(1+b), gap_calm = 2gb/(1+b), so (gap_burst+gap_calm)/2
+   = g and gap_calm/gap_burst = b. *)
+
+type process = Poisson | Mmpp of { burst : float; dwell : int }
+
+let default_mmpp = Mmpp { burst = 8.0; dwell = 32 }
+let names = [ "poisson"; "mmpp" ]
+
+let to_string = function
+  | Poisson -> "poisson"
+  | Mmpp _ -> "mmpp"
+
+let of_string = function
+  | "poisson" -> Some Poisson
+  | "mmpp" -> Some default_mmpp
+  | _ -> None
+
+let times ~seed ~mean_gap ~n process =
+  if not (Float.is_finite mean_gap) || mean_gap <= 0.0 then
+    invalid_arg "Arrival.times: mean_gap must be positive";
+  if n < 0 then invalid_arg "Arrival.times: n must be non-negative";
+  let rng = Rng.create (Site_hash.mix2 seed 0x5e17) in
+  let t = ref 0.0 in
+  match process with
+  | Poisson ->
+      Array.init n (fun _ ->
+          t := !t +. Rng.exponential rng ~mean:mean_gap;
+          int_of_float !t)
+  | Mmpp { burst; dwell } ->
+      if not (Float.is_finite burst) || burst < 1.0 then
+        invalid_arg "Arrival.times: burst factor must be >= 1";
+      if dwell <= 0 then invalid_arg "Arrival.times: dwell must be positive";
+      let gap_burst = 2.0 *. mean_gap /. (1.0 +. burst) in
+      let gap_calm = gap_burst *. burst in
+      let in_burst = ref false in
+      let p_switch = 1.0 /. float_of_int dwell in
+      Array.init n (fun _ ->
+          if Rng.bool rng p_switch then in_burst := not !in_burst;
+          let mean = if !in_burst then gap_burst else gap_calm in
+          t := !t +. Rng.exponential rng ~mean;
+          int_of_float !t)

@@ -1,0 +1,28 @@
+(** Open-loop arrival processes for the serving stack.
+
+    Deterministic: a (process, seed, mean_gap, n) quadruple always
+    produces the same arrival times, so every serving experiment is
+    reproducible from its seed and the generate and trace-replay drivers
+    see identical arrivals. *)
+
+type process =
+  | Poisson  (** i.i.d. exponential inter-arrival gaps *)
+  | Mmpp of { burst : float; dwell : int }
+      (** two-state Markov-modulated Poisson: calm/burst states whose mean
+          gaps differ by [burst], switching with probability [1/dwell] per
+          arrival; long-run mean gap stays the requested one *)
+
+val default_mmpp : process
+(** The [Mmpp] parameterization the CLI name "mmpp" maps to. *)
+
+val names : string list
+(** Valid CLI spellings, for error listings. *)
+
+val to_string : process -> string
+val of_string : string -> process option
+
+val times : seed:int -> mean_gap:float -> n:int -> process -> int array
+(** [times ~seed ~mean_gap ~n p] is the non-decreasing array of [n]
+    absolute arrival times (same unit as [mean_gap]; the serving drivers
+    pass simulated cycles).  Raises [Invalid_argument] on a non-positive
+    or non-finite [mean_gap], negative [n], or bad MMPP parameters. *)

@@ -1,0 +1,338 @@
+(* Serving-stack tests: arrival processes, the bounded admission queue,
+   open-loop cells (generate vs replay bit-identity, determinism), the
+   multi-core open-loop topology, and the kernel's request-boundary tap. *)
+
+module Rng = Dlink_util.Rng
+module Arrival = Dlink_util.Arrival
+module Latency = Dlink_stats.Latency
+module Sim = Dlink_core.Sim
+module Serve = Dlink_core.Serve
+module Workload = Dlink_core.Workload
+module Registry = Dlink_workloads.Registry
+module Scheduler = Dlink_sched.Scheduler
+module Policy = Dlink_sched.Policy
+module Kernel = Dlink_pipeline.Kernel
+module Tcache = Dlink_trace.Cache
+module Serve_replay = Dlink_trace.Serve_replay
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let wl name =
+  match Registry.find name with
+  | Some f -> f ()
+  | None -> Alcotest.failf "unknown workload %s" name
+
+(* ---------------- arrivals ---------------- *)
+
+let test_arrival_deterministic () =
+  List.iter
+    (fun p ->
+      let a = Arrival.times ~seed:7 ~mean_gap:100.0 ~n:500 p in
+      let b = Arrival.times ~seed:7 ~mean_gap:100.0 ~n:500 p in
+      checkb (Arrival.to_string p ^ " same seed same times") true (a = b);
+      let c = Arrival.times ~seed:8 ~mean_gap:100.0 ~n:500 p in
+      checkb (Arrival.to_string p ^ " different seed differs") true (a <> c))
+    [ Arrival.Poisson; Arrival.default_mmpp ]
+
+let test_arrival_sorted_nonneg () =
+  List.iter
+    (fun p ->
+      let a = Arrival.times ~seed:3 ~mean_gap:50.0 ~n:2000 p in
+      checki "length" 2000 (Array.length a);
+      Array.iteri
+        (fun i x ->
+          checkb "non-negative" true (x >= 0);
+          if i > 0 then checkb "sorted" true (x >= a.(i - 1)))
+        a)
+    [ Arrival.Poisson; Arrival.default_mmpp ]
+
+let test_arrival_mean_gap () =
+  List.iter
+    (fun p ->
+      let n = 20_000 in
+      let a = Arrival.times ~seed:11 ~mean_gap:200.0 ~n p in
+      let mean = float_of_int a.(n - 1) /. float_of_int n in
+      checkb
+        (Printf.sprintf "%s long-run mean gap ~200 (got %.1f)"
+           (Arrival.to_string p) mean)
+        true
+        (abs_float (mean -. 200.0) < 20.0))
+    [ Arrival.Poisson; Arrival.default_mmpp ]
+
+let test_arrival_rejects_bad () =
+  checkb "bad name" true (Arrival.of_string "uniform" = None);
+  (match Arrival.times ~seed:1 ~mean_gap:0.0 ~n:3 Arrival.Poisson with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mean_gap 0 should raise");
+  match Arrival.times ~seed:1 ~mean_gap:Float.nan ~n:3 Arrival.Poisson with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nan mean_gap should raise"
+
+(* ---------------- queue engine ---------------- *)
+
+(* Constant service against a hand-computable arrival pattern. *)
+let test_queue_hand_example () =
+  (* service 10; arrivals at 0,2,4,100: three back-to-back, then idle. *)
+  let qs =
+    Serve.simulate_queue ~arrivals:[| 0; 2; 4; 100 |] ~queue_cap:8
+      ~service:(fun ~nth:_ ~req:_ -> 10)
+  in
+  checki "served" 4 qs.Serve.q_served;
+  checki "dropped" 0 qs.Serve.q_dropped;
+  checkb "latencies" true (qs.Serve.q_lat_cycles = [| 10; 18; 26; 10 |]);
+  checkb "waits" true (qs.Serve.q_wait_cycles = [| 0; 8; 16; 0 |]);
+  checki "busy" 40 qs.Serve.q_busy;
+  checki "span" 110 qs.Serve.q_span
+
+let test_queue_drops_when_full () =
+  (* cap 1: while request 0 is in service (0..100), arrivals 1,2,3 come;
+     1 queues, 2 and 3 find the queue full and drop. *)
+  let qs =
+    Serve.simulate_queue ~arrivals:[| 0; 10; 20; 30 |] ~queue_cap:1
+      ~service:(fun ~nth:_ ~req:_ -> 100)
+  in
+  checki "served" 2 qs.Serve.q_served;
+  checki "dropped" 2 qs.Serve.q_dropped;
+  checkb "served reqs" true (qs.Serve.q_reqs = [| 0; 1 |])
+
+let test_queue_wait_plus_service () =
+  let rng = Rng.create 5 in
+  let arr = Arrival.times ~seed:9 ~mean_gap:30.0 ~n:300 Arrival.Poisson in
+  let services = Array.init 300 (fun _ -> 1 + Rng.int rng 60) in
+  let qs =
+    Serve.simulate_queue ~arrivals:arr ~queue_cap:16
+      ~service:(fun ~nth:_ ~req -> services.(req))
+  in
+  checki "conservation" 300 (qs.Serve.q_served + qs.Serve.q_dropped);
+  Array.iteri
+    (fun i r ->
+      checki "lat = wait + service"
+        (qs.Serve.q_wait_cycles.(i) + services.(r))
+        qs.Serve.q_lat_cycles.(i))
+    qs.Serve.q_reqs
+
+(* ---------------- cells: generate vs replay, determinism ------------- *)
+
+let mk_cfg ?(mode = Sim.Enhanced) ?(load = 0.9) ?(flush = Serve.No_flush)
+    ?(arrival = Arrival.Poisson) () =
+  {
+    Serve.mode;
+    load;
+    arrival;
+    flush;
+    flush_every = 7;
+    requests = 60;
+    queue_cap = 8;
+    seed = 5;
+  }
+
+let test_cell_generate_replay_identical () =
+  Tcache.clear ();
+  let w = wl "synth" in
+  let mean_service = Serve.calibrate_generate ~requests:60 w in
+  checki "calibrations agree" mean_service
+    (Serve_replay.calibrate ~requests:60 w);
+  List.iter
+    (fun (mode, flush, arrival) ->
+      let cfg = mk_cfg ~mode ~flush ~arrival () in
+      let g = Serve.run_cell_generate ~mean_service ~cfg w in
+      let r = Serve_replay.run_cell ~mean_service ~cfg w in
+      let msg =
+        Printf.sprintf "%s/%s/%s" (Sim.mode_to_string mode)
+          (Serve.flush_to_string flush)
+          (Arrival.to_string arrival)
+      in
+      checkb (msg ^ ": lat_cycles bit-identical") true
+        (g.Serve.lat_cycles = r.Serve.lat_cycles);
+      checki (msg ^ ": served") g.Serve.served r.Serve.served;
+      checki (msg ^ ": dropped") g.Serve.dropped r.Serve.dropped;
+      checkb (msg ^ ": counters") true (g.Serve.counters = r.Serve.counters);
+      checkb (msg ^ ": p99 identical") true (g.Serve.p99_us = r.Serve.p99_us))
+    [
+      (Sim.Base, Serve.No_flush, Arrival.Poisson);
+      (Sim.Enhanced, Serve.No_flush, Arrival.Poisson);
+      (Sim.Enhanced, Serve.Flush, Arrival.default_mmpp);
+      (Sim.Eager, Serve.Asid, Arrival.Poisson);
+      (Sim.Stable, Serve.No_flush, Arrival.default_mmpp);
+    ]
+
+let test_cell_deterministic () =
+  Tcache.clear ();
+  let w = wl "synth" in
+  let cfg = mk_cfg () in
+  let a = Serve_replay.run_cell ~cfg w in
+  let b = Serve_replay.run_cell ~cfg w in
+  checkb "same seed, identical latency vector" true
+    (a.Serve.lat_cycles = b.Serve.lat_cycles);
+  let c = Serve_replay.run_cell ~cfg:{ cfg with Serve.seed = 6 } w in
+  checkb "different seed, different arrivals" true
+    (a.Serve.lat_cycles <> c.Serve.lat_cycles)
+
+let test_cell_saturation_and_validation () =
+  Tcache.clear ();
+  let w = wl "synth" in
+  (* Far past saturation with a tiny queue: drops must appear, and the
+     queue bound caps waiting, so latency stays below cap * max service. *)
+  let cfg =
+    { (mk_cfg ~load:3.0 ()) with Serve.queue_cap = 2; requests = 80 }
+  in
+  let c = Serve_replay.run_cell ~cfg w in
+  checkb "overload drops" true (c.Serve.dropped > 0);
+  checki "conservation" 80 (c.Serve.served + c.Serve.dropped);
+  checkb "util near 1" true (c.Serve.util > 0.8);
+  (match Serve.run_cell_generate ~cfg:{ cfg with Serve.load = 0.0 } w with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "load 0 should raise");
+  match Serve.run_cell_generate ~cfg:{ cfg with Serve.queue_cap = 0 } w with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "queue_cap 0 should raise"
+
+let test_sweep_jobs_deterministic () =
+  Tcache.clear ();
+  let w = wl "synth" in
+  let cfg = { Serve.default_config with Serve.requests = 40; seed = 9 } in
+  let loads = [ 0.7; 1.1 ] in
+  let modes = [ Sim.Base; Sim.Enhanced ] in
+  let flushes = [ Serve.No_flush; Serve.Flush ] in
+  let seq = Serve_replay.sweep ~jobs:1 ~cfg ~loads ~modes ~flushes w in
+  let par = Serve_replay.sweep ~jobs:4 ~cfg ~loads ~modes ~flushes w in
+  checki "cells" 8 (List.length seq);
+  List.iter2
+    (fun (a : Serve.cell) (b : Serve.cell) ->
+      checkb "sweep order and latencies independent of jobs" true
+        (Serve.cell_label a = Serve.cell_label b
+        && a.Serve.lat_cycles = b.Serve.lat_cycles))
+    seq par
+
+(* ---------------- boundary tap ---------------- *)
+
+let test_boundary_tap_counts () =
+  Tcache.clear ();
+  let w = wl "synth" in
+  let count = ref 0 and rtypes = ref [] in
+  let cfg = mk_cfg () in
+  let mean_service = Serve.calibrate_generate ~requests:60 w in
+  (* The generate driver announces warmup + served requests with their
+     request-type ids through the kernel tap.  We can't pre-install the
+     tap on a driver-owned kernel, so go through Sim directly. *)
+  let sim =
+    Sim.create ~func_align:w.Workload.func_align ~mode:Sim.Enhanced
+      w.Workload.objs
+  in
+  Kernel.set_boundary_tap (Sim.kernel sim)
+    (Some
+       (fun ~rtype ->
+         incr count;
+         rtypes := rtype :: !rtypes));
+  let n_rt = Array.length w.Workload.request_type_names in
+  for i = 0 to 9 do
+    let rq = w.Workload.gen_request i in
+    Kernel.note_boundary (Sim.kernel sim) ~rtype:rq.Workload.rtype;
+    Sim.call sim ~mname:rq.Workload.mname ~fname:rq.Workload.fname
+  done;
+  checki "one boundary per request" 10 !count;
+  List.iter
+    (fun rt -> checkb "rtype in range" true (rt >= 0 && rt < n_rt))
+    !rtypes;
+  ignore mean_service;
+  ignore cfg
+
+(* ---------------- multi-core open loop ---------------- *)
+
+let test_multi_open_loop () =
+  let ws = [ wl "synth"; wl "memcached" ] in
+  let requests = 30 in
+  let sched =
+    Scheduler.create ~requests ~policy:Policy.Asid ~quantum:4 ~cores:2 ws
+  in
+  let arr0 = Arrival.times ~seed:1 ~mean_gap:2000.0 ~n:requests Arrival.Poisson in
+  let arr1 =
+    Arrival.times ~seed:2 ~mean_gap:3000.0 ~n:requests Arrival.default_mmpp
+  in
+  Scheduler.set_open_loop sched ~pid:0 ~arrivals:arr0 ~queue_cap:4;
+  Scheduler.set_open_loop sched ~pid:1 ~arrivals:arr1 ~queue_cap:4;
+  Scheduler.run sched;
+  checkb "finished" true (Scheduler.finished sched);
+  List.iter
+    (fun p ->
+      let lats = Scheduler.latencies_cycles p in
+      checki "served + dropped = requests" requests
+        (Array.length lats + Scheduler.drops p);
+      Array.iter (fun l -> checkb "latency positive" true (l > 0)) lats)
+    (Scheduler.procs sched)
+
+let test_multi_open_loop_deterministic () =
+  let run () =
+    let ws = [ wl "synth" ] in
+    let sched =
+      Scheduler.create ~requests:25 ~policy:Policy.Flush ~quantum:3 ~cores:1 ws
+    in
+    let arr = Arrival.times ~seed:4 ~mean_gap:1500.0 ~n:25 Arrival.Poisson in
+    Scheduler.set_open_loop sched ~pid:0 ~arrivals:arr ~queue_cap:3;
+    Scheduler.run sched;
+    Scheduler.latencies_cycles (Scheduler.proc sched 0)
+  in
+  checkb "same config, identical open-loop latencies" true (run () = run ())
+
+let test_multi_open_loop_rejects_bad () =
+  let sched =
+    Scheduler.create ~requests:10 ~policy:Policy.Asid ~quantum:2 ~cores:1
+      [ wl "synth" ]
+  in
+  (match
+     Scheduler.set_open_loop sched ~pid:0 ~arrivals:[| 0; 1 |] ~queue_cap:4
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch should raise");
+  (match
+     Scheduler.set_open_loop sched ~pid:0 ~arrivals:(Array.make 10 0)
+       ~queue_cap:0
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "queue_cap 0 should raise");
+  match
+    Scheduler.set_open_loop sched ~pid:0 ~arrivals:[| 5; 3; 1; 0; 0; 0; 0; 0; 0; 0 |]
+      ~queue_cap:4
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unsorted arrivals should raise"
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "arrivals",
+        [
+          Alcotest.test_case "deterministic" `Quick test_arrival_deterministic;
+          Alcotest.test_case "sorted non-negative" `Quick
+            test_arrival_sorted_nonneg;
+          Alcotest.test_case "mean gap" `Slow test_arrival_mean_gap;
+          Alcotest.test_case "rejects bad specs" `Quick test_arrival_rejects_bad;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "hand example" `Quick test_queue_hand_example;
+          Alcotest.test_case "drops when full" `Quick test_queue_drops_when_full;
+          Alcotest.test_case "wait + service" `Quick test_queue_wait_plus_service;
+        ] );
+      ( "cells",
+        [
+          Alcotest.test_case "generate = replay" `Quick
+            test_cell_generate_replay_identical;
+          Alcotest.test_case "deterministic" `Quick test_cell_deterministic;
+          Alcotest.test_case "saturation + validation" `Quick
+            test_cell_saturation_and_validation;
+          Alcotest.test_case "sweep jobs-independent" `Quick
+            test_sweep_jobs_deterministic;
+        ] );
+      ( "boundaries",
+        [ Alcotest.test_case "tap counts" `Quick test_boundary_tap_counts ] );
+      ( "multi open loop",
+        [
+          Alcotest.test_case "serves with drops" `Quick test_multi_open_loop;
+          Alcotest.test_case "deterministic" `Quick
+            test_multi_open_loop_deterministic;
+          Alcotest.test_case "rejects bad args" `Quick
+            test_multi_open_loop_rejects_bad;
+        ] );
+    ]

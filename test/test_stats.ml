@@ -1,9 +1,12 @@
-(* Tests for Dlink_stats: summaries, histograms, CDFs, rates. *)
+(* Tests for Dlink_stats: summaries, histograms, CDFs, rates, and the
+   log-bucket latency recorder (pinned against a naive sort-the-samples
+   reference: exact below [small_cap], bucket-bounded beyond). *)
 
 module Summary = Dlink_stats.Summary
 module Histogram = Dlink_stats.Histogram
 module Cdf = Dlink_stats.Cdf
 module Rates = Dlink_stats.Rates
+module Latency = Dlink_stats.Latency
 
 let checkb = Alcotest.(check bool)
 let checkf = Alcotest.(check (float 1e-9))
@@ -132,6 +135,89 @@ let test_cdf_unsorted_input () =
   checkf "min" 1.0 (Cdf.min_value c);
   checkf "max" 3.0 (Cdf.max_value c)
 
+(* ---------------- Latency ---------------- *)
+
+(* The naive reference the recorder is pinned against: sort the samples,
+   take the ceil-rank element — the same convention {!Cdf} uses, restated
+   independently so a convention change in either place trips the pin. *)
+let naive_quantile samples q =
+  let a = Array.copy samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+  let rank = if rank < 1 then 1 else rank in
+  a.(rank - 1)
+
+let record_all l samples =
+  Array.iter (Latency.record l) samples;
+  l
+
+let test_latency_empty () =
+  let l = Latency.create () in
+  checki "count" 0 (Latency.count l);
+  checkb "mean nan" true (Float.is_nan (Latency.mean l));
+  checkb "p50 nan" true (Float.is_nan (Latency.p50 l))
+
+let test_latency_small_exact () =
+  (* Below small_cap the recorder answers from the verbatim samples, so
+     every quantile equals the naive reference exactly. *)
+  let samples = [| 5.0; 1.0; 9.0; 3.0; 7.0; 2.0; 8.0; 4.0; 6.0; 10.0 |] in
+  let l = record_all (Latency.create ()) samples in
+  checkf "p50" (naive_quantile samples 0.5) (Latency.p50 l);
+  checkf "p99" (naive_quantile samples 0.99) (Latency.p99 l);
+  checkf "p999" (naive_quantile samples 0.999) (Latency.p999 l);
+  checkf "mean" 5.5 (Latency.mean l);
+  checkf "min" 1.0 (Latency.min_value l);
+  checkf "max" 10.0 (Latency.max_value l)
+
+let test_latency_large_bucketed () =
+  (* Past small_cap the answer comes from the bucket walk: within one
+     bucket ratio of the naive reference, extremes exact via the clamp. *)
+  let n = 2000 in
+  let samples = Array.init n (fun i -> 0.5 +. (0.01 *. float_of_int i)) in
+  let l = record_all (Latency.create ()) samples in
+  let ratio = Float.pow 10.0 (1.0 /. 32.0) in
+  List.iter
+    (fun q ->
+      let exact = naive_quantile samples q in
+      let got = Latency.quantile l q in
+      checkb
+        (Printf.sprintf "q%.3f within bucket ratio" q)
+        true
+        (got >= exact /. ratio && got <= exact *. ratio))
+    [ 0.5; 0.9; 0.99; 0.999 ];
+  checkf "min exact" 0.5 (Latency.min_value l);
+  checkf "max exact" (0.5 +. (0.01 *. float_of_int (n - 1)))
+    (Latency.max_value l);
+  let p100 = Latency.quantile l 1.0 in
+  checkb "p100 bounded by max" true
+    (p100 <= Latency.max_value l && p100 >= Latency.max_value l /. ratio)
+
+let test_latency_rejects_bad () =
+  Alcotest.check_raises "negative sample"
+    (Invalid_argument "Latency.record: sample must be finite and non-negative")
+    (fun () -> Latency.record (Latency.create ()) (-1.0));
+  Alcotest.check_raises "nan sample"
+    (Invalid_argument "Latency.record: sample must be finite and non-negative")
+    (fun () -> Latency.record (Latency.create ()) Float.nan);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Latency.quantile: q out of range") (fun () ->
+      ignore (Latency.quantile (Latency.create ()) 1.5));
+  Alcotest.check_raises "bad lo"
+    (Invalid_argument "Latency.create: lo must be positive") (fun () ->
+      ignore (Latency.create ~lo:0.0 ()))
+
+let test_latency_buckets_sum () =
+  let samples = Array.init 700 (fun i -> 1.0 +. float_of_int (i mod 37)) in
+  let l = record_all (Latency.create ()) samples in
+  let total =
+    List.fold_left (fun acc (_, _, c) -> acc + c) 0 (Latency.buckets l)
+  in
+  checki "bucket counts sum to count" (Latency.count l) total;
+  List.iter
+    (fun (lo, hi, _) -> checkb "bucket edges ordered" true (lo < hi))
+    (Latency.buckets l)
+
 (* ---------------- Rates ---------------- *)
 
 let test_rates_pki () =
@@ -181,6 +267,42 @@ let qcheck_tests =
         let s = Summary.of_array (Array.of_list l) in
         Summary.mean s >= Summary.min s -. 1e-9
         && Summary.mean s <= Summary.max s +. 1e-9);
+    (* The latency recorder's small-n path must agree with the naive
+       sort-the-samples reference bit for bit: both are ceil-rank, and
+       list sizes stay below small_cap (512). *)
+    QCheck.Test.make ~name:"latency small-n quantiles exact" ~count:200
+      QCheck.(
+        pair
+          (list_of_size (Gen.int_range 1 400) (float_range 0.001 5000.0))
+          (float_range 0.0 1.0))
+      (fun (l, q) ->
+        let samples = Array.of_list l in
+        let lat = record_all (Latency.create ()) samples in
+        Latency.quantile lat q = naive_quantile samples q);
+    (* Past small_cap the bucket walk answers within one bucket ratio of
+       the reference (and exactly at the clamped extremes). *)
+    QCheck.Test.make ~name:"latency large-n quantiles bucket-bounded"
+      ~count:50
+      QCheck.(
+        pair
+          (list_of_size (Gen.int_range 600 1500) (float_range 0.01 1000.0))
+          (float_range 0.0 1.0))
+      (fun (l, q) ->
+        let samples = Array.of_list l in
+        let lat = record_all (Latency.create ()) samples in
+        let exact = naive_quantile samples q in
+        let got = Latency.quantile lat q in
+        let ratio = Float.pow 10.0 (1.0 /. 32.0) in
+        got >= exact /. ratio && got <= exact *. ratio);
+    QCheck.Test.make ~name:"latency mean/count match reference" ~count:200
+      QCheck.(list_of_size (Gen.int_range 1 1000) (float_range 0.0 100.0))
+      (fun l ->
+        let samples = Array.of_list l in
+        let lat = record_all (Latency.create ()) samples in
+        let n = Array.length samples in
+        let sum = Array.fold_left ( +. ) 0.0 samples in
+        Latency.count lat = n
+        && Float.abs (Latency.mean lat -. (sum /. float_of_int n)) < 1e-6);
   ]
 
 let () =
@@ -214,6 +336,14 @@ let () =
           Alcotest.test_case "empty rejected" `Quick test_cdf_empty_rejected;
           Alcotest.test_case "points reach one" `Quick test_cdf_points_reach_one;
           Alcotest.test_case "unsorted input" `Quick test_cdf_unsorted_input;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "empty" `Quick test_latency_empty;
+          Alcotest.test_case "small-n exact" `Quick test_latency_small_exact;
+          Alcotest.test_case "large-n bucketed" `Quick test_latency_large_bucketed;
+          Alcotest.test_case "rejects bad args" `Quick test_latency_rejects_bad;
+          Alcotest.test_case "bucket counts sum" `Quick test_latency_buckets_sum;
         ] );
       ( "rates",
         [

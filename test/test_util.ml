@@ -302,6 +302,17 @@ let test_json_parse_errors () =
   checkb "\\u1234 rejected" true
     (Result.is_error (Json.of_string "\"\\u1234\""))
 
+let test_json_nonfinite_floats () =
+  (* Non-finite floats have no JSON spelling; the emitter writes [null]
+     so a diverged latency or rate never produces an unparseable dump. *)
+  checks "nan" "null" (Json.to_string (Json.Float Float.nan));
+  checks "inf" "null" (Json.to_string (Json.Float Float.infinity));
+  checks "-inf" "null" (Json.to_string (Json.Float Float.neg_infinity));
+  let v = Json.Obj [ ("p99", Json.Float Float.nan); ("n", Json.Int 0) ] in
+  checkb "round-trips as null" true
+    (Json.of_string (Json.to_string v)
+    = Ok (Json.Obj [ ("p99", Json.Null); ("n", Json.Int 0) ]))
+
 let test_json_parses_plain () =
   checkb "ws tolerant" true
     (Json.of_string "  { \"a\" : [ 1 , 2.5 , null ] }  "
@@ -390,6 +401,7 @@ let () =
           Alcotest.test_case "string round-trip" `Quick test_json_string_roundtrip;
           Alcotest.test_case "value round-trip" `Quick test_json_value_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite_floats;
           Alcotest.test_case "plain json" `Quick test_json_parses_plain;
           QCheck_alcotest.to_alcotest
             (QCheck.Test.make ~name:"random string round-trip" ~count:500
