@@ -17,7 +17,7 @@
 module Json = Dlink_util.Json
 
 let row_keys =
-  [ "replay_mips"; "sim_mips"; "tramp_pki"; "goodput_rps"; "p99_us" ]
+  [ "replay_mips"; "sim_mips"; "tramp_pki"; "goodput_rps"; "p99_us"; "p999_us" ]
 
 (* [None] for a missing or malformed dump: the page renders from whatever
    columns remain. *)
@@ -127,11 +127,12 @@ let () =
   Buffer.add_string buf "# Bench trajectory\n\n";
   Buffer.add_string buf
     "Gated throughput (`replay_mips`, `sim_mips`), trampoline\n\
-     opportunity (`tramp_pki`) and open-loop serving (`goodput_rps`,\n\
-     `p99_us`) leaves from every committed per-PR bench dump.  Units:\n\
-     Mi/s for throughput, events per kilo-instruction for PKI,\n\
-     requests/s and scaled microseconds for serving.  An em dash means\n\
-     the section did not exist in that PR.\n\n";
+     opportunity (`tramp_pki`) and serving (`goodput_rps`, `p99_us`,\n\
+     `p999_us`) leaves from every committed per-PR bench dump — the\n\
+     serving rows now include the million-request streaming cell\n\
+     (`servesweep_1m.*`).  Units: Mi/s for throughput, events per\n\
+     kilo-instruction for PKI, requests/s and scaled microseconds for\n\
+     serving.  An em dash means the section did not exist in that PR.\n\n";
   Buffer.add_string buf "| metric |";
   List.iter (fun (label, _) -> Buffer.add_string buf (" " ^ label ^ " |")) cols;
   Buffer.add_string buf "\n|---|";

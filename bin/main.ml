@@ -1171,6 +1171,10 @@ let serve_cmd =
   let module Serve = Dlink_core.Serve in
   let module Arrival = Dlink_util.Arrival in
   let module J = Dlink_util.Json in
+  (* Largest single cell served through the packed-trace replay path;
+     beyond it the streaming generate driver runs the cell without ever
+     recording a trace. *)
+  let trace_cell_cap = 20_000 in
   (* Every axis value is validated up front with the full list of valid
      spellings — a typo'd load or arrival exits 2, never a stack trace. *)
   let parse_load s =
@@ -1201,7 +1205,7 @@ let serve_cmd =
         exit 2
   in
   let action name mode_str load loads_str arrival_str queue_cap requests
-      flush_str flush_every seed sweep modes_str flushes_str jobs hist
+      flush_str flush_every seed sweep modes_str flushes_str jobs segment hist
       json_path =
     if queue_cap <= 0 then begin
       prerr_endline "dlinksim: --queue-cap must be positive";
@@ -1219,6 +1223,11 @@ let serve_cmd =
     (match jobs with
     | Some j when j <= 0 ->
         prerr_endline "dlinksim: --jobs must be positive";
+        exit 2
+    | _ -> ());
+    (match segment with
+    | Some k when k <= 0 ->
+        prerr_endline "dlinksim: --segment must be positive";
         exit 2
     | _ -> ());
     let arrival = parse_arrival arrival_str in
@@ -1253,15 +1262,28 @@ let serve_cmd =
             flush = parse_flush flush_str;
           }
         in
-        [ Dlink_trace.Serve_replay.run_cell ~cfg w ]
+        (* Million-request cells never materialize a packed trace (its
+           event stream would dwarf the cell itself): beyond the trace
+           cap the streaming generate driver runs the cell with
+           snapshot-segmented domain parallelism and O(segments)
+           memory. *)
+        if requests > trace_cell_cap then
+          [ Serve.run_cell_stream ?jobs ?segment ~cfg w ]
+        else [ Dlink_trace.Serve_replay.run_cell ?jobs ?segment ~cfg w ]
     in
     let mean_service =
       match cells with
       | c :: _ -> c.Serve.mean_service_cycles
       | [] -> 0
     in
-    Printf.printf "workload=%s requests=%d queue_cap=%d seed=%d mean_service=%d cycles\n"
-      name requests queue_cap cell_seed mean_service;
+    let segments =
+      match cells with
+      | [ c ] when not sweep -> Printf.sprintf " segments=%d" c.Serve.segments
+      | _ -> ""
+    in
+    Printf.printf
+      "workload=%s requests=%d queue_cap=%d seed=%d mean_service=%d cycles%s\n"
+      name requests queue_cap cell_seed mean_service segments;
     let t =
       Table.create
         ~headers:
@@ -1343,7 +1365,9 @@ let serve_cmd =
     Arg.(
       value & opt string "poisson"
       & info [ "arrival" ] ~docv:"PROC"
-          ~doc:"Arrival process: poisson or mmpp (bursty).")
+          ~doc:
+            "Arrival process: poisson, mmpp (bursty), or closed:C (closed \
+             loop with C clients thinking between completions).")
   in
   let queue_cap_arg =
     Arg.(
@@ -1389,8 +1413,19 @@ let serve_cmd =
       & opt (some int) None
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:
-            "Domains for $(b,--sweep); the cell grid is identical \
+            "Domains for $(b,--sweep) (cell-level) or for a single cell's \
+             snapshot-segmented measured pass; results are bit-identical \
              regardless of N.")
+  in
+  let segment_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "segment" ] ~docv:"K"
+          ~doc:
+            "Snapshot the kernel every K requests of a single cell's \
+             measured pass (default: spread over 4*jobs segments); the \
+             segments replay concurrently on $(b,--jobs) domains.")
   in
   let hist_arg =
     Arg.(
@@ -1412,7 +1447,7 @@ let serve_cmd =
       const action $ workload_arg $ mode_arg $ load_arg $ loads_arg
       $ arrival_arg $ queue_cap_arg $ requests_arg $ flush_arg
       $ flush_every_arg $ seed_arg $ sweep_arg $ modes_arg $ flushes_arg
-      $ jobs_arg $ hist_arg $ json_arg)
+      $ jobs_arg $ segment_arg $ hist_arg $ json_arg)
 
 let list_cmd =
   let action () =
@@ -1420,7 +1455,7 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List available workloads") Term.(const action $ const ())
 
-let version = "0.9.0"
+let version = "0.10.0"
 
 let () =
   let doc = "Simulator for 'Architectural Support for Dynamic Linking' (ASPLOS'15)" in

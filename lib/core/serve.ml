@@ -1,6 +1,9 @@
 open Dlink_uarch
 module Arrival = Dlink_util.Arrival
+module Dpool = Dlink_util.Dpool
 module Json = Dlink_util.Json
+module Rng = Dlink_util.Rng
+module Site_hash = Dlink_util.Site_hash
 module Latency = Dlink_stats.Latency
 module Kernel = Dlink_pipeline.Kernel
 
@@ -164,25 +167,74 @@ type cell = {
   p999_us : float;
   mean_wait_us : float;
   by_rtype : rtype_stats array;
+  lat_fingerprint : int;
+      (** order-sensitive digest of (req, lat, wait) in serve order *)
+  segments : int;  (** replay segments the measured pass ran as (1 = whole) *)
   counters : Counters.t;
 }
 
-let finish_cell ~cfg ~(w : Workload.t) ~mean_service ~(qs : queue_stats)
-    ~counters =
-  let recorder = Latency.create () in
-  Array.iter
-    (fun lc -> Latency.record recorder (Workload.cycles_to_us w lc))
-    qs.q_lat_cycles;
-  let span_us = Workload.cycles_to_us w qs.q_span in
+(* Order-sensitive digest of the served-request stream: folding (request
+   index, latency, wait) in serve order means two drivers agree iff every
+   per-request outcome matches exactly — the O(1)-memory bit-identity
+   witness the segmented-replay tests pin, usable even when the
+   per-request latency vector itself is not materialized. *)
+let fp_fold acc ~req ~lat ~wait =
+  Site_hash.mix2 acc (Site_hash.mix2 (Site_hash.mix2 req lat) wait)
+
+let rtype_stats_of (w : Workload.t) buckets =
+  Array.mapi
+    (fun rt name ->
+      {
+        rt_name = name;
+        rt_served = Latency.count buckets.(rt);
+        rt_mean_us = Latency.mean buckets.(rt);
+        rt_p99_us = Latency.p99 buckets.(rt);
+      })
+    w.Workload.request_type_names
+
+(* Shared cell assembly: everything below the raw per-request accounting
+   is identical between the array-based ([finish_cell]) and streaming
+   ([finish_stream_cell]) drivers. *)
+let assemble_cell ~cfg ~(w : Workload.t) ~mean_service ~served ~dropped
+    ~lat_cycles ~recorder ~by_rtype ~wait_cycles ~busy ~span ~lat_fingerprint
+    ~segments ~counters =
+  let span_us = Workload.cycles_to_us w span in
   let span_s = span_us *. 1e-6 in
   let mean_gap = float_of_int mean_service /. cfg.load in
   let gap_s = Workload.cycles_to_us w (int_of_float mean_gap) *. 1e-6 in
   let mean_wait_us =
-    if qs.q_served = 0 then Float.nan
-    else
-      Workload.cycles_to_us w (Array.fold_left ( + ) 0 qs.q_wait_cycles)
-      /. float_of_int qs.q_served
+    if served = 0 then Float.nan
+    else Workload.cycles_to_us w wait_cycles /. float_of_int served
   in
+  {
+    cfg;
+    workload_name = w.Workload.wname;
+    mean_service_cycles = mean_service;
+    served;
+    dropped;
+    lat_cycles;
+    recorder;
+    offered_rps = (if gap_s > 0.0 then 1.0 /. gap_s else Float.nan);
+    goodput_rps = (if span_s > 0.0 then float_of_int served /. span_s else 0.0);
+    util = (if span > 0 then float_of_int busy /. float_of_int span else 0.0);
+    span_us;
+    mean_us = Latency.mean recorder;
+    p50_us = Latency.p50 recorder;
+    p99_us = Latency.p99 recorder;
+    p999_us = Latency.p999 recorder;
+    mean_wait_us;
+    by_rtype;
+    lat_fingerprint;
+    segments;
+    counters;
+  }
+
+let finish_cell ~cfg ~(w : Workload.t) ~mean_service ~segments
+    ~(qs : queue_stats) ~counters =
+  let recorder = Latency.create () in
+  Array.iter
+    (fun lc -> Latency.record recorder (Workload.cycles_to_us w lc))
+    qs.q_lat_cycles;
   let by_rtype =
     let n_rt = Array.length w.Workload.request_type_names in
     let buckets = Array.init n_rt (fun _ -> Latency.create ()) in
@@ -191,40 +243,18 @@ let finish_cell ~cfg ~(w : Workload.t) ~mean_service ~(qs : queue_stats)
         let rt = (w.Workload.gen_request r).Workload.rtype in
         Latency.record buckets.(rt) (Workload.cycles_to_us w qs.q_lat_cycles.(i)))
       qs.q_reqs;
-    Array.mapi
-      (fun rt name ->
-        {
-          rt_name = name;
-          rt_served = Latency.count buckets.(rt);
-          rt_mean_us = Latency.mean buckets.(rt);
-          rt_p99_us = Latency.p99 buckets.(rt);
-        })
-      w.Workload.request_type_names
+    rtype_stats_of w buckets
   in
-  {
-    cfg;
-    workload_name = w.Workload.wname;
-    mean_service_cycles = mean_service;
-    served = qs.q_served;
-    dropped = qs.q_dropped;
-    lat_cycles = qs.q_lat_cycles;
-    recorder;
-    offered_rps = (if gap_s > 0.0 then 1.0 /. gap_s else Float.nan);
-    goodput_rps =
-      (if span_s > 0.0 then float_of_int qs.q_served /. span_s else 0.0);
-    util =
-      (if qs.q_span > 0 then
-         float_of_int qs.q_busy /. float_of_int qs.q_span
-       else 0.0);
-    span_us;
-    mean_us = Latency.mean recorder;
-    p50_us = Latency.p50 recorder;
-    p99_us = Latency.p99 recorder;
-    p999_us = Latency.p999 recorder;
-    mean_wait_us;
-    by_rtype;
-    counters;
-  }
+  let fp = ref 0 in
+  for i = 0 to qs.q_served - 1 do
+    fp :=
+      fp_fold !fp ~req:qs.q_reqs.(i) ~lat:qs.q_lat_cycles.(i)
+        ~wait:qs.q_wait_cycles.(i)
+  done;
+  assemble_cell ~cfg ~w ~mean_service ~served:qs.q_served ~dropped:qs.q_dropped
+    ~lat_cycles:qs.q_lat_cycles ~recorder ~by_rtype
+    ~wait_cycles:(Array.fold_left ( + ) 0 qs.q_wait_cycles)
+    ~busy:qs.q_busy ~span:qs.q_span ~lat_fingerprint:!fp ~segments ~counters
 
 (* ------------------------------------------------------------------ *)
 (* Base-mode capacity calibration: the mean service time (cycles per
@@ -291,7 +321,390 @@ let run_cell_generate ?ucfg ?skip_cfg ?mean_service ~cfg (w : Workload.t) =
     services.(i) <- counters.Counters.cycles - before
   done;
   let qs = run_queue ~cfg ~mean_service ~services in
-  finish_cell ~cfg ~w ~mean_service ~qs ~counters:(Sim.measured_counters sim)
+  finish_cell ~cfg ~w ~mean_service ~segments:1 ~qs
+    ~counters:(Sim.measured_counters sim)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming queue engine: the same bounded-FIFO semantics as
+   [simulate_queue], re-expressed as a push API — the driver feeds service
+   times one request at a time, in request-index order, and the engine
+   folds each served request into a caller-provided sink instead of
+   materializing per-request arrays, so million-request cells run in
+   O(1) queue memory.
+
+   Why pushing index [k] can resolve [k]'s fate immediately: arrivals are
+   sorted and the queue is FIFO, so among admitted requests serve order
+   equals index order.  At [stream_push k], every index < k has been
+   served or dropped, hence [k] is either at the head of the queue
+   (serve), not yet arrived with an idle server (jump to its arrival and
+   admit, exactly [simulate_queue]'s idle rule), or was dropped at a full
+   queue by an earlier admission scan.  Admission scans happen at the
+   same virtual times with the same queue occupancy as in
+   [simulate_queue], so (now, queue, drops) evolve identically —
+   [test_serve] pins the equivalence over random cells.
+
+   The engine also hosts the closed-loop client population
+   ([Arrival.Closed]): [clients] users each wait for their request's
+   completion, think for an exponentially distributed time, and
+   re-arrive.  Arrivals are coupled to completions and cannot be
+   precomputed ([Arrival.times] raises) — the engine pops the earliest
+   client ready time as request [k]'s arrival (a client's next ready
+   time is >= its request's completion >= every pending ready time, so
+   arrivals stay sorted and FIFO order is again index order), serves at
+   [max now arrival], and pushes the client back at completion + think.
+   The population bound makes admission self-throttling: at most
+   [clients] requests are ever outstanding, so nothing is dropped and
+   [queue_cap] never binds.  The think-time mean follows the interactive
+   response-time law, Z = S * (clients / load - 1), so that a closed
+   cell at [load] offers the same arrival rate (load / S) as an open
+   cell at the same load while the server keeps up — past the knee the
+   population throttles instead of queueing without bound. *)
+
+type stream_sink = req:int -> lat:int -> wait:int -> unit
+
+type stream_open = {
+  so_gen : Arrival.gen;
+  so_q : (int * int) Queue.t;  (* (index, arrival) admitted, FIFO *)
+  mutable so_next : int;  (* next index not yet pulled from the generator *)
+  mutable so_next_arr : int;  (* its arrival time; valid while so_next < n *)
+}
+
+(* Binary min-heap of client ready times (closed loop).  Clients are
+   statistically indistinguishable — each draws its next think time at
+   completion — so bare ready times suffice. *)
+type stream_heap = { mutable h_n : int; h_ts : int array }
+
+let heap_push h x =
+  let ts = h.h_ts in
+  let i = ref h.h_n in
+  h.h_n <- h.h_n + 1;
+  ts.(!i) <- x;
+  while !i > 0 && ts.((!i - 1) / 2) > ts.(!i) do
+    let p = (!i - 1) / 2 in
+    let tmp = ts.(p) in
+    ts.(p) <- ts.(!i);
+    ts.(!i) <- tmp;
+    i := p
+  done
+
+let heap_pop h =
+  let ts = h.h_ts in
+  let top = ts.(0) in
+  h.h_n <- h.h_n - 1;
+  ts.(0) <- ts.(h.h_n);
+  let i = ref 0 and sifting = ref true in
+  while !sifting do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let m = ref !i in
+    if l < h.h_n && ts.(l) < ts.(!m) then m := l;
+    if r < h.h_n && ts.(r) < ts.(!m) then m := r;
+    if !m = !i then sifting := false
+    else begin
+      let tmp = ts.(!m) in
+      ts.(!m) <- ts.(!i);
+      ts.(!i) <- tmp;
+      i := !m
+    end
+  done;
+  top
+
+type stream_closed = {
+  sc_ready : stream_heap;
+  sc_rng : Rng.t;
+  sc_think_mean : float;
+}
+
+type stream_source = Src_open of stream_open | Src_closed of stream_closed
+
+type stream_queue = {
+  sq_cap : int;
+  sq_n : int;
+  sq_sink : stream_sink;
+  sq_src : stream_source;
+  mutable sq_now : int;
+  mutable sq_busy : int;
+  mutable sq_served : int;
+  mutable sq_dropped : int;
+}
+
+let stream_queue ~cfg ~mean_service ~sink =
+  check_config cfg;
+  if mean_service <= 0 then
+    invalid_arg "Serve.stream_queue: mean_service must be positive";
+  let src =
+    match cfg.arrival with
+    | Arrival.Closed { clients } ->
+        if clients <= 0 then
+          invalid_arg "Serve.stream_queue: clients must be positive";
+        let think_mean =
+          Float.max 0.0
+            (float_of_int mean_service
+            *. ((float_of_int clients /. cfg.load) -. 1.0))
+        in
+        let rng = Rng.create (Site_hash.mix2 cfg.seed 0xc1d) in
+        let ready = { h_n = 0; h_ts = Array.make clients 0 } in
+        (* Initial think draws stagger the population's first arrivals. *)
+        for _ = 1 to clients do
+          let t =
+            if think_mean > 0.0 then Rng.exponential rng ~mean:think_mean
+            else 0.0
+          in
+          heap_push ready (int_of_float t)
+        done;
+        Src_closed { sc_ready = ready; sc_rng = rng; sc_think_mean = think_mean }
+    | p ->
+        let gen =
+          Arrival.gen ~seed:cfg.seed
+            ~mean_gap:(float_of_int mean_service /. cfg.load)
+            p
+        in
+        let o =
+          { so_gen = gen; so_q = Queue.create (); so_next = 0; so_next_arr = 0 }
+        in
+        if cfg.requests > 0 then o.so_next_arr <- Arrival.next gen;
+        Src_open o
+  in
+  {
+    sq_cap = cfg.queue_cap;
+    sq_n = cfg.requests;
+    sq_sink = sink;
+    sq_src = src;
+    sq_now = 0;
+    sq_busy = 0;
+    sq_served = 0;
+    sq_dropped = 0;
+  }
+
+let stream_push t ~req:k ~service:s =
+  if s < 0 then invalid_arg "Serve.stream_push: negative service time";
+  match t.sq_src with
+  | Src_open o ->
+      let admit () =
+        while o.so_next < t.sq_n && o.so_next_arr <= t.sq_now do
+          if Queue.length o.so_q < t.sq_cap then
+            Queue.add (o.so_next, o.so_next_arr) o.so_q
+          else t.sq_dropped <- t.sq_dropped + 1;
+          o.so_next <- o.so_next + 1;
+          if o.so_next < t.sq_n then o.so_next_arr <- Arrival.next o.so_gen
+        done
+      in
+      admit ();
+      if Queue.is_empty o.so_q && o.so_next = k then begin
+        (* Server idle and k not yet arrived: idle until its arrival. *)
+        if o.so_next_arr > t.sq_now then t.sq_now <- o.so_next_arr;
+        admit ()
+      end;
+      (match Queue.peek_opt o.so_q with
+      | Some (r, arr) when r = k ->
+          ignore (Queue.pop o.so_q);
+          let start = t.sq_now in
+          t.sq_busy <- t.sq_busy + s;
+          t.sq_now <- t.sq_now + s;
+          t.sq_served <- t.sq_served + 1;
+          t.sq_sink ~req:k ~lat:(t.sq_now - arr) ~wait:(start - arr)
+      | _ -> (* k was dropped by an earlier admission scan *) ())
+  | Src_closed c ->
+      let arr = heap_pop c.sc_ready in
+      let start = if arr > t.sq_now then arr else t.sq_now in
+      t.sq_busy <- t.sq_busy + s;
+      t.sq_now <- start + s;
+      t.sq_served <- t.sq_served + 1;
+      t.sq_sink ~req:k ~lat:(t.sq_now - arr) ~wait:(start - arr);
+      let think =
+        if c.sc_think_mean > 0.0 then
+          int_of_float (Rng.exponential c.sc_rng ~mean:c.sc_think_mean)
+        else 0
+      in
+      heap_push c.sc_ready (t.sq_now + think)
+
+let stream_served t = t.sq_served
+let stream_dropped t = t.sq_dropped
+let stream_busy_cycles t = t.sq_busy
+let stream_span_cycles t = t.sq_now
+
+(* ------------------------------------------------------------------ *)
+(* Streaming cell accounting: constant-memory per-request accumulation
+   (log-bucket recorder, per-rtype buckets, wait sum, order-sensitive
+   fingerprint).  The raw latency vector is kept only for cells small
+   enough that keeping it is free — large cells report through the
+   recorder and fingerprint alone. *)
+
+let lat_keep_cap = 100_000
+
+type stream_accum = {
+  sa_w : Workload.t;
+  sa_recorder : Latency.t;
+  sa_rt : Latency.t array;
+  sa_keep : int array;  (* [||] above [lat_keep_cap] *)
+  mutable sa_kept : int;
+  mutable sa_wait_cycles : int;
+  mutable sa_fp : int;
+}
+
+let stream_accum (w : Workload.t) ~requests =
+  {
+    sa_w = w;
+    sa_recorder = Latency.create ();
+    sa_rt = Array.map (fun _ -> Latency.create ()) w.Workload.request_type_names;
+    sa_keep = (if requests <= lat_keep_cap then Array.make requests 0 else [||]);
+    sa_kept = 0;
+    sa_wait_cycles = 0;
+    sa_fp = 0;
+  }
+
+let accum_sink a ~req ~lat ~wait =
+  let us = Workload.cycles_to_us a.sa_w lat in
+  Latency.record a.sa_recorder us;
+  Latency.record a.sa_rt.((a.sa_w.Workload.gen_request req).Workload.rtype) us;
+  a.sa_wait_cycles <- a.sa_wait_cycles + wait;
+  a.sa_fp <- fp_fold a.sa_fp ~req ~lat ~wait;
+  if Array.length a.sa_keep > 0 then begin
+    a.sa_keep.(a.sa_kept) <- lat;
+    a.sa_kept <- a.sa_kept + 1
+  end
+
+let finish_stream_cell ~cfg ~mean_service ~segments ~(sq : stream_queue)
+    ~(a : stream_accum) ~counters =
+  assemble_cell ~cfg ~w:a.sa_w ~mean_service ~served:sq.sq_served
+    ~dropped:sq.sq_dropped
+    ~lat_cycles:
+      (if Array.length a.sa_keep > 0 then Array.sub a.sa_keep 0 a.sa_kept
+       else [||])
+    ~recorder:a.sa_recorder
+    ~by_rtype:(rtype_stats_of a.sa_w a.sa_rt)
+    ~wait_cycles:a.sa_wait_cycles ~busy:sq.sq_busy ~span:sq.sq_now
+    ~lat_fingerprint:a.sa_fp ~segments ~counters
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot-segmented generate driver.
+
+   The measured pass of a serving cell is inherently sequential — request
+   i+1's service time depends on the microarchitectural state request i
+   left behind — and the arrival times need the base-mode mean service
+   time, which only a full calibration pass yields.  But for the
+   calibration configuration itself (Base mode, no flushes) the measured
+   stream IS the calibration stream: the calibration pass can harvest a
+   {!Sim.snapshot} at every segment boundary, and the measured pass
+   becomes a re-execution that replays the segments concurrently, each
+   worker restoring its boundary snapshot into a fresh simulator.
+   Per-request service times are bit-identical to the sequential pass by
+   construction (the snapshot captures everything that determines future
+   execution), and the queueing arithmetic consumes them strictly in
+   index order on the calling domain, so the whole cell is bit-identical
+   at any [jobs] — workers only buy wall-clock time.
+
+   For other modes and flush policies the mode pass is distinct from the
+   Base calibration pass, and parallelizing it would require a third,
+   mode-specific snapshot pass — strictly more work than streaming the
+   measured pass directly.  Those cells take the direct streaming path
+   below: same O(segments) memory, sequential wall-clock. *)
+
+let run_cell_stream ?ucfg ?skip_cfg ?mean_service ?(jobs = 1) ?segment ~cfg
+    (w : Workload.t) =
+  check_config cfg;
+  (match segment with
+  | Some k when k <= 0 ->
+      invalid_arg "Serve.run_cell_stream: segment must be positive"
+  | _ -> ());
+  let n = cfg.requests in
+  let make_sim () =
+    Sim.create ?ucfg ?skip_cfg ~func_align:w.Workload.func_align ~mode:cfg.mode
+      w.Workload.objs
+  in
+  let call sim kernel (rq : Workload.request) =
+    Kernel.note_boundary kernel ~rtype:rq.Workload.rtype;
+    Sim.call sim ~mname:rq.Workload.mname ~fname:rq.Workload.fname
+  in
+  let warmup sim kernel =
+    for i = 0 to w.Workload.warmup_requests - 1 do
+      call sim kernel (w.Workload.gen_request (-1 - i))
+    done;
+    Sim.mark_measurement_start sim
+  in
+  let segmented =
+    cfg.mode = Sim.Base && cfg.flush = No_flush && mean_service = None && n > 0
+  in
+  if segmented then begin
+    (* Pass A: the calibration pass, replicating [Experiment.run]'s exact
+       request sequence so the mean equals [calibrate_generate]'s,
+       harvesting a snapshot at each segment boundary.  Base / No_flush
+       means this is also the measured stream, so the measured counters
+       come from here and the snapshots are re-entry points into this
+       very execution. *)
+    let seg_len =
+      let cap_len = ((n - 1) / 256) + 1 in
+      (* at most 256 resident snapshots *)
+      match segment with
+      | Some k -> max k cap_len
+      | None ->
+          let target = max 4 (min 32 (4 * max 1 jobs)) in
+          max cap_len (((n - 1) / target) + 1)
+    in
+    let seg_count = ((n - 1) / seg_len) + 1 in
+    let sim = make_sim () in
+    let kernel = Sim.kernel sim in
+    warmup sim kernel;
+    let snaps = Array.make seg_count None in
+    for i = 0 to n - 1 do
+      if i mod seg_len = 0 then snaps.(i / seg_len) <- Some (Sim.snapshot sim);
+      call sim kernel (w.Workload.gen_request i)
+    done;
+    let counters = Sim.measured_counters sim in
+    let mean_service = max 1 (counters.Counters.cycles / max 1 n) in
+    let a = stream_accum w ~requests:n in
+    let sq = stream_queue ~cfg ~mean_service ~sink:(accum_sink a) in
+    (* Pass B: segmented re-execution.  Workers replay disjoint segments
+       from their boundary snapshots; the calling domain feeds the
+       service times into the queue engine strictly in index order. *)
+    Dpool.run_ordered ~jobs
+      ~produce:(fun j ->
+        let sim_j = make_sim () in
+        (match snaps.(j) with
+        | Some s -> Sim.restore sim_j s
+        | None -> assert false);
+        let kernel_j = Sim.kernel sim_j in
+        let cj = Sim.counters sim_j in
+        let lo = j * seg_len in
+        let hi = min n (lo + seg_len) in
+        let out = Array.make (hi - lo) 0 in
+        for i = lo to hi - 1 do
+          let before = cj.Counters.cycles in
+          call sim_j kernel_j (w.Workload.gen_request i);
+          out.(i - lo) <- cj.Counters.cycles - before
+        done;
+        out)
+      ~consume:(fun j out ->
+        let lo = j * seg_len in
+        Array.iteri (fun k s -> stream_push sq ~req:(lo + k) ~service:s) out)
+      seg_count;
+    finish_stream_cell ~cfg ~mean_service ~segments:seg_count ~sq ~a ~counters
+  end
+  else begin
+    let mean_service =
+      match mean_service with
+      | Some m -> m
+      | None -> calibrate_generate ?ucfg ?skip_cfg ~requests:n w
+    in
+    let sim = make_sim () in
+    let kernel = Sim.kernel sim in
+    warmup sim kernel;
+    let counters = Sim.counters sim in
+    let a = stream_accum w ~requests:n in
+    let sq = stream_queue ~cfg ~mean_service ~sink:(accum_sink a) in
+    for i = 0 to n - 1 do
+      (match cfg.flush with
+      | No_flush -> ()
+      | Flush when i > 0 && i mod cfg.flush_every = 0 -> Sim.context_switch sim
+      | Asid when i > 0 && i mod cfg.flush_every = 0 ->
+          Sim.context_switch ~retain_asid:true sim
+      | Flush | Asid -> ());
+      let before = counters.Counters.cycles in
+      call sim kernel (w.Workload.gen_request i);
+      stream_push sq ~req:i ~service:(counters.Counters.cycles - before)
+    done;
+    finish_stream_cell ~cfg ~mean_service ~segments:1 ~sq ~a
+      ~counters:(Sim.measured_counters sim)
+  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -307,6 +720,7 @@ let cell_json ?(hist = false) (c : cell) =
       ("queue_cap", Json.Int c.cfg.queue_cap);
       ("requests", Json.Int c.cfg.requests);
       ("seed", Json.Int c.cfg.seed);
+      ("segments", Json.Int c.segments);
       ("mean_service_cycles", Json.Int c.mean_service_cycles);
       ("served", Json.Int c.served);
       ("dropped", Json.Int c.dropped);

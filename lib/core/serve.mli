@@ -89,6 +89,13 @@ type cell = {
   p999_us : float;
   mean_wait_us : float;
   by_rtype : rtype_stats array;
+  lat_fingerprint : int;
+      (** Order-sensitive digest of (request index, latency, wait) folded
+          in serve order — two drivers produce the same fingerprint iff
+          every per-request outcome matches, even when [lat_cycles] is
+          not materialized. *)
+  segments : int;
+      (** Replay segments the measured pass ran as (1 = whole pass). *)
   counters : Counters.t;
 }
 
@@ -117,6 +124,7 @@ val finish_cell :
   cfg:config ->
   w:Workload.t ->
   mean_service:int ->
+  segments:int ->
   qs:queue_stats ->
   counters:Counters.t ->
   cell
@@ -131,6 +139,103 @@ val run_cell_generate :
 (** One cell via live interpretation ({!Sim}); calibrates with
     {!calibrate_generate} unless [mean_service] is given.  Raises
     [Invalid_argument] on a bad config. *)
+
+(** {2 Streaming queue engine}
+
+    The push-based mirror of {!simulate_queue}: service times are fed one
+    request at a time, in request-index order, and each served request is
+    folded into a caller-provided sink instead of per-request arrays —
+    O(1) queue memory at any cell size, bit-identical outcomes (pinned by
+    the equivalence tests).  This engine is also the only driver for
+    {!Dlink_util.Arrival.Closed} cells, whose arrivals are coupled to
+    completions: a fixed client population thinks (exponential, mean set
+    by the interactive response-time law [S * (clients/load - 1)])
+    between a completion and its next request, so at most [clients]
+    requests are outstanding and nothing is ever dropped. *)
+
+type stream_sink = req:int -> lat:int -> wait:int -> unit
+(** Called once per served request, in serve order, with cycles. *)
+
+type stream_queue
+
+val stream_queue :
+  cfg:config -> mean_service:int -> sink:stream_sink -> stream_queue
+(** Fresh engine for one cell; arrivals are generated internally
+    (incrementally for open-loop processes, from completions for closed
+    loop).  Raises [Invalid_argument] on a bad config or non-positive
+    [mean_service]. *)
+
+val stream_push : stream_queue -> req:int -> service:int -> unit
+(** [stream_push t ~req ~service] resolves request [req]'s fate — serve
+    (sink called) or drop.  Must be called exactly once for each
+    [req = 0 .. requests-1], in increasing order.  Raises
+    [Invalid_argument] on a negative service time. *)
+
+val stream_served : stream_queue -> int
+val stream_dropped : stream_queue -> int
+val stream_busy_cycles : stream_queue -> int
+
+val stream_span_cycles : stream_queue -> int
+(** Completion time of the last served request so far. *)
+
+val lat_keep_cap : int
+(** Largest request count for which streaming cells still materialize
+    [lat_cycles]; above it the raw vector is [[||]] and reporting flows
+    through the recorder and {!cell.lat_fingerprint}. *)
+
+type stream_accum
+(** Constant-memory per-request accounting for a streaming cell:
+    log-bucket recorder, per-rtype buckets, wait sum, order-sensitive
+    fingerprint, and (for cells within {!lat_keep_cap}) the raw latency
+    vector. *)
+
+val stream_accum : Workload.t -> requests:int -> stream_accum
+
+val accum_sink : stream_accum -> stream_sink
+(** The sink that folds served requests into the accumulator; pass to
+    {!stream_queue}. *)
+
+val finish_stream_cell :
+  cfg:config ->
+  mean_service:int ->
+  segments:int ->
+  sq:stream_queue ->
+  a:stream_accum ->
+  counters:Counters.t ->
+  cell
+(** Assemble a {!cell} from a fully-pushed engine and its accumulator —
+    the streaming mirror of {!finish_cell}. *)
+
+val run_cell_stream :
+  ?ucfg:Config.t ->
+  ?skip_cfg:Dlink_pipeline.Skip.config ->
+  ?mean_service:int ->
+  ?jobs:int ->
+  ?segment:int ->
+  cfg:config ->
+  Workload.t ->
+  cell
+(** One cell via the streaming engine, bit-identical to
+    {!run_cell_generate} (same [lat_fingerprint], recorder, counters) but
+    with memory O(segments) instead of O(requests) — the driver for
+    million-request cells.
+
+    For the calibration configuration itself ([Base] mode, [No_flush],
+    no [mean_service] override) the measured stream equals the
+    calibration stream, so the calibration pass harvests a
+    {!Sim.snapshot} every [segment] requests (default: requests spread
+    over [4 * jobs] segments, clamped to [4, 32]) and the measured pass
+    re-executes the segments concurrently on up to [jobs] domains via
+    {!Dlink_util.Dpool.run_ordered}, each worker restoring its boundary
+    snapshot into a fresh simulator — bit-identical at any [jobs], since
+    the queueing arithmetic consumes service times strictly in index
+    order on the calling domain.  Other modes and flush policies run the
+    measured pass sequentially (parallelizing them would need a third,
+    mode-specific snapshot pass), still streaming.  [segment] is clamped
+    up so at most 256 snapshots are resident.
+
+    Raises [Invalid_argument] on a bad config or non-positive
+    [segment]. *)
 
 val cell_json : ?hist:bool -> cell -> Dlink_util.Json.t
 (** Cell report; with [hist], includes the log-bucket latency histogram

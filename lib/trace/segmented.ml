@@ -1,0 +1,134 @@
+module Sim = Dlink_core.Sim
+module Kernel = Dlink_pipeline.Kernel
+module Counters = Dlink_uarch.Counters
+module Dpool = Dlink_util.Dpool
+module Latency = Dlink_stats.Latency
+
+(* Snapshot-segmented trace replay.
+
+   Replay of a packed trace is inherently sequential — the kernel state
+   request i leaves behind determines request i+1's cycle accounting —
+   so one pass over a million-request trace pins a single core.  The
+   segmentation protocol splits the measured region into fixed-length
+   segments and makes the boundary states explicit: a sequential
+   harvesting pass ([plan]) takes a {!Kernel.snapshot} at each segment
+   boundary, and [replay] then re-executes the segments concurrently,
+   each worker restoring its boundary snapshot into a fresh replay
+   machine and seeking the (immutable, shared) trace to its first
+   request.  Because the snapshot captures everything the retire
+   pipeline reads or writes, a segment's replay is bit-identical to the
+   same span of the sequential pass, at any worker count.
+
+   Merging is a deterministic index fold on the calling domain
+   ({!Dpool.run_ordered}): per-segment counter deltas are summed in
+   segment order (counters are additive event counts, so the telescoped
+   sum equals the sequential measured delta exactly), per-segment
+   service-time recorders fold with {!Latency.merge}, and the optional
+   [consume] callback sees every per-request service time in strict
+   request-index order — which is how the serving driver streams a
+   parallel replay straight into its queue engine without ever
+   materializing the service vector.
+
+   The plan costs one sequential pass, so segmented replay pays off when
+   its snapshots are reused — several load levels over one (mode, trace)
+   pair, repeated benchmark iterations — or when the plan falls out of a
+   pass that was needed anyway (the serving driver's base-mode
+   calibration). *)
+
+type plan = {
+  p_mode : Sim.mode;
+  p_seg_len : int;
+  p_seg_count : int;
+  p_requests : int;
+  p_warmup : int;
+  p_snaps : Kernel.snap array;
+}
+
+let seg_len p = p.p_seg_len
+let seg_count p = p.p_seg_count
+let requests p = p.p_requests
+
+(* At most 256 resident snapshots: a snapshot is dominated by the uarch
+   table blits (a few MB at default geometry), so the cap bounds plan
+   memory while leaving far more segments than any realistic domain
+   count needs. *)
+let max_segments = 256
+
+let choose_seg_len ~segment ~jobs n =
+  let cap_len = ((n - 1) / max_segments) + 1 in
+  match segment with
+  | Some k when k <= 0 ->
+      invalid_arg "Segmented.plan: segment must be positive"
+  | Some k -> max k cap_len
+  | None ->
+      let target = max 4 (min 32 (4 * max 1 jobs)) in
+      max cap_len (((n - 1) / target) + 1)
+
+let plan ?ucfg ?skip_cfg ?(jobs = 1) ?segment ?requests ~mode tr =
+  let measured = Trace.measured_requests tr in
+  let n = Option.value requests ~default:measured in
+  if n <= 0 then invalid_arg "Segmented.plan: no measured requests";
+  if n > measured then
+    invalid_arg "Segmented.plan: trace holds fewer measured requests";
+  let seg_len = choose_seg_len ~segment ~jobs n in
+  let seg_count = ((n - 1) / seg_len) + 1 in
+  let m = Replay.make_machine ?ucfg ?skip_cfg ~mode () in
+  let c = Trace.Cursor.create tr in
+  let warmup = Trace.warmup tr in
+  for r = 0 to warmup - 1 do
+    Kernel.note_boundary m ~rtype:(Trace.request_rtype tr r);
+    Kernel.replay_request m c r
+  done;
+  let snaps = Array.make seg_count None in
+  for i = 0 to n - 1 do
+    if i mod seg_len = 0 then snaps.(i / seg_len) <- Some (Kernel.snapshot m);
+    let r = warmup + i in
+    Kernel.note_boundary m ~rtype:(Trace.request_rtype tr r);
+    Kernel.replay_request m c r
+  done;
+  {
+    p_mode = mode;
+    p_seg_len = seg_len;
+    p_seg_count = seg_count;
+    p_requests = n;
+    p_warmup = warmup;
+    p_snaps = Array.map (function Some s -> s | None -> assert false) snaps;
+  }
+
+let replay ?ucfg ?skip_cfg ?(jobs = 1) ?consume (p : plan) tr =
+  if Trace.warmup tr <> p.p_warmup || Trace.measured_requests tr < p.p_requests
+  then invalid_arg "Segmented.replay: trace does not match the plan";
+  let total = Counters.create () in
+  let recorder = Latency.create () in
+  Dpool.run_ordered ~jobs
+    ~produce:(fun j ->
+      let m = Replay.make_machine ?ucfg ?skip_cfg ~mode:p.p_mode () in
+      Kernel.restore m p.p_snaps.(j);
+      let c = Trace.Cursor.create tr in
+      let counters = Kernel.counters m in
+      let before = Counters.copy counters in
+      let lo = j * p.p_seg_len in
+      let hi = min p.p_requests (lo + p.p_seg_len) in
+      let services = Array.make (hi - lo) 0 in
+      let seg_rec = Latency.create () in
+      for i = lo to hi - 1 do
+        let r = p.p_warmup + i in
+        Kernel.note_boundary m ~rtype:(Trace.request_rtype tr r);
+        let b = counters.Counters.cycles in
+        Kernel.replay_request m c r;
+        let s = counters.Counters.cycles - b in
+        services.(i - lo) <- s;
+        Latency.record seg_rec (float_of_int s)
+      done;
+      (services, Counters.diff ~after:counters ~before, seg_rec))
+    ~consume:(fun j (services, dc, seg_rec) ->
+      Counters.add ~into:total dc;
+      Latency.merge ~into:recorder seg_rec;
+      match consume with
+      | None -> ()
+      | Some f ->
+          Array.iteri
+            (fun k s -> f ~req:((j * p.p_seg_len) + k) ~service:s)
+            services)
+    p.p_seg_count;
+  (total, recorder)

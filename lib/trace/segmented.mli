@@ -1,0 +1,66 @@
+(** Snapshot-segmented trace replay: split a packed trace's measured
+    region into fixed-length segments, capture the kernel state at each
+    boundary during one sequential harvesting pass, then replay the
+    segments concurrently on worker domains — bit-identical to the
+    sequential pass at any worker count, with a deterministic
+    segment-order merge of counters and latency recorders on the calling
+    domain.
+
+    The plan costs one sequential pass, so segmentation pays off when the
+    snapshots are reused (several load levels over one (mode, trace)
+    pair, repeated bench iterations) or when the harvesting pass was
+    needed anyway (the serving driver's base-mode calibration). *)
+
+module Sim = Dlink_core.Sim
+module Kernel = Dlink_pipeline.Kernel
+module Counters = Dlink_uarch.Counters
+module Latency = Dlink_stats.Latency
+
+type plan
+(** Segment geometry plus the boundary {!Kernel.snap}s of one sequential
+    replay of a specific (mode, trace) pair. *)
+
+val seg_len : plan -> int
+val seg_count : plan -> int
+
+val requests : plan -> int
+(** Measured requests the plan covers (segments tile [0 .. requests-1]). *)
+
+val max_segments : int
+(** Resident-snapshot cap; [segment] is clamped up so a plan never holds
+    more than this many snapshots. *)
+
+val plan :
+  ?ucfg:Dlink_uarch.Config.t ->
+  ?skip_cfg:Dlink_pipeline.Skip.config ->
+  ?jobs:int ->
+  ?segment:int ->
+  ?requests:int ->
+  mode:Sim.mode ->
+  Trace.t ->
+  plan
+(** Sequential harvesting pass: replay warmup plus [requests] (default:
+    all) measured requests on a fresh machine, snapshotting the kernel
+    every [segment] requests (default: requests spread over [4 * jobs]
+    segments, clamped to [4, 32]).  Raises [Invalid_argument] on a
+    non-positive [segment], an empty measured region, or a trace holding
+    fewer than [requests] measured requests. *)
+
+val replay :
+  ?ucfg:Dlink_uarch.Config.t ->
+  ?skip_cfg:Dlink_pipeline.Skip.config ->
+  ?jobs:int ->
+  ?consume:(req:int -> service:int -> unit) ->
+  plan ->
+  Trace.t ->
+  Counters.t * Latency.t
+(** Parallel ordered re-execution of the plan's segments over the same
+    trace, on up to [jobs] domains ({!Dlink_util.Dpool.run_ordered}).
+    Returns the measurement-window counter deltas (per-segment deltas
+    summed in segment order; bit-identical to a sequential replay) and
+    the merged per-segment service-time recorder (cycles;
+    {!Latency.merge} in segment order).  [consume] observes every
+    per-request service time in strict request-index order on the
+    calling domain — the hook the serving driver streams into its queue
+    engine.  Raises [Invalid_argument] if the trace's warmup or measured
+    length does not match the plan. *)

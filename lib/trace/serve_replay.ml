@@ -22,11 +22,33 @@ let calibrate ?ucfg ?skip_cfg ?requests ?warmup (w : Workload.t) =
 
 (* One cell over a (pre-recorded) trace.  Falls back to the generate
    driver for configurations the replay invariants exclude, like
-   [Replay.run]. *)
-let run_cell ?ucfg ?skip_cfg ?mean_service ?tr ~cfg (w : Workload.t) =
+   [Replay.run].
+
+   Three replay shapes share the measured loop:
+   - default: materialized service vector + [Serve.run_queue], unchanged
+     from the classic path (small cells, open loop);
+   - streaming: the same sequential loop pushed through
+     [Serve.stream_queue] — required for closed-loop arrivals (coupled to
+     completions) and for cells too large to materialize;
+   - segmented ([jobs > 1] or an explicit [segment], [No_flush] only —
+     flush policy is keyed to the serve stream and would cross segment
+     boundaries): [Segmented.plan] harvests boundary snapshots in one
+     sequential pass, then [Segmented.replay] re-executes segments on
+     worker domains, streaming service times into the queue engine in
+     index order.  Bit-identical to the sequential paths at any [jobs]
+     (pinned by test_serve). *)
+let run_cell ?ucfg ?skip_cfg ?mean_service ?tr ?(jobs = 1) ?segment ~cfg
+    (w : Workload.t) =
   Serve.check_config cfg;
+  let closed =
+    match cfg.Serve.arrival with
+    | Dlink_util.Arrival.Closed _ -> true
+    | _ -> false
+  in
   if not (Replay.compatible ?skip_cfg ~mode:cfg.Serve.mode ()) then
-    Serve.run_cell_generate ?ucfg ?skip_cfg ?mean_service ~cfg w
+    if closed || cfg.Serve.requests > Serve.lat_keep_cap then
+      Serve.run_cell_stream ?ucfg ?skip_cfg ?mean_service ~jobs ?segment ~cfg w
+    else Serve.run_cell_generate ?ucfg ?skip_cfg ?mean_service ~cfg w
   else begin
     let mean_service =
       match mean_service with
@@ -38,33 +60,76 @@ let run_cell ?ucfg ?skip_cfg ?mean_service ?tr ~cfg (w : Workload.t) =
       | Some tr -> tr
       | None -> Cache.get ~requests:cfg.Serve.requests ~mode:cfg.Serve.mode w
     in
-    let m = Replay.make_machine ?ucfg ?skip_cfg ~mode:cfg.Serve.mode () in
-    let c = Trace.Cursor.create tr in
-    let warmup = Trace.warmup tr in
-    for r = 0 to warmup - 1 do
-      Kernel.note_boundary m ~rtype:(Trace.request_rtype tr r);
-      Kernel.replay_request m c r
-    done;
-    let counters = Kernel.counters m in
-    let snapshot = Counters.copy counters in
-    let services = Array.make cfg.Serve.requests 0 in
-    for i = 0 to cfg.Serve.requests - 1 do
-      (match cfg.Serve.flush with
-      | Serve.No_flush -> ()
-      | Serve.Flush when i > 0 && i mod cfg.Serve.flush_every = 0 ->
-          Kernel.context_switch m
-      | Serve.Asid when i > 0 && i mod cfg.Serve.flush_every = 0 ->
-          Kernel.context_switch ~retain_asid:true m
-      | Serve.Flush | Serve.Asid -> ());
-      let r = warmup + i in
-      Kernel.note_boundary m ~rtype:(Trace.request_rtype tr r);
-      let before = counters.Counters.cycles in
-      Kernel.replay_request m c r;
-      services.(i) <- counters.Counters.cycles - before
-    done;
-    let qs = Serve.run_queue ~cfg ~mean_service ~services in
-    Serve.finish_cell ~cfg ~w ~mean_service ~qs
-      ~counters:(Counters.diff ~after:counters ~before:snapshot)
+    let segmented =
+      (jobs > 1 || segment <> None)
+      && cfg.Serve.flush = Serve.No_flush
+      && cfg.Serve.requests > 0
+    in
+    if segmented then begin
+      let p =
+        Segmented.plan ?ucfg ?skip_cfg ~jobs ?segment
+          ~requests:cfg.Serve.requests ~mode:cfg.Serve.mode tr
+      in
+      let a = Serve.stream_accum w ~requests:cfg.Serve.requests in
+      let sq = Serve.stream_queue ~cfg ~mean_service ~sink:(Serve.accum_sink a) in
+      let counters, _service_rec =
+        Segmented.replay ?ucfg ?skip_cfg ~jobs
+          ~consume:(fun ~req ~service -> Serve.stream_push sq ~req ~service)
+          p tr
+      in
+      Serve.finish_stream_cell ~cfg ~mean_service
+        ~segments:(Segmented.seg_count p) ~sq ~a ~counters
+    end
+    else begin
+      let m = Replay.make_machine ?ucfg ?skip_cfg ~mode:cfg.Serve.mode () in
+      let c = Trace.Cursor.create tr in
+      let warmup = Trace.warmup tr in
+      for r = 0 to warmup - 1 do
+        Kernel.note_boundary m ~rtype:(Trace.request_rtype tr r);
+        Kernel.replay_request m c r
+      done;
+      let counters = Kernel.counters m in
+      let snapshot = Counters.copy counters in
+      let streaming = closed || cfg.Serve.requests > Serve.lat_keep_cap in
+      let services =
+        if streaming then [||] else Array.make cfg.Serve.requests 0
+      in
+      let a =
+        if streaming then Some (Serve.stream_accum w ~requests:cfg.Serve.requests)
+        else None
+      in
+      let sq =
+        match a with
+        | Some a -> Some (Serve.stream_queue ~cfg ~mean_service ~sink:(Serve.accum_sink a))
+        | None -> None
+      in
+      for i = 0 to cfg.Serve.requests - 1 do
+        (match cfg.Serve.flush with
+        | Serve.No_flush -> ()
+        | Serve.Flush when i > 0 && i mod cfg.Serve.flush_every = 0 ->
+            Kernel.context_switch m
+        | Serve.Asid when i > 0 && i mod cfg.Serve.flush_every = 0 ->
+            Kernel.context_switch ~retain_asid:true m
+        | Serve.Flush | Serve.Asid -> ());
+        let r = warmup + i in
+        Kernel.note_boundary m ~rtype:(Trace.request_rtype tr r);
+        let before = counters.Counters.cycles in
+        Kernel.replay_request m c r;
+        let s = counters.Counters.cycles - before in
+        match sq with
+        | Some sq -> Serve.stream_push sq ~req:i ~service:s
+        | None -> services.(i) <- s
+      done;
+      let measured = Counters.diff ~after:counters ~before:snapshot in
+      match (sq, a) with
+      | Some sq, Some a ->
+          Serve.finish_stream_cell ~cfg ~mean_service ~segments:1 ~sq ~a
+            ~counters:measured
+      | _ ->
+          let qs = Serve.run_queue ~cfg ~mean_service ~services in
+          Serve.finish_cell ~cfg ~w ~mean_service ~segments:1 ~qs
+            ~counters:measured
+    end
   end
 
 (* Load x mode x flush sweep on the shared-memory domain pool.  Traces

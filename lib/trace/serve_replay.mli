@@ -22,11 +22,19 @@ val run_cell :
   ?skip_cfg:Dlink_pipeline.Skip.config ->
   ?mean_service:int ->
   ?tr:Trace.t ->
+  ?jobs:int ->
+  ?segment:int ->
   cfg:Serve.config ->
   Workload.t ->
   Serve.cell
-(** One cell over the cached (or given) trace; falls back to the generate
-    driver for configurations the replay invariants exclude. *)
+(** One cell over the cached (or given) trace; falls back to the
+    streaming generate driver for configurations the replay invariants
+    exclude.  Closed-loop arrivals and cells beyond
+    {!Serve.lat_keep_cap} stream through {!Serve.stream_queue} instead
+    of materializing the service vector.  With [jobs > 1] (or an
+    explicit [segment]) and no flush policy, the measured replay runs
+    snapshot-segmented on worker domains ({!Segmented}) — bit-identical
+    to the sequential cell at any [jobs]. *)
 
 val sweep :
   ?ucfg:Dlink_uarch.Config.t ->

@@ -15,3 +15,9 @@ val update : t -> Addr.t -> bool -> unit
 (** Train with the actual direction and shift it into the history. *)
 
 val flush : t -> unit
+
+type snap
+
+val snapshot : t -> snap
+val restore : t -> snap -> unit
+val fingerprint : t -> int

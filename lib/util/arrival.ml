@@ -1,11 +1,11 @@
-(* Open-loop arrival processes for the serving stack.
+(* Arrival processes for the serving stack.
 
-   An arrival process turns a seed and a mean inter-arrival gap into a
-   non-decreasing array of absolute arrival times, measured on whatever
-   clock the caller uses (the serving drivers use simulated cycles).
-   Everything flows through [Rng], so a (process, seed, mean_gap, n)
-   quadruple always produces the same arrivals — the property the
-   generate-vs-replay bit-identity tests rely on.
+   An open-loop arrival process turns a seed and a mean inter-arrival gap
+   into a non-decreasing sequence of absolute arrival times, measured on
+   whatever clock the caller uses (the serving drivers use simulated
+   cycles).  Everything flows through [Rng], so a (process, seed,
+   mean_gap, n) quadruple always produces the same arrivals — the
+   property the generate-vs-replay bit-identity tests rely on.
 
    [Poisson] is the textbook open-loop client: i.i.d. exponential gaps.
    [Mmpp] is a two-state Markov-modulated Poisson process — a calm and a
@@ -13,43 +13,112 @@
    arrivals, with exponential gaps whose means differ by [burst].  The
    state means are chosen so the long-run mean gap stays [mean_gap]:
    gap_burst = 2g/(1+b), gap_calm = 2gb/(1+b), so (gap_burst+gap_calm)/2
-   = g and gap_calm/gap_burst = b. *)
+   = g and gap_calm/gap_burst = b.
 
-type process = Poisson | Mmpp of { burst : float; dwell : int }
+   [Closed] is the limited-concurrency (closed-loop) client population:
+   [clients] users each issue a request, wait for its completion, think
+   for an exponentially distributed time, and issue the next.  Arrivals
+   are therefore coupled to completions and cannot be precomputed as an
+   array — the queue engine weaves them in as it serves ([times] raises).
+   The open-loop/closed-loop contrast is the classic saturation
+   methodology: open-loop load keeps arriving during a stall (queues
+   grow unboundedly past the knee), while a closed population
+   self-throttles at [clients] outstanding. *)
+
+type process =
+  | Poisson
+  | Mmpp of { burst : float; dwell : int }
+  | Closed of { clients : int }
 
 let default_mmpp = Mmpp { burst = 8.0; dwell = 32 }
-let names = [ "poisson"; "mmpp" ]
+let names = [ "poisson"; "mmpp"; "closed:C" ]
 
 let to_string = function
   | Poisson -> "poisson"
   | Mmpp _ -> "mmpp"
+  | Closed { clients } -> Printf.sprintf "closed:%d" clients
 
-let of_string = function
+let of_string s =
+  match s with
   | "poisson" -> Some Poisson
   | "mmpp" -> Some default_mmpp
-  | _ -> None
+  | _ ->
+      let prefix = "closed:" in
+      let pl = String.length prefix in
+      if String.length s > pl && String.sub s 0 pl = prefix then
+        match int_of_string_opt (String.sub s pl (String.length s - pl)) with
+        | Some c when c > 0 -> Some (Closed { clients = c })
+        | _ -> None
+      else None
 
-let times ~seed ~mean_gap ~n process =
+(* Incremental generator producing exactly the sequence [times] returns,
+   one arrival per [next] call — the streaming serving path never
+   materializes the arrival array for million-request cells. *)
+type gen = {
+  rng : Rng.t;
+  mean_gap : float;
+  gap_burst : float; (* 0 when Poisson *)
+  gap_calm : float;
+  p_switch : float;
+  mutable in_burst : bool;
+  mutable is_mmpp : bool;
+  mutable t : float;
+}
+
+let gen ~seed ~mean_gap process =
   if not (Float.is_finite mean_gap) || mean_gap <= 0.0 then
-    invalid_arg "Arrival.times: mean_gap must be positive";
-  if n < 0 then invalid_arg "Arrival.times: n must be non-negative";
+    invalid_arg "Arrival.gen: mean_gap must be positive";
   let rng = Rng.create (Site_hash.mix2 seed 0x5e17) in
-  let t = ref 0.0 in
   match process with
   | Poisson ->
-      Array.init n (fun _ ->
-          t := !t +. Rng.exponential rng ~mean:mean_gap;
-          int_of_float !t)
+      {
+        rng;
+        mean_gap;
+        gap_burst = 0.0;
+        gap_calm = 0.0;
+        p_switch = 0.0;
+        in_burst = false;
+        is_mmpp = false;
+        t = 0.0;
+      }
   | Mmpp { burst; dwell } ->
       if not (Float.is_finite burst) || burst < 1.0 then
-        invalid_arg "Arrival.times: burst factor must be >= 1";
-      if dwell <= 0 then invalid_arg "Arrival.times: dwell must be positive";
+        invalid_arg "Arrival.gen: burst factor must be >= 1";
+      if dwell <= 0 then invalid_arg "Arrival.gen: dwell must be positive";
       let gap_burst = 2.0 *. mean_gap /. (1.0 +. burst) in
-      let gap_calm = gap_burst *. burst in
-      let in_burst = ref false in
-      let p_switch = 1.0 /. float_of_int dwell in
-      Array.init n (fun _ ->
-          if Rng.bool rng p_switch then in_burst := not !in_burst;
-          let mean = if !in_burst then gap_burst else gap_calm in
-          t := !t +. Rng.exponential rng ~mean;
-          int_of_float !t)
+      {
+        rng;
+        mean_gap;
+        gap_burst;
+        gap_calm = gap_burst *. burst;
+        p_switch = 1.0 /. float_of_int dwell;
+        in_burst = false;
+        is_mmpp = true;
+        t = 0.0;
+      }
+  | Closed _ ->
+      invalid_arg
+        "Arrival.gen: closed-loop arrivals are coupled to completions; the \
+         queue engine generates them"
+
+let next g =
+  let mean =
+    if not g.is_mmpp then g.mean_gap
+    else begin
+      if Rng.bool g.rng g.p_switch then g.in_burst <- not g.in_burst;
+      if g.in_burst then g.gap_burst else g.gap_calm
+    end
+  in
+  g.t <- g.t +. Rng.exponential g.rng ~mean;
+  int_of_float g.t
+
+let times ~seed ~mean_gap ~n process =
+  if n < 0 then invalid_arg "Arrival.times: n must be non-negative";
+  match process with
+  | Closed _ ->
+      invalid_arg
+        "Arrival.times: closed-loop arrivals are coupled to completions; the \
+         queue engine generates them"
+  | _ ->
+      let g = gen ~seed ~mean_gap process in
+      Array.init n (fun _ -> next g)

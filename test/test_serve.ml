@@ -1,10 +1,13 @@
-(* Serving-stack tests: arrival processes, the bounded admission queue,
-   open-loop cells (generate vs replay bit-identity, determinism), the
-   multi-core open-loop topology, and the kernel's request-boundary tap. *)
+(* Serving-stack tests: arrival processes (open and closed loop), the
+   bounded admission queue and its push-based streaming mirror, cells
+   (generate vs replay vs streaming bit-identity, snapshot-segmented
+   parallel replay, determinism), the multi-core open-loop topology, and
+   the kernel's request-boundary tap. *)
 
 module Rng = Dlink_util.Rng
 module Arrival = Dlink_util.Arrival
 module Latency = Dlink_stats.Latency
+module Counters = Dlink_uarch.Counters
 module Sim = Dlink_core.Sim
 module Serve = Dlink_core.Serve
 module Workload = Dlink_core.Workload
@@ -13,6 +16,8 @@ module Scheduler = Dlink_sched.Scheduler
 module Policy = Dlink_sched.Policy
 module Kernel = Dlink_pipeline.Kernel
 module Tcache = Dlink_trace.Cache
+module Replay = Dlink_trace.Replay
+module Segmented = Dlink_trace.Segmented
 module Serve_replay = Dlink_trace.Serve_replay
 
 let checkb = Alcotest.(check bool)
@@ -68,6 +73,27 @@ let test_arrival_rejects_bad () =
   match Arrival.times ~seed:1 ~mean_gap:Float.nan ~n:3 Arrival.Poisson with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "nan mean_gap should raise"
+
+let test_closed_arrival_spec () =
+  (match Arrival.of_string "closed:32" with
+  | Some (Arrival.Closed { clients = 32 }) -> ()
+  | _ -> Alcotest.fail "closed:32 should parse");
+  checkb "round-trips" true
+    (Arrival.of_string (Arrival.to_string (Arrival.Closed { clients = 7 }))
+    = Some (Arrival.Closed { clients = 7 }));
+  checkb "closed:0 rejected" true (Arrival.of_string "closed:0" = None);
+  checkb "closed:-3 rejected" true (Arrival.of_string "closed:-3" = None);
+  checkb "closed:x rejected" true (Arrival.of_string "closed:x" = None);
+  (* Closed arrivals are coupled to completions: only the streaming queue
+     engine can generate them, never the standalone arrival API. *)
+  (match
+     Arrival.times ~seed:1 ~mean_gap:10.0 ~n:5 (Arrival.Closed { clients = 4 })
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "times on closed should raise");
+  match Arrival.gen ~seed:1 ~mean_gap:10.0 (Arrival.Closed { clients = 4 }) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "gen on closed should raise"
 
 (* ---------------- queue engine ---------------- *)
 
@@ -205,6 +231,279 @@ let test_sweep_jobs_deterministic () =
         && a.Serve.lat_cycles = b.Serve.lat_cycles))
     seq par
 
+(* ---------------- streaming engine and cells ---------------- *)
+
+(* The streaming driver must reproduce the array driver exactly — same
+   latency vector, same order-sensitive fingerprint, same counters —
+   across modes, flush policies, and arrival processes.  For the
+   Base/No_flush row this also exercises the snapshot-segmented measured
+   pass (the default streaming path segments even at jobs = 1). *)
+let test_stream_matches_generate () =
+  Tcache.clear ();
+  let w = wl "synth" in
+  List.iter
+    (fun (mode, flush, arrival) ->
+      let cfg = mk_cfg ~mode ~flush ~arrival () in
+      let g = Serve.run_cell_generate ~cfg w in
+      let s = Serve.run_cell_stream ~cfg w in
+      let msg =
+        Printf.sprintf "%s/%s/%s" (Sim.mode_to_string mode)
+          (Serve.flush_to_string flush)
+          (Arrival.to_string arrival)
+      in
+      checkb (msg ^ ": lat_cycles") true
+        (g.Serve.lat_cycles = s.Serve.lat_cycles);
+      checkb (msg ^ ": fingerprint") true
+        (g.Serve.lat_fingerprint = s.Serve.lat_fingerprint);
+      checkb (msg ^ ": counters") true (g.Serve.counters = s.Serve.counters);
+      checki (msg ^ ": served") g.Serve.served s.Serve.served;
+      checki (msg ^ ": dropped") g.Serve.dropped s.Serve.dropped;
+      checki (msg ^ ": mean service") g.Serve.mean_service_cycles
+        s.Serve.mean_service_cycles;
+      checkb (msg ^ ": quantiles") true
+        (g.Serve.p50_us = s.Serve.p50_us
+        && g.Serve.p99_us = s.Serve.p99_us
+        && g.Serve.p999_us = s.Serve.p999_us))
+    [
+      (Sim.Base, Serve.No_flush, Arrival.Poisson);
+      (Sim.Enhanced, Serve.No_flush, Arrival.default_mmpp);
+      (Sim.Enhanced, Serve.Flush, Arrival.Poisson);
+      (Sim.Eager, Serve.Asid, Arrival.Poisson);
+      (Sim.Stable, Serve.No_flush, Arrival.Poisson);
+    ]
+
+let test_closed_cell () =
+  Tcache.clear ();
+  let w = wl "synth" in
+  let cfg =
+    {
+      (mk_cfg ~arrival:(Arrival.Closed { clients = 4 }) ()) with
+      Serve.requests = 80;
+    }
+  in
+  let a = Serve.run_cell_stream ~cfg w in
+  checki "population bound serves everything" 80 a.Serve.served;
+  checki "closed loop never drops" 0 a.Serve.dropped;
+  checki "latencies materialized below cap" 80
+    (Array.length a.Serve.lat_cycles);
+  Array.iter
+    (fun l -> checkb "latency positive" true (l > 0))
+    a.Serve.lat_cycles;
+  let b = Serve.run_cell_stream ~cfg w in
+  checkb "deterministic" true
+    (a.Serve.lat_cycles = b.Serve.lat_cycles
+    && a.Serve.lat_fingerprint = b.Serve.lat_fingerprint);
+  let r = Serve_replay.run_cell ~cfg w in
+  checkb "replay mirror identical" true
+    (a.Serve.lat_cycles = r.Serve.lat_cycles
+    && a.Serve.lat_fingerprint = r.Serve.lat_fingerprint
+    && a.Serve.counters = r.Serve.counters);
+  match Serve.run_cell_generate ~cfg w with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "array driver cannot run closed cells"
+
+let test_closed_jobs_invariant () =
+  let w = wl "synth" in
+  let cfg =
+    {
+      (mk_cfg ~mode:Sim.Base ~arrival:(Arrival.Closed { clients = 6 }) ()) with
+      Serve.requests = 200;
+    }
+  in
+  let a = Serve.run_cell_stream ~jobs:1 ~cfg w in
+  let b = Serve.run_cell_stream ~jobs:4 ~cfg w in
+  checkb "different segmentations" true
+    (b.Serve.segments > 1 && a.Serve.segments <> b.Serve.segments);
+  checkb "bit-identical across jobs" true
+    (a.Serve.lat_fingerprint = b.Serve.lat_fingerprint
+    && a.Serve.lat_cycles = b.Serve.lat_cycles
+    && a.Serve.counters = b.Serve.counters
+    && a.Serve.span_us = b.Serve.span_us)
+
+(* Snapshot-segmented generate-side replay: every (jobs, segment) choice
+   must match the sequential array driver bit for bit. *)
+let test_segmented_stream_identity () =
+  let w = wl "synth" in
+  let cfg =
+    { (mk_cfg ~mode:Sim.Base ~load:1.1 ()) with Serve.requests = 300 }
+  in
+  let g = Serve.run_cell_generate ~cfg w in
+  let s37 = Serve.run_cell_stream ~jobs:1 ~segment:37 ~cfg w in
+  checki "explicit segment geometry" 9 s37.Serve.segments;
+  List.iter
+    (fun (s : Serve.cell) ->
+      checkb "matches generate bit for bit" true
+        (s.Serve.lat_cycles = g.Serve.lat_cycles
+        && s.Serve.lat_fingerprint = g.Serve.lat_fingerprint
+        && s.Serve.counters = g.Serve.counters
+        && s.Serve.p999_us = g.Serve.p999_us))
+    [
+      s37;
+      Serve.run_cell_stream ~jobs:4 ~cfg w;
+      Serve.run_cell_stream ~jobs:3 ~segment:100 ~cfg w;
+    ];
+  (* Same invariant on the realistic memcached stream. *)
+  let wm = wl "memcached" in
+  let cfgm = { (mk_cfg ~mode:Sim.Base ()) with Serve.requests = 90 } in
+  let gm = Serve.run_cell_generate ~cfg:cfgm wm in
+  let sm = Serve.run_cell_stream ~jobs:4 ~cfg:cfgm wm in
+  checkb "memcached segmented = generate" true
+    (sm.Serve.segments > 1
+    && sm.Serve.lat_cycles = gm.Serve.lat_cycles
+    && sm.Serve.lat_fingerprint = gm.Serve.lat_fingerprint
+    && sm.Serve.counters = gm.Serve.counters)
+
+let test_replay_segmented_jobs () =
+  Tcache.clear ();
+  let w = wl "synth" in
+  let cfg = { (mk_cfg ~mode:Sim.Enhanced ()) with Serve.requests = 120 } in
+  let a = Serve_replay.run_cell ~cfg w in
+  checki "sequential path unsegmented" 1 a.Serve.segments;
+  let b = Serve_replay.run_cell ~jobs:4 ~cfg w in
+  let c = Serve_replay.run_cell ~jobs:1 ~segment:17 ~cfg w in
+  checkb "parallel path segmented" true (b.Serve.segments > 1);
+  checki "explicit segment geometry" 8 c.Serve.segments;
+  List.iter
+    (fun (s : Serve.cell) ->
+      checkb "segmented replay = sequential replay" true
+        (s.Serve.lat_cycles = a.Serve.lat_cycles
+        && s.Serve.lat_fingerprint = a.Serve.lat_fingerprint
+        && s.Serve.counters = a.Serve.counters))
+    [ b; c ]
+
+(* ---------------- segmented trace replay ---------------- *)
+
+let test_segmented_replay_matches_sequential () =
+  Tcache.clear ();
+  let w = wl "synth" in
+  let n = 100 in
+  List.iter
+    (fun mode ->
+      let tr = Tcache.get ~requests:n ~mode w in
+      let seq = Replay.replay_counters ~mode ~requests:n tr in
+      let p = Segmented.plan ~segment:13 ~requests:n ~mode tr in
+      checki "segments" 8 (Segmented.seg_count p);
+      checki "requests covered" n (Segmented.requests p);
+      let services = Array.make n (-1) in
+      let order_ok = ref true and last = ref (-1) in
+      let merged, recorder =
+        Segmented.replay ~jobs:4
+          ~consume:(fun ~req ~service ->
+            if req <> !last + 1 then order_ok := false;
+            last := req;
+            services.(req) <- service)
+          p tr
+      in
+      checkb "consume in strict index order" true (!order_ok && !last = n - 1);
+      checkb "merged counters = sequential replay" true (merged = seq);
+      checki "recorder count" n (Latency.count recorder);
+      checki "services sum to measured cycles" seq.Counters.cycles
+        (Array.fold_left ( + ) 0 services))
+    [ Sim.Base; Sim.Enhanced ]
+
+let test_segmented_plan_rejects_bad () =
+  Tcache.clear ();
+  let w = wl "synth" in
+  let tr = Tcache.get ~requests:20 ~mode:Sim.Base w in
+  (match Segmented.plan ~segment:0 ~requests:20 ~mode:Sim.Base tr with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "segment 0 should raise");
+  match Segmented.plan ~requests:21 ~mode:Sim.Base tr with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "requests beyond the trace should raise"
+
+(* ---------------- properties ---------------- *)
+
+let qcheck_tests =
+  [
+    (* The push-based streaming engine is a drop-in mirror of the array
+       queue engine: identical served set, per-request latency and wait,
+       drops, busy time, and span, for random cells. *)
+    QCheck.Test.make ~name:"stream_queue mirrors run_queue" ~count:150
+      QCheck.(
+        quad (int_range 0 150) (int_range 1 12) (int_range 0 10_000)
+          (triple (int_range 5 80) (int_range 0 3) bool))
+      (fun (n, cap, seed, (mean_service, li, bursty)) ->
+        let load = [| 0.5; 0.9; 1.2; 2.5 |].(li) in
+        let arrival =
+          if bursty then Arrival.default_mmpp else Arrival.Poisson
+        in
+        let cfg =
+          {
+            (mk_cfg ~load ~arrival ()) with
+            Serve.requests = n;
+            queue_cap = cap;
+            seed;
+          }
+        in
+        let rng = Rng.create (seed + 77) in
+        let services = Array.init n (fun _ -> Rng.int rng 200) in
+        let qs = Serve.run_queue ~cfg ~mean_service ~services in
+        let got = ref [] in
+        let sq =
+          Serve.stream_queue ~cfg ~mean_service ~sink:(fun ~req ~lat ~wait ->
+              got := (req, lat, wait) :: !got)
+        in
+        Array.iteri
+          (fun req service -> Serve.stream_push sq ~req ~service)
+          services;
+        let got = Array.of_list (List.rev !got) in
+        got
+        = Array.init qs.Serve.q_served (fun i ->
+              ( qs.Serve.q_reqs.(i),
+                qs.Serve.q_lat_cycles.(i),
+                qs.Serve.q_wait_cycles.(i) ))
+        && Serve.stream_served sq = qs.Serve.q_served
+        && Serve.stream_dropped sq = qs.Serve.q_dropped
+        && Serve.stream_busy_cycles sq = qs.Serve.q_busy
+        && Serve.stream_span_cycles sq = qs.Serve.q_span);
+    (* Snapshot/restore is exact: resuming a restored fresh simulator
+       replays the suffix bit-identically — per-request cycles, measured
+       counters, and the full state fingerprint — across every link mode
+       and around (ASID-tagged or full) context switches. *)
+    QCheck.Test.make ~name:"sim snapshot/restore resumes bit-identically"
+      ~count:12
+      QCheck.(
+        quad (int_range 0 5) (int_range 0 25) (int_range 1 20) (int_range 0 2))
+      (fun (mi, pre, post, sw) ->
+        let mode = List.nth Sim.all_modes mi in
+        let w = wl "synth" in
+        let make () =
+          Sim.create ~func_align:w.Workload.func_align ~mode w.Workload.objs
+        in
+        let call sim i =
+          let rq = w.Workload.gen_request i in
+          Kernel.note_boundary (Sim.kernel sim) ~rtype:rq.Workload.rtype;
+          Sim.call sim ~mname:rq.Workload.mname ~fname:rq.Workload.fname
+        in
+        let sim = make () in
+        for i = 0 to pre - 1 do
+          call sim i
+        done;
+        (match sw with
+        | 1 -> Sim.context_switch sim
+        | 2 -> Sim.context_switch ~retain_asid:true sim
+        | _ -> ());
+        Sim.mark_measurement_start sim;
+        let snap = Sim.snapshot sim in
+        let tail sim =
+          let c = Sim.counters sim in
+          let services = Array.make post 0 in
+          for i = 0 to post - 1 do
+            let before = c.Counters.cycles in
+            call sim (pre + i);
+            services.(i) <- c.Counters.cycles - before
+          done;
+          ( services,
+            Sim.state_fingerprint sim,
+            (Sim.measured_counters sim).Counters.cycles )
+        in
+        let a = tail sim in
+        let sim2 = make () in
+        Sim.restore sim2 snap;
+        a = tail sim2);
+  ]
+
 (* ---------------- boundary tap ---------------- *)
 
 let test_boundary_tap_counts () =
@@ -308,6 +607,7 @@ let () =
             test_arrival_sorted_nonneg;
           Alcotest.test_case "mean gap" `Slow test_arrival_mean_gap;
           Alcotest.test_case "rejects bad specs" `Quick test_arrival_rejects_bad;
+          Alcotest.test_case "closed-loop spec" `Quick test_closed_arrival_spec;
         ] );
       ( "queue",
         [
@@ -325,6 +625,26 @@ let () =
           Alcotest.test_case "sweep jobs-independent" `Quick
             test_sweep_jobs_deterministic;
         ] );
+      ( "stream",
+        [
+          Alcotest.test_case "stream = generate" `Quick
+            test_stream_matches_generate;
+          Alcotest.test_case "closed-loop cell" `Quick test_closed_cell;
+          Alcotest.test_case "closed-loop jobs-invariant" `Quick
+            test_closed_jobs_invariant;
+          Alcotest.test_case "segmented stream identity" `Quick
+            test_segmented_stream_identity;
+          Alcotest.test_case "segmented replay cell" `Quick
+            test_replay_segmented_jobs;
+        ] );
+      ( "segmented",
+        [
+          Alcotest.test_case "matches sequential replay" `Quick
+            test_segmented_replay_matches_sequential;
+          Alcotest.test_case "rejects bad plans" `Quick
+            test_segmented_plan_rejects_bad;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
       ( "boundaries",
         [ Alcotest.test_case "tap counts" `Quick test_boundary_tap_counts ] );
       ( "multi open loop",
